@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Building your own SPL accelerator: mapping, virtualization, partitioning.
+
+Shows the mechanics a ReMAP "compiler" would exercise:
+  1. describe a function as a dataflow graph (an 8-tap dot product),
+  2. inspect its row mapping at full fabric size,
+  3. spatially partition the fabric into four 6-row private partitions and
+     watch the same function get *virtualized* (initiation interval rises,
+     but all four threads now run without contention),
+  4. run four threads concurrently, one per partition, and verify.
+
+Run:  python examples/custom_accelerator.py
+"""
+
+from repro import (Asm, Dfg, DfgOp, Machine, MemoryImage, SplFunction,
+                   ThreadSpec, Workload, remap_system)
+from repro.core.mapper import initiation_interval
+
+TAPS = [3, -1, 4, 1, -5, 9, 2, -6]
+N = 48
+
+
+def dot8_function() -> SplFunction:
+    """out = sum(x[i] * TAPS[i]) over one staged 32-byte entry."""
+    g = Dfg("dot8")
+    acc = None
+    for i, coefficient in enumerate(TAPS):
+        x = g.input(f"x{i}", 4 * i)
+        term = g.op(DfgOp.MUL, x, g.const(coefficient))
+        acc = term if acc is None else g.add(acc, term)
+    g.output("dot", acc)
+    return SplFunction(g)
+
+
+def build_thread(tid, src, dst):
+    a = Asm(f"dot8_t{tid}")
+    a.li("r1", src)
+    a.li("r2", dst)
+    a.li("r3", 0)
+    a.li("r4", N)
+    a.label("loop")
+    a.spl_loadv("r1", 0)        # x[0..3]: one row-wide beat
+    a.spl_loadv("r1", 16, 16)   # x[4..7]: the second beat
+    a.spl_init(1)
+    a.spl_recv("r5")
+    a.sw("r5", "r2", 0)
+    a.addi("r1", "r1", 32)
+    a.addi("r2", "r2", 4)
+    a.addi("r3", "r3", 1)
+    a.blt("r3", "r4", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def main() -> None:
+    function = dot8_function()
+    print(f"dot8 maps to {function.rows} rows")
+    print(f"  II on 24 rows (full fabric): "
+          f"{initiation_interval(function.rows, 24)} fabric cycle(s)")
+    print(f"  II on  6 rows (1/4 partition, virtualized): "
+          f"{initiation_interval(function.rows, 6)} fabric cycle(s)")
+    print(function.mapping.describe())
+
+    image = MemoryImage()
+    sources, dests, expected = [], [], []
+    for tid in range(4):
+        values = [(tid * 1000 + i * 13) % 200 - 100 for i in range(N * 8)]
+        sources.append(image.alloc_words(values))
+        dests.append(image.alloc_zeroed(N))
+        expected.append([
+            sum(values[8 * j + i] * TAPS[i] for i in range(8))
+            for j in range(N)])
+
+    def setup(machine) -> None:
+        # Four private 6-row partitions: no inter-thread contention, at
+        # the cost of virtualizing the 8-tap function in each.
+        machine.set_partitions(0, [6, 6, 6, 6], [0, 1, 2, 3])
+        for core in range(4):
+            machine.configure_spl(core, 1, function)
+
+    workload = Workload(
+        "dot8x4", image,
+        [ThreadSpec(build_thread(t, sources[t], dests[t]), thread_id=t + 1)
+         for t in range(4)],
+        placement=[0, 1, 2, 3], setup=setup)
+
+    machine = Machine(remap_system())
+    machine.load(workload)
+    cycles = machine.run()
+    for tid in range(4):
+        got = machine.memory.read_words(dests[tid], N)
+        assert got == expected[tid], f"thread {tid} mismatch"
+    spl = machine.stats.find("spl0")
+    print(f"\n4 threads x {N} dot products in {cycles} cycles "
+          f"({cycles / (4 * N):.1f} cycles/result aggregate)")
+    print(f"Fabric issues: {spl.get('issues'):.0f}, reconfigurations: "
+          f"{spl.get('reconfigurations'):.0f} (one per partition)")
+    print("All four threads verified. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Fine-grained barrier synchronization on parallel Dijkstra (Figure 7).
+
+Compares, at several graph sizes:
+  * software barriers (Figure 7(a)) — atomic counter + sense flag over the
+    coherent memory system,
+  * ReMAP synchronization-only barriers (Figure 7(b)),
+  * ReMAP barriers with the global minimum computed *inside* the fabric at
+    the synchronization point (Figure 7(c)), which also eliminates one of
+    the two barriers per iteration.
+
+Every run's final distance vector is checked against a reference Dijkstra.
+
+Run:  python examples/dijkstra_barriers.py
+"""
+
+from repro.experiments.runner import execute
+from repro.workloads import dijkstra
+
+THREADS = 8
+SIZES = (20, 40, 80)
+
+
+def main() -> None:
+    print(f"Parallel Dijkstra with {THREADS} threads "
+          f"(two SPL clusters, inter-cluster barrier bus)\n")
+    header = f"{'nodes':>6s} {'seq':>9s} {'SW barrier':>11s} " \
+             f"{'ReMAP barrier':>14s} {'+Comp':>9s}"
+    print(header)
+    print("-" * len(header))
+    for n in SIZES:
+        seq = execute(dijkstra.VARIANTS["seq"](n=n))
+        sw = execute(dijkstra.VARIANTS["sw"](n=n, p=THREADS))
+        bar = execute(dijkstra.VARIANTS["barrier"](n=n, p=THREADS))
+        comp = execute(dijkstra.VARIANTS["barrier_comp"](n=n, p=THREADS))
+        print(f"{n:6d} {seq.cycles_per_item:9.0f} "
+              f"{sw.cycles_per_item:11.0f} "
+              f"{bar.cycles_per_item:14.0f} "
+              f"{comp.cycles_per_item:9.0f}   cycles/iteration")
+    print("\nReMAP barriers beat software barriers at every size; the "
+          "advantage is\nlargest at small graphs, where synchronization "
+          "dominates (Section V-C).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's Figure 5 walkthrough: four ways to run hmmer's P7Viterbi.
+
+Runs the SPEC 456.hmmer inner loop as:
+  (a) the original sequential code,
+  (b) 1Th+Comp — the fabric computes ``mc`` for a single thread,
+  (c) 2Th+Comm — a producer/consumer pair streaming ``mc`` through the
+      fabric with no computation,
+  (d) 2Th+CompComm — the fabric computes ``mc`` *while* communicating it,
+plus the OOO2+Comm baseline, and prints the resulting speedups and
+energy x delay — a miniature of Figures 10 and 11.
+
+Run:  python examples/hmmer_pipeline.py
+"""
+
+from repro.experiments.runner import execute, relative_ed, speedup
+from repro.workloads import hmmer
+
+LABELS = {
+    "seq": "(a) sequential, one OOO1 core",
+    "spl": "(b) 1Th+Comp: mc in the fabric",
+    "comm": "(c) 2Th+Comm: fabric as a queue",
+    "compcomm": "(d) 2Th+CompComm: compute in flight",
+    "ooo2comm": "OOO2+Comm baseline (2 wide cores + ideal network)",
+}
+
+
+def main() -> None:
+    size = {"M": 96, "R": 4}
+    print(f"Simulating P7Viterbi with M={size['M']} match states, "
+          f"{size['R']} rows...\n")
+    results = {}
+    for variant in ("seq", "spl", "comm", "compcomm", "ooo2comm"):
+        spec = hmmer.VARIANTS[variant](**size)
+        results[variant] = execute(spec)  # verifies against the reference
+        print(f"  {LABELS[variant]:52s} "
+              f"{results[variant].cycles_per_item:7.1f} cycles/cell")
+    base = results["seq"]
+    print("\nRelative to (a):")
+    print(f"  {'variant':52s} {'speedup':>8s} {'rel. ED':>8s}")
+    for variant in ("spl", "comm", "compcomm", "ooo2comm"):
+        print(f"  {LABELS[variant]:52s} "
+              f"{speedup(base, results[variant]):8.2f} "
+              f"{relative_ed(base, results[variant]):8.2f}")
+    print("\nThe paper's claim (Section V-B): only the *combination* of "
+          "computation and\ncommunication (d) beats the area-equivalent "
+          "OOO2+Comm configuration —")
+    winner = speedup(base, results["compcomm"]) > \
+        speedup(base, results["ooo2comm"])
+    print(f"here 2Th+CompComm {'does' if winner else 'does NOT'} "
+          f"outperform OOO2+Comm.")
+
+
+if __name__ == "__main__":
+    main()

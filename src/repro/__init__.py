@@ -1,0 +1,28 @@
+"""ReMAP: A Reconfigurable Heterogeneous Multicore Architecture.
+
+A full-system reproduction of Watkins & Albonesi, MICRO 2010: a
+cycle-level heterogeneous CMP simulator with a shared Specialized
+Programmable Logic (SPL) fabric supporting individual computation,
+fine-grained interthread communication with in-flight computation, and
+barrier synchronization with integrated global functions.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.config import (remap_system, ooo1_config, ooo2_config,
+                                 spl_config, SystemConfig)
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import (SplFunction, barrier_reduce_function,
+                                 barrier_token_function, identity_function)
+from repro.isa import Asm, MemoryImage, Program, ThreadSpec
+from repro.power.model import EnergyModel
+from repro.system.machine import Machine
+from repro.system.workload import Workload
+
+__all__ = [
+    "remap_system", "ooo1_config", "ooo2_config", "spl_config",
+    "SystemConfig", "Dfg", "DfgOp", "SplFunction",
+    "barrier_reduce_function", "barrier_token_function",
+    "identity_function", "Asm", "MemoryImage", "Program", "ThreadSpec",
+    "EnergyModel", "Machine", "Workload",
+]

@@ -1,0 +1,13 @@
+"""Comparison systems: idealized hardware networks and software sync."""
+
+from repro.baselines.comm_network import (
+    BARRIER_RELEASE_LATENCY, SEND_LATENCY, CommBinding, CommPort,
+    DedicatedCommController, attach_comm_network,
+)
+from repro.baselines.sw_sync import SwBarrier, SwQueue
+
+__all__ = [
+    "BARRIER_RELEASE_LATENCY", "SEND_LATENCY", "CommBinding", "CommPort",
+    "DedicatedCommController", "attach_comm_network",
+    "SwBarrier", "SwQueue",
+]

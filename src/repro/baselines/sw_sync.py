@@ -1,0 +1,131 @@
+"""Software synchronization baselines: memory-based barriers and queues.
+
+These are *program-level* constructs emitted into workload programs with
+the macro assembler — the software alternatives the paper measures ReMAP
+against (Figure 7(a) software barriers; the Section V-B software-queue
+comparison).  They use ``amo_add``/plain loads and stores over the coherent
+memory system, so their cost (atomic serialization, invalidation traffic,
+spin latency) emerges from the simulated MESI hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Asm
+from repro.isa.program import MemoryImage
+
+
+class SwBarrier:
+    """A centralized sense-reversing barrier in shared memory.
+
+    Layout: one cache line holding the arrival counter, and a separate line
+    holding the global sense flag (kept apart to reduce false sharing —
+    which is itself modelled, so keeping them together would be slower,
+    exactly as on real hardware).
+    """
+
+    def __init__(self, image: MemoryImage, n_threads: int) -> None:
+        self.n_threads = n_threads
+        self.counter_addr = image.alloc(4, align=32)
+        image.alloc(28)  # pad the counter's line
+        self.sense_addr = image.alloc(4, align=32)
+        image.alloc(28)
+        image.write_word(self.counter_addr, 0)
+        image.write_word(self.sense_addr, 0)
+
+    def emit(self, a: Asm, local_sense_reg: str, tmp1: str, tmp2: str,
+             addr_reg: str) -> None:
+        """Emit barrier code.
+
+        ``local_sense_reg`` must be initialized to 1 before first use and
+        is toggled here on every barrier episode.  Clobbers tmp1/tmp2/addr.
+        """
+        spin = a.fresh_label("bar_spin")
+        out = a.fresh_label("bar_out")
+        # count = fetch_and_add(counter, 1)
+        a.li(addr_reg, self.counter_addr)
+        a.li(tmp1, 1)
+        a.amo_add(tmp2, addr_reg, tmp1)
+        a.addi(tmp2, tmp2, 1)
+        a.li(tmp1, self.n_threads)
+        a.bne(tmp2, tmp1, spin)
+        # Last arriver: reset the counter and flip the global sense.
+        a.sw("r0", addr_reg, 0)
+        a.li(addr_reg, self.sense_addr)
+        a.sw(local_sense_reg, addr_reg, 0)
+        a.fence()
+        a.j(out)
+        a.label(spin)
+        a.li(addr_reg, self.sense_addr)
+        a.lw(tmp1, addr_reg, 0)
+        a.bne(tmp1, local_sense_reg, spin)
+        a.label(out)
+        # Toggle local sense for the next episode.
+        a.xori(local_sense_reg, local_sense_reg, 1)
+        a.fence()
+
+
+class SwQueue:
+    """A single-producer single-consumer ring buffer in shared memory.
+
+    ``head``/``tail`` counters live on separate cache lines from the data
+    (and from each other).  The producer spins when the queue is full, the
+    consumer when it is empty — the classic software alternative whose
+    overhead Section V-B quantifies (>180% slowdown on average).
+    """
+
+    def __init__(self, image: MemoryImage, capacity_words: int = 64) -> None:
+        if capacity_words & (capacity_words - 1):
+            raise ValueError("queue capacity must be a power of two")
+        self.capacity = capacity_words
+        self.head_addr = image.alloc(4, align=32)  # consumer index
+        image.alloc(28)
+        self.tail_addr = image.alloc(4, align=32)  # producer index
+        image.alloc(28)
+        self.data_addr = image.alloc(4 * capacity_words, align=32)
+        image.write_word(self.head_addr, 0)
+        image.write_word(self.tail_addr, 0)
+
+    def emit_push(self, a: Asm, value_reg: str, tail_reg: str, tmp1: str,
+                  tmp2: str, addr_reg: str) -> None:
+        """Producer: append ``value_reg``.
+
+        ``tail_reg`` caches the producer's private tail index (init to 0).
+        """
+        spin = a.fresh_label("q_full")
+        a.label(spin)
+        a.li(addr_reg, self.head_addr)
+        a.lw(tmp1, addr_reg, 0)
+        a.sub(tmp1, tail_reg, tmp1)  # occupancy = tail - head
+        a.li(tmp2, self.capacity)
+        a.bge(tmp1, tmp2, spin)
+        # data[tail & (cap-1)] = value
+        a.andi(tmp1, tail_reg, self.capacity - 1)
+        a.slli(tmp1, tmp1, 2)
+        a.li(addr_reg, self.data_addr)
+        a.add(addr_reg, addr_reg, tmp1)
+        a.sw(value_reg, addr_reg, 0)
+        a.addi(tail_reg, tail_reg, 1)
+        # publish the new tail (release: data store precedes tail store)
+        a.fence()
+        a.li(addr_reg, self.tail_addr)
+        a.sw(tail_reg, addr_reg, 0)
+
+    def emit_pop(self, a: Asm, dest_reg: str, head_reg: str, tmp1: str,
+                 addr_reg: str) -> None:
+        """Consumer: pop into ``dest_reg``.
+
+        ``head_reg`` caches the consumer's private head index (init to 0).
+        """
+        spin = a.fresh_label("q_empty")
+        a.label(spin)
+        a.li(addr_reg, self.tail_addr)
+        a.lw(tmp1, addr_reg, 0)
+        a.beq(tmp1, head_reg, spin)
+        a.andi(tmp1, head_reg, self.capacity - 1)
+        a.slli(tmp1, tmp1, 2)
+        a.li(addr_reg, self.data_addr)
+        a.add(addr_reg, addr_reg, tmp1)
+        a.lw(dest_reg, addr_reg, 0)
+        a.addi(head_reg, head_reg, 1)
+        a.li(addr_reg, self.head_addr)
+        a.sw(head_reg, addr_reg, 0)

@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate any table, figure, or ablation.
+
+Usage::
+
+    python -m repro list
+    python -m repro table 1
+    python -m repro figure 10 --quick
+    python -m repro figure 12 --bench dijkstra
+    python -m repro ablation sharing
+    python -m repro run hmmer compcomm --items M=64 R=3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ablations
+from repro.experiments.barriers import (PAPER_SIZES, QUICK_SIZES,
+                                        figure12_series, figure13_series,
+                                        figure14_series, run_barrier_sweep)
+from repro.experiments.regions import (figure10_rows, figure11_rows,
+                                       run_region_study, swqueue_rows)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import execute
+from repro.experiments.tables import table1, table2, table3
+from repro.experiments.whole_program import (figure8_rows, figure9_rows,
+                                             whole_program_study)
+from repro.workloads import registry
+
+_ABLATIONS = {
+    "sharing": ablations.sharing_degree,
+    "fabric-size": ablations.fabric_size,
+    "partitioning": ablations.spatial_partitioning,
+    "queue-depth": ablations.queue_depth,
+    "barrier-bus": ablations.barrier_bus_latency,
+    "reconfig": ablations.reconfiguration_cost,
+    "manager": ablations.dynamic_management,
+}
+
+
+def _parse_kwargs(pairs: List[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r} (want name=value)")
+        key, value = pair.split("=", 1)
+        out[key] = int(value)
+    return out
+
+
+def cmd_list(_args) -> None:
+    print("Benchmarks (Table III):")
+    for info in registry.REGISTRY.values():
+        variants = ", ".join(sorted(info.variants))
+        print(f"  {info.name:12s} [{info.category}] variants: {variants}")
+    print("\nTables: 1 2 3;  Figures: 8 9 10 11 12 13 14")
+    print("Ablations:", ", ".join(_ABLATIONS))
+
+
+def cmd_table(args) -> None:
+    if args.number == 1:
+        rows = [dict(component=k, **v) for k, v in table1().items()]
+        print(format_table(rows))
+    elif args.number == 2:
+        print(format_table([{"parameter": p, "OOO1": a, "OOO2": b}
+                            for p, a, b in table2()]))
+    elif args.number == 3:
+        print(format_table([{"benchmark": n, "functions": f, "% exec": p}
+                            for n, f, p in table3()]))
+    else:
+        raise SystemExit("tables are 1, 2, or 3")
+
+
+def cmd_figure(args) -> None:
+    number = args.number
+    if number in (8, 9):
+        points = whole_program_study(args.benchmarks or None)
+        rows = figure8_rows(points) if number == 8 else figure9_rows(points)
+        print(format_table(rows))
+    elif number in (10, 11):
+        study = run_region_study(args.benchmarks or None,
+                                 include_swqueue=True)
+        rows = figure10_rows(study) if number == 10 \
+            else figure11_rows(study)
+        print(format_table(rows))
+        if number == 10:
+            print("\nSoftware queues (Section V-B):")
+            print(format_table(swqueue_rows(study)))
+    elif number in (12, 13, 14):
+        benches = args.benchmarks or (["ll3", "dijkstra"] if number == 13
+                                      else ["ll2", "ll6", "ll3", "dijkstra"])
+        for bench in benches:
+            sizes = (QUICK_SIZES if args.quick else PAPER_SIZES)[bench]
+            threads = (2, 4, 8, 16) if number == 13 else (8, 16)
+            sweep = run_barrier_sweep(bench, sizes=list(sizes),
+                                      thread_counts=threads)
+            series = {12: figure12_series, 13: figure13_series,
+                      14: figure14_series}[number](sweep,
+                                                   thread_counts=threads)
+            print(f"--- {bench} ---")
+            print(format_series(series))
+    else:
+        raise SystemExit("figures are 8-14")
+
+
+def cmd_ablation(args) -> None:
+    if args.name not in _ABLATIONS:
+        raise SystemExit(f"ablations: {', '.join(_ABLATIONS)}")
+    print(format_table(_ABLATIONS[args.name]()))
+
+
+def cmd_run(args) -> None:
+    info = registry.REGISTRY.get(args.benchmark)
+    if info is None:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+    factory = info.variants.get(args.variant)
+    if factory is None:
+        raise SystemExit(f"{args.benchmark} variants: "
+                         f"{', '.join(sorted(info.variants))}")
+    spec = factory(**_parse_kwargs(args.params))
+    result = execute(spec)
+    if args.json:
+        import json
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    print(f"{spec.name}: {result.cycles} cycles "
+          f"({result.cycles_per_item:.2f} per item), "
+          f"energy {result.energy_joules * 1e6:.2f} uJ, "
+          f"ED {result.energy_delay:.3e} J*s")
+    print("output verified against the reference kernel")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ReMAP (MICRO 2010) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and experiments") \
+        .set_defaults(func=cmd_list)
+
+    p_table = sub.add_parser("table", help="print Table 1/2/3")
+    p_table.add_argument("number", type=int)
+    p_table.set_defaults(func=cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate Figure 8-14")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--quick", action="store_true",
+                       help="use reduced sweep sizes")
+    p_fig.add_argument("--bench", dest="benchmarks", action="append",
+                       help="restrict to specific benchmarks")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_abl = sub.add_parser("ablation", help="run one ablation study")
+    p_abl.add_argument("name")
+    p_abl.set_defaults(func=cmd_ablation)
+
+    p_run = sub.add_parser("run", help="run one benchmark variant")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("variant")
+    p_run.add_argument("--items", dest="params", nargs="*", default=[],
+                       help="spec parameters, e.g. M=64 R=3 or items=128")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit a JSON record of the run")
+    p_run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

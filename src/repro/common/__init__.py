@@ -1,0 +1,25 @@
+"""Shared infrastructure: configuration, statistics, errors, utilities."""
+
+from repro.common.config import (
+    CoreConfig, SplConfig, ClusterConfig, SystemConfig,
+    ooo1_config, ooo2_config, spl_config,
+    remap_cluster, ooo2_cluster, ooo1_cluster, remap_system,
+    CORE_CLOCK_HZ, SPL_CLOCK_HZ, SPL_CLOCK_RATIO,
+    MAIN_MEMORY_CYCLES, MIGRATION_CYCLES,
+)
+from repro.common.errors import (
+    ReproError, ConfigError, AssemblyError, SimulationError,
+    DeadlockError, MemoryFault, SplError, MappingError, WorkloadError,
+)
+from repro.common.stats import Stats
+
+__all__ = [
+    "CoreConfig", "SplConfig", "ClusterConfig", "SystemConfig",
+    "ooo1_config", "ooo2_config", "spl_config",
+    "remap_cluster", "ooo2_cluster", "ooo1_cluster", "remap_system",
+    "CORE_CLOCK_HZ", "SPL_CLOCK_HZ", "SPL_CLOCK_RATIO",
+    "MAIN_MEMORY_CYCLES", "MIGRATION_CYCLES",
+    "ReproError", "ConfigError", "AssemblyError", "SimulationError",
+    "DeadlockError", "MemoryFault", "SplError", "MappingError",
+    "WorkloadError", "Stats",
+]

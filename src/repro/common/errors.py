@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ReMAP reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An architecture configuration is inconsistent or out of range."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad label, operand, or opcode)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an illegal state (bad PC, deadlock, trap)."""
+
+
+class DeadlockError(SimulationError):
+    """No core made forward progress for the configured watchdog window."""
+
+
+class MemoryFault(SimulationError):
+    """A simulated access touched an unmapped or misaligned address."""
+
+
+class SplError(ReproError):
+    """Illegal use of the SPL fabric (bad config id, queue misuse...)."""
+
+
+class MappingError(SplError):
+    """A dataflow graph could not be mapped onto SPL rows."""
+
+
+class WorkloadError(ReproError):
+    """A workload builder was given unusable parameters."""

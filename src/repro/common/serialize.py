@@ -1,0 +1,70 @@
+"""JSON (de)serialization of system configurations.
+
+Lets experiment configurations be saved alongside results and reloaded
+exactly — `python -m repro` experiments are reproducible from the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.common.config import (BranchPredictorConfig, CacheConfig,
+                                 ClusterConfig, CoreConfig, SplConfig,
+                                 SystemConfig)
+from repro.common.errors import ConfigError
+
+
+def _to_dict(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj):
+        return {field.name: _to_dict(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [_to_dict(item) for item in obj]
+    return obj
+
+
+def system_to_dict(config: SystemConfig) -> Dict:
+    """Plain-dict form of a SystemConfig (JSON-serializable)."""
+    return _to_dict(config)
+
+
+def system_to_json(config: SystemConfig, indent: int = 2) -> str:
+    return json.dumps(system_to_dict(config), indent=indent)
+
+
+def _cache_from(data: Dict) -> CacheConfig:
+    return CacheConfig(**data)
+
+
+def _core_from(data: Dict) -> CoreConfig:
+    data = dict(data)
+    data["predictor"] = BranchPredictorConfig(**data["predictor"])
+    for cache in ("l1i", "l1d", "l2"):
+        data[cache] = _cache_from(data[cache])
+    return CoreConfig(**data)
+
+
+def _cluster_from(data: Dict) -> ClusterConfig:
+    data = dict(data)
+    data["core"] = _core_from(data["core"])
+    data["spl"] = SplConfig(**data["spl"])
+    return ClusterConfig(**data)
+
+
+def system_from_dict(data: Dict) -> SystemConfig:
+    """Rebuild and validate a SystemConfig from its dict form."""
+    try:
+        data = dict(data)
+        data["clusters"] = [_cluster_from(cluster)
+                            for cluster in data["clusters"]]
+        config = SystemConfig(**data)
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed system config: {exc}") from exc
+    config.validate()
+    return config
+
+
+def system_from_json(text: str) -> SystemConfig:
+    return system_from_dict(json.loads(text))

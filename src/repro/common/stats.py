@@ -1,0 +1,78 @@
+"""Lightweight statistics collection.
+
+Every simulated structure owns a :class:`Stats` scope.  Scopes form a tree so
+that a whole-chip report can be produced with :meth:`Stats.report`.  Counters
+are plain attributes in a dict for speed: the simulator bumps them millions
+of times per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Stats:
+    """A named scope of integer/float counters with child scopes."""
+
+    __slots__ = ("name", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, float] = {}
+        self.children: List["Stats"] = []
+
+    def child(self, name: str) -> "Stats":
+        scope = Stats(name)
+        self.children.append(scope)
+        return scope
+
+    def bump(self, key: str, amount: float = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        self.counters[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        return self.counters.get(key, default)
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, str, float]]:
+        """Yield (scope_path, counter, value) for this scope and children."""
+        path = f"{prefix}{self.name}"
+        for key in sorted(self.counters):
+            yield path, key, self.counters[key]
+        for child in self.children:
+            yield from child.walk(prefix=f"{path}.")
+
+    def total(self, key: str) -> float:
+        """Sum of ``key`` over this scope and all descendants."""
+        value = self.counters.get(key, 0)
+        for child in self.children:
+            value += child.total(key)
+        return value
+
+    def find(self, name: str) -> Optional["Stats"]:
+        """Depth-first search for a child scope by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def report(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}{self.name}:"]
+        for key in sorted(self.counters):
+            value = self.counters[key]
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            lines.append(f"{'  ' * (indent + 1)}{key} = {text}")
+        for child in self.children:
+            lines.append(child.report(indent + 1))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to {"scope.path.counter": value}."""
+        return {f"{path}.{key}": value for path, key, value in self.walk()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({self.name!r}, {len(self.counters)} counters)"

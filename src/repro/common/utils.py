@@ -1,0 +1,53 @@
+"""Small shared helpers: word arithmetic and geometric means."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+WORD_SIGN = 0x80000000
+
+
+def to_unsigned(value: int, bits: int = WORD_BITS) -> int:
+    """Wrap a Python int into an unsigned ``bits``-bit value."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value: int, bits: int = WORD_BITS) -> int:
+    """Interpret an unsigned ``bits``-bit value as two's complement."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int = WORD_BITS) -> int:
+    """Sign-extend a ``from_bits`` value into ``to_bits`` (unsigned repr)."""
+    return to_unsigned(to_signed(value, from_bits), to_bits)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises ValueError on an empty or non-positive input."""
+    items = list(values)
+    if not items:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def mean(values: Iterable[float]) -> float:
+    items = list(values)
+    if not items:
+        raise ValueError("mean of empty sequence")
+    return sum(items) / len(items)
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0

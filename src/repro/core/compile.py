@@ -1,0 +1,264 @@
+"""A small expression compiler for SPL configurations.
+
+The paper assumes compiler support for producing fabric mappings
+(Section IV-B, citing the PipeRench/Garp/Chimaera compilers).  This module
+provides that front end for this reproduction: it compiles arithmetic
+expressions into :class:`repro.core.dfg.Dfg` graphs, which the row mapper
+then schedules onto the fabric.
+
+Grammar (C-like, integers only)::
+
+    program  := stmt+
+    stmt     := NAME "=" expr ";"            # local or output definition
+    expr     := ternary
+    ternary  := or ("?" or ":" or)?
+    or       := and ("|" and)*
+    and      := xor ("&" xor)*
+    xor      := cmp ("^" cmp)*
+    cmp      := shift (("<" | ">" | "==") shift)?
+    shift    := sum (("<<" | ">>") sum)*
+    sum      := term (("+" | "-") term)*
+    term     := unary ("*" unary)*
+    unary    := "-" unary | atom
+    atom     := NAME | NUMBER | call | "(" expr ")"
+    call     := ("min" | "max" | "clamp" | "abs" | "select") "(" args ")"
+
+Inputs are declared up front with their staging offsets; every assigned
+name that is not read later becomes an output.
+
+Example::
+
+    fn = compile_expression(
+        "t = max(a + b, c); out = clamp(t * 2, 0, 255);",
+        inputs={"a": 0, "b": 4, "c": 8})
+    fn.rows           # rows after mapping
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import MappingError
+from repro.core.dfg import Dfg, DfgNode, DfgOp
+from repro.core.function import SplFunction
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>-?\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<|>>|==|[-+*&|^()<>,;?:=])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+class ExpressionError(MappingError):
+    """Raised when an expression cannot be parsed or compiled."""
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ExpressionError(f"bad character at ...{text[position:]!r}")
+        position = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser building DFG nodes directly."""
+
+    _FUNCTIONS = ("min", "max", "clamp", "abs", "select")
+
+    def __init__(self, tokens: List[str], graph: Dfg,
+                 env: Dict[str, DfgNode], width: int) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.graph = graph
+        self.env = env
+        self.width = width
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        if expected is not None and token != expected:
+            raise ExpressionError(f"expected {expected!r}, got {token!r}")
+        self.position += 1
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_program(self) -> List[Tuple[str, DfgNode]]:
+        assignments: List[Tuple[str, DfgNode]] = []
+        while self.peek() is not None:
+            name = self.take()
+            if not re.fullmatch(r"[A-Za-z_]\w*", name):
+                raise ExpressionError(f"bad statement target {name!r}")
+            self.take("=")
+            node = self.parse_expr()
+            self.take(";")
+            self.env[name] = node
+            assignments.append((name, node))
+        if not assignments:
+            raise ExpressionError("empty program")
+        return assignments
+
+    def parse_expr(self) -> DfgNode:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> DfgNode:
+        condition = self.parse_binary(0)
+        if self.peek() == "?":
+            self.take("?")
+            then_value = self.parse_binary(0)
+            self.take(":")
+            else_value = self.parse_binary(0)
+            return self.graph.select(condition, then_value, else_value)
+        return condition
+
+    _LEVELS = (("|",), ("&",), ("^",), ("<", ">", "=="), ("<<", ">>"),
+               ("+", "-"), ("*",))
+    _BINOPS = {"|": DfgOp.OR, "&": DfgOp.AND, "^": DfgOp.XOR,
+               "+": DfgOp.ADD, "-": DfgOp.SUB, "*": DfgOp.MUL}
+
+    def parse_binary(self, level: int) -> DfgNode:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        node = self.parse_binary(level + 1)
+        while self.peek() in self._LEVELS[level]:
+            operator = self.take()
+            rhs = self.parse_binary(level + 1)
+            node = self._apply(operator, node, rhs)
+        return node
+
+    def _apply(self, operator: str, lhs: DfgNode, rhs: DfgNode) -> DfgNode:
+        graph = self.graph
+        if operator in self._BINOPS:
+            return graph.op(self._BINOPS[operator], lhs, rhs,
+                            width=self.width)
+        if operator == "<":
+            return graph.op(DfgOp.CMPGT, rhs, lhs, width=1)
+        if operator == ">":
+            return graph.op(DfgOp.CMPGT, lhs, rhs, width=1)
+        if operator == "==":
+            return graph.op(DfgOp.CMPEQ, lhs, rhs, width=1)
+        if operator in ("<<", ">>"):
+            if rhs.op is DfgOp.CONST:
+                op = DfgOp.SHL if operator == "<<" else DfgOp.SHR
+                return graph.op(op, lhs, shift=rhs.const, width=self.width)
+            op = DfgOp.SHLV if operator == "<<" else DfgOp.SHRV
+            return graph.op(op, lhs, rhs, width=self.width)
+        raise ExpressionError(f"unknown operator {operator!r}")
+
+    def parse_unary(self) -> DfgNode:
+        if self.peek() == "-":
+            self.take("-")
+            operand = self.parse_unary()
+            return self.graph.sub(self.graph.const(0, self.width), operand)
+        return self.parse_atom()
+
+    def parse_atom(self) -> DfgNode:
+        token = self.take()
+        if re.fullmatch(r"-?\d+", token):
+            return self.graph.const(int(token), self.width)
+        if token == "(":
+            node = self.parse_expr()
+            self.take(")")
+            return node
+        if token in self._FUNCTIONS:
+            return self.parse_call(token)
+        if token in self.env:
+            return self.env[token]
+        raise ExpressionError(f"undefined name {token!r}")
+
+    def parse_call(self, name: str) -> DfgNode:
+        self.take("(")
+        args = [self.parse_expr()]
+        while self.peek() == ",":
+            self.take(",")
+            args.append(self.parse_expr())
+        self.take(")")
+        graph = self.graph
+        if name == "min":
+            if len(args) < 2:
+                raise ExpressionError("min needs at least two arguments")
+            node = args[0]
+            for arg in args[1:]:
+                node = graph.min_(node, arg)
+            return node
+        if name == "max":
+            if len(args) < 2:
+                raise ExpressionError("max needs at least two arguments")
+            node = args[0]
+            for arg in args[1:]:
+                node = graph.max_(node, arg)
+            return node
+        if name == "clamp":
+            if len(args) != 3 or args[1].op is not DfgOp.CONST or \
+                    args[2].op is not DfgOp.CONST:
+                raise ExpressionError(
+                    "clamp(value, lo, hi) needs constant bounds")
+            return graph.clamp(args[0], args[1].const, args[2].const)
+        if name == "abs":
+            if len(args) != 1:
+                raise ExpressionError("abs takes one argument")
+            negated = graph.sub(graph.const(0, self.width), args[0])
+            return graph.max_(args[0], negated)
+        if name == "select":
+            if len(args) != 3:
+                raise ExpressionError("select takes three arguments")
+            return graph.select(args[0], args[1], args[2])
+        raise ExpressionError(f"unknown function {name!r}")
+
+
+def compile_expression(source: str, inputs: Dict[str, int],
+                       name: str = "compiled", width: int = 4,
+                       outputs: Optional[List[str]] = None) -> SplFunction:
+    """Compile a statement list into a mapped SPL function.
+
+    :param inputs: input name -> staging byte offset.
+    :param outputs: names to expose as outputs; default: every assigned
+        name that no later statement consumed.
+    """
+    graph = Dfg(name)
+    env: Dict[str, DfgNode] = {}
+    for input_name, offset in inputs.items():
+        env[input_name] = graph.input(input_name, offset, width=width)
+    parser = _Parser(_tokenize(source), graph, env, width)
+    assignments = parser.parse_program()
+    if outputs is None:
+        consumed = set()
+        for index, (target, node) in enumerate(assignments):
+            for later_name, later_node in assignments[index + 1:]:
+                stack = [later_node]
+                seen = set()
+                while stack:
+                    current = stack.pop()
+                    if id(current) in seen:
+                        continue
+                    seen.add(id(current))
+                    if current is node and later_node is not node:
+                        consumed.add(target)
+                    stack.extend(current.operands)
+        outputs = [target for target, _ in assignments
+                   if target not in consumed]
+        # Keep only the last assignment per name.
+        outputs = list(dict.fromkeys(outputs))
+    if not outputs:
+        raise ExpressionError("no outputs (every value was consumed)")
+    for output_name in outputs:
+        if output_name not in env:
+            raise ExpressionError(f"unknown output {output_name!r}")
+        graph.output(output_name, env[output_name])
+    return SplFunction(graph)

@@ -1,0 +1,391 @@
+"""The SPL cluster controller: sharing, partitioning, issue, and barriers.
+
+One controller manages the fabric shared by the (four) cores of an SPL
+cluster.  It runs at the 500 MHz fabric clock (every fourth core cycle) and
+implements the behaviour of Section II:
+
+* **Temporal sharing** — each fabric cycle, every partition issues at most
+  one request, selected round-robin among the cores assigned to it.
+* **Spatial partitioning** — the 24 rows may be split into up to four
+  virtual clusters; a function whose mapping needs more rows than its
+  partition owns is *virtualized*, raising its initiation interval.
+* **Reconfiguration** — a partition switching to a different function
+  first drains its pipeline and then spends one fabric cycle per row
+  streaming configuration.
+* **Destination routing** — requests carry a destination thread; the
+  Thread-to-Core Table resolves it and counts in-flight results so the
+  consumer cannot be switched out while data is in flight (Section II-B1).
+* **Barriers** — barrier-flagged requests wait at the head of the input
+  queues until the Barrier Table (fed by the inter-cluster barrier bus)
+  reports all participants arrived, then one fabric pass consumes every
+  local participant's entry and broadcasts the results (Section II-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SPL_CLOCK_RATIO, SplConfig
+from repro.common.errors import ConfigError, SplError
+from repro.common.stats import Stats
+from repro.core.function import SplFunction
+from repro.core.mapper import initiation_interval, virtual_latency
+from repro.core.queues import (InputQueue, OutputQueue, SplRequest,
+                               StagingEntry)
+from repro.core.tables import BarrierBus, BarrierTable, ThreadToCoreTable
+from repro.cpu.ports import SplPort
+
+
+class SplBinding:
+    """A (core slot, config id) binding installed by the runtime."""
+
+    __slots__ = ("function", "dest_thread", "barrier_id")
+
+    def __init__(self, function: SplFunction,
+                 dest_thread: Optional[int] = None,
+                 barrier_id: Optional[int] = None) -> None:
+        if function.is_barrier != (barrier_id is not None):
+            raise ConfigError("barrier flag and barrier id must agree")
+        self.function = function
+        self.dest_thread = dest_thread
+        self.barrier_id = barrier_id
+
+
+class _Partition:
+    """One virtual cluster of fabric rows."""
+
+    __slots__ = ("index", "rows", "cores", "loaded", "reconfig_until",
+                 "next_issue", "events", "rr")
+
+    def __init__(self, index: int, rows: int, cores: List[int]) -> None:
+        self.index = index
+        self.rows = rows
+        self.cores = cores
+        self.loaded: Optional[SplFunction] = None
+        self.reconfig_until = 0
+        self.next_issue = 0
+        # (complete_fabric_cycle, [(dest_slot, words, release_inflight)])
+        self.events: List[Tuple[int, List[Tuple[int, List[int], bool]]]] = []
+        self.rr = 0
+
+
+class CoreSplPort(SplPort):
+    """Core-side view of the shared fabric (one per sharing core)."""
+
+    def __init__(self, controller: "SplClusterController", slot: int) -> None:
+        self.controller = controller
+        self.slot = slot
+
+    def stage_load(self, value: int, offset: int, cycle: int,
+                   ready: int = 0) -> bool:
+        return self.controller.stage_load(self.slot, value, offset, cycle,
+                                          ready)
+
+    def init(self, config_id: int, cycle: int) -> bool:
+        return self.controller.init(self.slot, config_id, cycle)
+
+    def recv(self, cycle: int) -> Optional[int]:
+        return self.controller.recv(self.slot, cycle)
+
+    def can_switch_out(self) -> bool:
+        return self.controller.can_switch_out(self.slot)
+
+    def on_context_change(self, thread_id: Optional[int],
+                          app_id: int) -> None:
+        self.controller.table.set_thread(self.slot, thread_id, app_id)
+
+
+class SplClusterController:
+    """Controller for one SPL cluster (fabric + queues + tables)."""
+
+    def __init__(self, cluster_id: int, config: SplConfig,
+                 barrier_bus: BarrierBus, stats: Stats) -> None:
+        self.cluster_id = cluster_id
+        self.config = config
+        self.stats = stats
+        self.table = ThreadToCoreTable(config.sharers, config.max_ids)
+        self.barrier_table = BarrierTable(cluster_id, barrier_bus)
+        self.barrier_bus = barrier_bus
+        self.staging = [StagingEntry() for _ in range(config.sharers)]
+        self.input_queues = [InputQueue(config.input_queue_entries)
+                             for _ in range(config.sharers)]
+        self.output_queues = [OutputQueue(config.output_queue_words)
+                              for _ in range(config.sharers)]
+        self.ports = [CoreSplPort(self, slot)
+                      for slot in range(config.sharers)]
+        self.bindings: Dict[Tuple[int, int], SplBinding] = {}
+        self.core_partition = [0] * config.sharers
+        self.partitions = [_Partition(0, config.rows,
+                                      list(range(config.sharers)))]
+
+    # -- runtime configuration ---------------------------------------------------
+
+    def configure(self, slot: int, config_id: int, function: SplFunction,
+                  dest_thread: Optional[int] = None,
+                  barrier_id: Optional[int] = None) -> None:
+        """Install a configuration binding for ``slot``."""
+        if not 0 <= config_id < self.config.max_ids:
+            raise ConfigError(f"config id {config_id} out of range")
+        self.bindings[(slot, config_id)] = SplBinding(function, dest_thread,
+                                                      barrier_id)
+
+    def set_partitions(self, row_counts: List[int],
+                       core_assignment: Optional[List[int]] = None) -> None:
+        """Spatially partition the fabric (Section II-A).
+
+        ``row_counts`` gives the rows of each virtual cluster;
+        ``core_assignment`` maps each core slot to a partition index
+        (default: all cores to partition 0).
+        """
+        if not 1 <= len(row_counts) <= self.config.max_partitions:
+            raise ConfigError("bad partition count")
+        if sum(row_counts) > self.config.rows:
+            raise ConfigError("partition rows exceed fabric rows")
+        if any(r < 1 for r in row_counts):
+            raise ConfigError("empty partition")
+        assignment = core_assignment or [0] * self.config.sharers
+        if len(assignment) != self.config.sharers or \
+                any(not 0 <= p < len(row_counts) for p in assignment):
+            raise ConfigError("bad core-to-partition assignment")
+        for partition in self.partitions:
+            if partition.events:
+                raise SplError("repartition while results in flight")
+        self.core_partition = list(assignment)
+        self.partitions = [
+            _Partition(i, rows,
+                       [s for s, p in enumerate(assignment) if p == i])
+            for i, rows in enumerate(row_counts)
+        ]
+
+    # -- core-port operations -------------------------------------------------------
+
+    def stage_load(self, slot: int, value: int, offset: int,
+                   cycle: int, ready: int = 0) -> bool:
+        self.staging[slot].write_word(value, offset, ready)
+        self.stats.bump("stage_loads")
+        return True
+
+    def init(self, slot: int, config_id: int, cycle: int) -> bool:
+        binding = self.bindings.get((slot, config_id))
+        if binding is None:
+            raise SplError(
+                f"cluster {self.cluster_id} core slot {slot}: spl_init with "
+                f"unbound config id {config_id}")
+        queue = self.input_queues[slot]
+        if queue.full:
+            self.stats.bump("input_queue_full")
+            return False
+        if binding.barrier_id is not None:
+            data, valid, ready = self.staging[slot].seal()
+            request = SplRequest(config_id, data, valid, slot, cycle, ready)
+            queue.push(request)
+            thread_id = self.table.thread_ids[slot]
+            if thread_id is None:
+                raise SplError("barrier arrival from a core with no thread")
+            self.barrier_table.arrive(binding.barrier_id, thread_id, cycle,
+                                      app_id=self.table.app_ids[slot])
+            self.stats.bump("barrier_arrivals")
+            return True
+        if binding.dest_thread is not None:
+            dest_slot = self.table.lookup(binding.dest_thread)
+            if dest_slot is None:
+                # Destination thread not resident: refuse to issue
+                # (Section II-B1) so the producer cannot flood the fabric.
+                self.stats.bump("dest_absent_stalls")
+                return False
+        else:
+            dest_slot = slot
+        if not self.table.try_reserve(dest_slot):
+            self.stats.bump("inflight_cap_stalls")
+            return False
+        data, valid, ready = self.staging[slot].seal()
+        request = SplRequest(config_id, data, valid, slot, cycle, ready)
+        request.dest_slot = dest_slot
+        queue.push(request)
+        self.stats.bump("requests")
+        return True
+
+    def recv(self, slot: int, cycle: int) -> Optional[int]:
+        return self.output_queues[slot].pop()
+
+    def can_switch_out(self, slot: int) -> bool:
+        return (self.table.can_switch_out(slot)
+                and self.staging[slot].empty
+                and self.input_queues[slot].empty)
+
+    # -- fabric clock ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if cycle % SPL_CLOCK_RATIO:
+            return
+        fnow = cycle // SPL_CLOCK_RATIO
+        for partition in self.partitions:
+            self._deliver(partition, fnow)
+            if not self._try_issue_barriers(partition, fnow, cycle):
+                self._try_issue(partition, fnow, cycle)
+
+    def _try_issue_barriers(self, partition: _Partition, fnow: int,
+                            cycle: int) -> bool:
+        """Attempt barrier issue on this partition; True if it consumed the
+        partition's issue slot this fabric cycle.
+
+        Barrier heads may sit on any sharer core's queue, regardless of
+        that core's partition assignment: the barrier executes on its
+        designated partition while gathering all local participants'
+        entries.
+        """
+        if fnow < partition.reconfig_until or \
+                len(partition.events) >= partition.rows:
+            return False
+        seen = set()
+        for slot in range(self.config.sharers):
+            request = self.input_queues[slot].head()
+            if request is None or request.ready > cycle:
+                continue
+            binding = self.bindings[(slot, request.config_id)]
+            barrier_id = binding.barrier_id
+            if barrier_id is None or barrier_id in seen:
+                continue
+            seen.add(barrier_id)
+            if self._barrier_partition(barrier_id) != partition.index:
+                continue
+            if self._issue_barrier(partition, slot, binding, fnow, cycle):
+                return True
+        return False
+
+    def _deliver(self, partition: _Partition, fnow: int) -> None:
+        if not partition.events:
+            return
+        remaining = []
+        for complete, deliveries in partition.events:
+            if complete > fnow:
+                remaining.append((complete, deliveries))
+                continue
+            if all(self.output_queues[slot].space_for(len(words))
+                   for slot, words, _ in deliveries):
+                for slot, words, release in deliveries:
+                    self.output_queues[slot].push_words(words)
+                    if release:
+                        self.table.release(slot)
+                self.stats.bump("deliveries")
+            else:
+                self.stats.bump("output_queue_stalls")
+                remaining.append((complete, deliveries))
+        partition.events = remaining
+
+    def _try_issue(self, partition: _Partition, fnow: int,
+                   cycle: int) -> None:
+        if fnow < partition.reconfig_until or not partition.cores:
+            return
+        if len(partition.events) >= partition.rows:
+            self.stats.bump("fabric_full_stalls")
+            return
+        n = len(partition.cores)
+        for step in range(n):
+            slot = partition.cores[(partition.rr + step) % n]
+            request = self.input_queues[slot].head()
+            if request is None or request.ready > cycle:
+                continue
+            binding = self.bindings[(slot, request.config_id)]
+            function = binding.function
+            if binding.barrier_id is not None:
+                continue  # handled by _try_issue_barriers
+            if partition.loaded is not function:
+                if partition.events:
+                    return  # drain before reconfiguring
+                self._reconfigure(partition, function, fnow)
+                return
+            if fnow < partition.next_issue:
+                return  # initiation interval not yet satisfied
+            self._issue_regular(partition, slot, function, fnow)
+            partition.rr = (partition.rr + step + 1) % n
+            return
+
+    def _reconfigure(self, partition: _Partition, function: SplFunction,
+                     fnow: int) -> None:
+        rows_to_load = min(function.rows, partition.rows)
+        partition.reconfig_until = fnow + \
+            rows_to_load * self.config.config_cycles_per_row
+        partition.loaded = function
+        partition.next_issue = partition.reconfig_until
+        self.stats.bump("reconfigurations")
+        self.stats.bump("reconfig_rows", rows_to_load)
+
+    def _issue_regular(self, partition: _Partition, slot: int,
+                       function: SplFunction, fnow: int) -> None:
+        request = self.input_queues[slot].pop()
+        outputs = function.evaluate_entry(request.data, request.valid)
+        beats = StagingEntry.beats(request.valid)
+        latency = virtual_latency(function.rows, partition.rows) + beats
+        complete = fnow + latency
+        partition.events.append(
+            (complete, [(request.dest_slot, outputs, True)]))
+        interval = max(initiation_interval(function.rows, partition.rows),
+                       beats, function.feedback_ii)
+        partition.next_issue = fnow + interval
+        self.stats.bump("issues")
+        self.stats.bump("rows_evaluated", function.rows)
+
+    def _issue_barrier(self, partition: _Partition, slot: int,
+                       binding: SplBinding, fnow: int, cycle: int) -> bool:
+        barrier_id = binding.barrier_id
+        if not self.barrier_table.ready(barrier_id, cycle):
+            return False
+        local_slots = self._local_participants(barrier_id)
+        if slot not in local_slots:
+            raise SplError(f"barrier {barrier_id}: issuing core not a "
+                           f"registered participant")
+        # Every local participant must have its barrier entry at the head
+        # of its input queue, in this partition.
+        heads = {}
+        for participant in local_slots:
+            head = self.input_queues[participant].head()
+            if head is None or head.ready > cycle:
+                return False
+            head_binding = self.bindings[(participant, head.config_id)]
+            if head_binding.barrier_id != barrier_id:
+                return False
+            heads[participant] = head
+        function = binding.function
+        if partition.loaded is not function:
+            if partition.events:
+                return False
+            self._reconfigure(partition, function, fnow)
+            return True  # reconfiguration consumed this fabric cycle
+        if fnow < partition.next_issue:
+            return False
+        for participant in local_slots:
+            if not self.table.try_reserve(participant):
+                raise SplError("in-flight counter saturated at barrier")
+        entries = {}
+        for slot_index, participant in enumerate(sorted(local_slots)):
+            head = self.input_queues[participant].pop()
+            entries[slot_index] = (head.data, head.valid)
+        outputs = function.evaluate_barrier(entries)
+        latency = virtual_latency(function.rows, partition.rows) + 1
+        complete = fnow + latency
+        deliveries = [(participant, list(outputs), True)
+                      for participant in sorted(local_slots)]
+        partition.events.append((complete, deliveries))
+        partition.next_issue = fnow + initiation_interval(
+            function.rows, partition.rows)
+        self.barrier_table.release(barrier_id)
+        self.stats.bump("barrier_releases")
+        self.stats.bump("rows_evaluated", function.rows)
+        return True
+
+    def _barrier_partition(self, barrier_id: int) -> int:
+        """Partition on which a barrier executes: the lowest local
+        participant's partition (a fixed, deterministic choice)."""
+        local = self._local_participants(barrier_id)
+        if not local:
+            return 0
+        return self.core_partition[min(local)]
+
+    def _local_participants(self, barrier_id: int) -> List[int]:
+        slots = []
+        for thread_id in self.barrier_bus.participants(barrier_id):
+            slot = self.table.lookup(thread_id)
+            if slot is not None:
+                slots.append(slot)
+        return slots

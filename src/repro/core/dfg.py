@@ -1,0 +1,321 @@
+"""Dataflow graphs: the functions synthesized into the SPL fabric.
+
+An SPL configuration is described as a small dataflow graph over fixed-width
+signed integers.  The graph is *functionally evaluated* during simulation
+(real values flow through the fabric) and *spatially mapped* onto rows by
+:mod:`repro.core.mapper`, reproducing mappings like the 10-row hmmer ``mc``
+computation of Figure 6.
+
+Row-depth model (Section II-A): each row contains sixteen 8-bit cells with a
+4-LUT, carry chain, and barrel shifters, and completes the longest
+permissible computation in one 500 MHz cycle.  Accordingly:
+
+* add/sub/logic/shift/compare/select: 1 row (carry chain spans the cells)
+* min/max: 2 rows (a compare row feeding a select row, as in Figure 6)
+* multiply: 4 rows (shift-add tree spread over rows)
+
+Cell cost of an operation equals its width in bytes (a 32-bit add occupies
+four 8-bit cells of a row).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import MappingError
+from repro.common.utils import to_signed
+
+
+class DfgOp(enum.Enum):
+    INPUT = "input"
+    CONST = "const"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPGT = "cmpgt"
+    CMPEQ = "cmpeq"
+    SELECT = "select"  # select(cond, a, b) -> a if cond else b
+    MIN = "min"
+    MAX = "max"
+    PASS = "pass"
+    SHLV = "shlv"  # variable shifts: the cells' barrel shifters
+    SHRV = "shrv"
+    #: Inter-invocation state held in a row's flip-flops: outputs the value
+    #: its source produced on the PREVIOUS invocation (feedback allowed).
+    DELAY = "delay"
+
+#: Rows of fabric depth each operation consumes.
+ROW_DEPTH = {
+    DfgOp.INPUT: 0, DfgOp.CONST: 0,
+    DfgOp.ADD: 1, DfgOp.SUB: 1, DfgOp.AND: 1, DfgOp.OR: 1, DfgOp.XOR: 1,
+    DfgOp.SHL: 1, DfgOp.SHR: 1, DfgOp.CMPGT: 1, DfgOp.CMPEQ: 1,
+    DfgOp.SELECT: 1, DfgOp.PASS: 1,
+    DfgOp.SHLV: 1, DfgOp.SHRV: 1,
+    DfgOp.MIN: 2, DfgOp.MAX: 2,
+    DfgOp.MUL: 4,
+    DfgOp.DELAY: 0,
+}
+
+
+class DfgNode:
+    """One operation in the graph."""
+
+    __slots__ = ("op", "operands", "width", "const", "name", "index")
+
+    def __init__(self, op: DfgOp, operands: Sequence["DfgNode"],
+                 width: int, const: int = 0, name: str = "") -> None:
+        self.op = op
+        self.operands = list(operands)
+        self.width = width
+        self.const = const
+        self.name = name
+        self.index = -1
+
+    @property
+    def depth_rows(self) -> int:
+        return ROW_DEPTH[self.op]
+
+    @property
+    def cell_cost(self) -> int:
+        return self.width
+
+    def __repr__(self) -> str:
+        return f"DfgNode({self.op.value}, w{self.width}, {self.name!r})"
+
+
+class Dfg:
+    """A named dataflow graph with named inputs and outputs.
+
+    Inputs carry a byte offset into the SPL input-queue entry
+    (``spl_load`` alignment, Section II-A).  Offsets 0-15 arrive in the
+    first input beat; 16-31 in a second beat (multi-beat entries stream
+    into successive rows over consecutive fabric cycles).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[DfgNode] = []
+        self.inputs: Dict[str, DfgNode] = {}
+        self.input_offsets: Dict[str, int] = {}
+        self.input_groups: Dict[str, str] = {}
+        self.outputs: Dict[str, DfgNode] = {}
+        self.output_order: List[str] = []
+
+    # -- construction --------------------------------------------------------
+
+    def _add(self, node: DfgNode) -> DfgNode:
+        node.index = len(self.nodes)
+        self.nodes.append(node)
+        return node
+
+    def input(self, name: str, offset: int, width: int = 4,
+              group: str = "") -> DfgNode:
+        """Declare an input read from a staged entry at ``offset``.
+
+        ``group`` distinguishes entries: barrier functions read one entry
+        per participant, so inputs of different groups may share offsets.
+        """
+        if name in self.inputs:
+            raise MappingError(f"{self.name}: duplicate input {name!r}")
+        if width not in (1, 2, 4) or offset < 0 or offset + width > 32:
+            raise MappingError(f"{self.name}: bad input slot {name!r}")
+        for other, other_offset in self.input_offsets.items():
+            if self.input_groups[other] != group:
+                continue
+            other_width = self.inputs[other].width
+            if offset < other_offset + other_width and \
+                    other_offset < offset + width:
+                raise MappingError(
+                    f"{self.name}: input {name!r} overlaps {other!r}")
+        node = self._add(DfgNode(DfgOp.INPUT, [], width, name=name))
+        self.inputs[name] = node
+        self.input_offsets[name] = offset
+        self.input_groups[name] = group
+        return node
+
+    def const(self, value: int, width: int = 4) -> DfgNode:
+        return self._add(DfgNode(DfgOp.CONST, [], width, const=value))
+
+    def op(self, op: DfgOp, *operands: DfgNode, width: Optional[int] = None,
+           shift: int = 0) -> DfgNode:
+        if not operands:
+            raise MappingError(f"{self.name}: {op.value} with no operands")
+        width = width or max(o.width for o in operands)
+        node = self._add(DfgNode(op, operands, width, const=shift))
+        return node
+
+    def add(self, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.ADD, a, b)
+
+    def sub(self, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.SUB, a, b)
+
+    def mul(self, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.MUL, a, b)
+
+    def max_(self, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.MAX, a, b)
+
+    def min_(self, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.MIN, a, b)
+
+    def select(self, cond: DfgNode, a: DfgNode, b: DfgNode) -> DfgNode:
+        return self.op(DfgOp.SELECT, cond, a, b)
+
+    def clamp_floor(self, a: DfgNode, floor: int) -> DfgNode:
+        """max(a, floor) — e.g. the hmmer ``-INFTY`` saturation."""
+        return self.max_(a, self.const(floor, a.width))
+
+    def clamp(self, a: DfgNode, lo: int, hi: int) -> DfgNode:
+        """Saturate ``a`` into [lo, hi]."""
+        return self.min_(self.max_(a, self.const(lo, a.width)),
+                         self.const(hi, a.width))
+
+    def delay(self, width: int = 4, init: int = 0) -> DfgNode:
+        """A flip-flop state element; wire its input with set_delay_source
+        (feedback through delays is legal — that is the point)."""
+        return self._add(DfgNode(DfgOp.DELAY, [], width, const=init))
+
+    def set_delay_source(self, delay_node: DfgNode, src: DfgNode) -> None:
+        if delay_node.op is not DfgOp.DELAY:
+            raise MappingError("set_delay_source on a non-delay node")
+        if delay_node.operands:
+            raise MappingError("delay source already wired")
+        delay_node.operands.append(src)
+
+    def output(self, name: str, node: DfgNode) -> None:
+        if name in self.outputs:
+            raise MappingError(f"{self.name}: duplicate output {name!r}")
+        self.outputs[name] = node
+        self.output_order.append(name)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, inputs: Dict[str, int],
+                 state: Optional[Dict[int, int]] = None) -> Dict[str, int]:
+        """Functionally evaluate the graph on signed integer inputs.
+
+        ``state`` maps delay-node index -> stored value; it is read for
+        this invocation and updated in place with the new values.
+        """
+        missing = set(self.inputs) - set(inputs)
+        if missing:
+            raise MappingError(
+                f"{self.name}: missing inputs {sorted(missing)}")
+        values: List[int] = [0] * len(self.nodes)
+        delays: List[DfgNode] = []
+        for node in self.nodes:
+            if node.op is DfgOp.DELAY:
+                stored = state.get(node.index, node.const) if state \
+                    is not None else node.const
+                values[node.index] = to_signed(stored, node.width * 8)
+                delays.append(node)
+            else:
+                values[node.index] = self._eval_node(node, values, inputs)
+        if state is not None:
+            for node in delays:
+                if not node.operands:
+                    raise MappingError(
+                        f"{self.name}: delay node without a source")
+                state[node.index] = values[node.operands[0].index]
+        return {name: values[node.index]
+                for name, node in self.outputs.items()}
+
+    @property
+    def is_stateful(self) -> bool:
+        return any(node.op is DfgOp.DELAY for node in self.nodes)
+
+    def _eval_node(self, node: DfgNode, values: List[int],
+                   inputs: Dict[str, int]) -> int:
+        bits = node.width * 8
+        op = node.op
+        if op is DfgOp.INPUT:
+            return to_signed(inputs[node.name], bits)
+        if op is DfgOp.CONST:
+            return to_signed(node.const, bits)
+        args = [values[o.index] for o in node.operands]
+        if op is DfgOp.ADD:
+            result = args[0] + args[1]
+        elif op is DfgOp.SUB:
+            result = args[0] - args[1]
+        elif op is DfgOp.MUL:
+            result = args[0] * args[1]
+        elif op is DfgOp.AND:
+            result = args[0] & args[1]
+        elif op is DfgOp.OR:
+            result = args[0] | args[1]
+        elif op is DfgOp.XOR:
+            result = args[0] ^ args[1]
+        elif op is DfgOp.SHL:
+            result = args[0] << node.const
+        elif op is DfgOp.SHR:
+            result = args[0] >> node.const
+        elif op is DfgOp.SHLV:
+            result = args[0] << (args[1] & 31)
+        elif op is DfgOp.SHRV:
+            result = args[0] >> (args[1] & 31)
+        elif op is DfgOp.CMPGT:
+            result = 1 if args[0] > args[1] else 0
+        elif op is DfgOp.CMPEQ:
+            result = 1 if args[0] == args[1] else 0
+        elif op is DfgOp.SELECT:
+            result = args[1] if args[0] else args[2]
+        elif op is DfgOp.MIN:
+            result = min(args[0], args[1])
+        elif op is DfgOp.MAX:
+            result = max(args[0], args[1])
+        elif op is DfgOp.PASS:
+            result = args[0]
+        else:  # pragma: no cover
+            raise MappingError(f"cannot evaluate {op}")
+        return to_signed(result, bits)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the graph (for documentation/debug)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for node in self.nodes:
+            if node.op is DfgOp.INPUT:
+                label = f"in {node.name}"
+                shape = "invhouse"
+            elif node.op is DfgOp.CONST:
+                label = f"const {node.const}"
+                shape = "plaintext"
+            elif node.op is DfgOp.DELAY:
+                label = "delay"
+                shape = "box"
+            else:
+                label = node.op.value
+                shape = "ellipse"
+            lines.append(f'  n{node.index} [label="{label}" '
+                         f'shape={shape}];')
+            for operand in node.operands:
+                style = " [style=dashed]" if node.op is DfgOp.DELAY else ""
+                lines.append(f"  n{operand.index} -> n{node.index}{style};")
+        for name, node in self.outputs.items():
+            lines.append(f'  out_{name} [label="out {name}" '
+                         f'shape=house];')
+            lines.append(f"  n{node.index} -> out_{name};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Check topological ordering (delays may close feedback loops)."""
+        for node in self.nodes:
+            if node.op is DfgOp.DELAY:
+                if not node.operands:
+                    raise MappingError(
+                        f"{self.name}: delay node without a source")
+                continue
+            for operand in node.operands:
+                if operand.index >= node.index:
+                    raise MappingError(
+                        f"{self.name}: node ordering violated at "
+                        f"{node!r} <- {operand!r}")
+        if not self.outputs:
+            raise MappingError(f"{self.name}: no outputs")

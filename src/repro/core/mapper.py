@@ -1,0 +1,203 @@
+"""Spatial mapping of dataflow graphs onto SPL rows.
+
+A list scheduler assigns each DFG node to one or more consecutive row
+levels (its row depth) subject to the 16-cell row capacity.  The number of
+rows a function needs is the highest level used; if that exceeds the rows
+physically available to a partition, the function is *virtualized*
+(Section II-A / [13]): the same physical rows execute multiple virtual rows,
+trading initiation interval for guaranteed execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import MappingError
+from repro.common.utils import ceil_div
+from repro.core.dfg import Dfg, DfgNode
+
+
+@dataclass
+class RowMapping:
+    """Result of mapping a DFG: node placements and total row count."""
+
+    dfg_name: str
+    rows: int
+    placement: Dict[int, int] = field(default_factory=dict)  # node idx -> first row (1-based)
+    usage: List[int] = field(default_factory=list)  # cells used per row level
+    #: Minimum initiation interval imposed by feedback through delay
+    #: registers (1 when the function is feed-forward).
+    feedback_ii: int = 1
+
+    def describe(self) -> str:
+        lines = [f"{self.dfg_name}: {self.rows} rows"]
+        for level, cells in enumerate(self.usage, start=1):
+            lines.append(f"  row {level:2d}: {cells:2d}/16 cells")
+        return "\n".join(lines)
+
+
+def _node_heights(dfg: Dfg) -> Dict[int, int]:
+    """Critical-path height of each node: rows from it to the furthest
+    output (used by the priority strategy)."""
+    heights: Dict[int, int] = {node.index: node.depth_rows
+                               for node in dfg.nodes}
+    for node in reversed(dfg.nodes):
+        for operand in node.operands:
+            if operand.index < node.index:  # skip delay feedback edges
+                heights[operand.index] = max(
+                    heights[operand.index],
+                    operand.depth_rows + heights[node.index])
+    return heights
+
+
+def _schedule_order(dfg: Dfg, strategy: str) -> List:
+    """Node visit order.  "asap" follows construction order; "priority"
+    list-schedules by critical-path height (ties by index), which packs
+    long chains first and can save rows under cell contention."""
+    if strategy == "asap":
+        return list(dfg.nodes)
+    if strategy != "priority":
+        raise MappingError(f"unknown mapping strategy {strategy!r}")
+    heights = _node_heights(dfg)
+    scheduled = set()
+    order = []
+    remaining = list(dfg.nodes)
+    while remaining:
+        ready = [node for node in remaining
+                 if all(o.index in scheduled or o.index >= node.index
+                        for o in node.operands)]
+        if not ready:  # pragma: no cover - validate() prevents this
+            raise MappingError(f"{dfg.name}: cyclic non-delay dependence")
+        ready.sort(key=lambda node: (-heights[node.index], node.index))
+        chosen = ready[0]
+        order.append(chosen)
+        scheduled.add(chosen.index)
+        remaining.remove(chosen)
+    return order
+
+
+def map_dfg(dfg: Dfg, cells_per_row: int = 16,
+            strategy: str = "asap") -> RowMapping:
+    """Level-schedule ``dfg`` onto rows of ``cells_per_row`` cells.
+
+    Nodes are placed at the earliest level after all operands complete,
+    pushed to later levels when a row is out of cells.  Multi-row ops
+    (min/max, mul) occupy their cell cost in every level they span.
+    ``strategy`` selects the visit order: "asap" (construction order) or
+    "priority" (critical-path list scheduling).
+    """
+    dfg.validate()
+    usage: List[int] = []
+    finish_level: Dict[int, int] = {}  # node index -> last level (0 for inputs)
+    placement: Dict[int, int] = {}
+
+    def cells_free(level: int) -> int:
+        while len(usage) < level:
+            usage.append(0)
+        return cells_per_row - usage[level - 1]
+
+    for node in _schedule_order(dfg, strategy):
+        depth = node.depth_rows
+        if depth == 0:
+            # Inputs/constants/delay registers are available at level 0
+            # (delays read last invocation's value from flip-flops).
+            finish_level[node.index] = 0
+            continue
+        cost = node.cell_cost
+        if cost > cells_per_row:
+            raise MappingError(
+                f"{dfg.name}: node {node!r} needs {cost} cells "
+                f"(> {cells_per_row} per row)")
+        earliest = 1 + max((finish_level[o.index]
+                            for o in node.operands
+                            if o.index in finish_level), default=0)
+        level = earliest
+        while True:
+            if all(cells_free(level + d) >= cost for d in range(depth)):
+                break
+            level += 1
+            if level > 4096:  # pragma: no cover - defensive
+                raise MappingError(f"{dfg.name}: scheduler diverged")
+        for d in range(depth):
+            usage[level + d - 1] += cost
+        placement[node.index] = level
+        finish_level[node.index] = level + depth - 1
+
+    rows = len(usage)
+    if rows == 0:
+        raise MappingError(f"{dfg.name}: function has no computation rows")
+    # Feedback constraint: a delay's new value is produced at its source's
+    # finish level; the next invocation cannot enter before that.
+    feedback_ii = 1
+    for node in dfg.nodes:
+        if node.op.value == "delay" and node.operands:
+            source_level = finish_level[node.operands[0].index]
+            feedback_ii = max(feedback_ii, source_level)
+    return RowMapping(dfg_name=dfg.name, rows=rows, placement=placement,
+                      usage=usage, feedback_ii=feedback_ii)
+
+
+def verify_mapping(dfg: Dfg, mapping: RowMapping,
+                   cells_per_row: int = 16) -> None:
+    """Assert a mapping's invariants: dependence order and row capacity.
+
+    Raises MappingError on violation; used by tests and available as a
+    post-mapping self-check.
+    """
+    finish: Dict[int, int] = {}
+    for node in dfg.nodes:
+        if node.depth_rows == 0:
+            finish[node.index] = 0
+    for node in dfg.nodes:
+        if node.depth_rows == 0:
+            continue
+        level = mapping.placement.get(node.index)
+        if level is None:
+            raise MappingError(f"{dfg.name}: node {node!r} unplaced")
+        finish[node.index] = level + node.depth_rows - 1
+    for node in dfg.nodes:
+        if node.depth_rows == 0:
+            continue
+        level = mapping.placement[node.index]
+        for operand in node.operands:
+            if operand.index >= node.index:
+                continue  # delay feedback: checked via feedback_ii
+            if finish[operand.index] >= level:
+                raise MappingError(
+                    f"{dfg.name}: {node!r} at level {level} before its "
+                    f"operand finishes at {finish[operand.index]}")
+    usage = [0] * mapping.rows
+    for node in dfg.nodes:
+        if node.depth_rows == 0:
+            continue
+        level = mapping.placement[node.index]
+        for d in range(node.depth_rows):
+            usage[level + d - 1] += node.cell_cost
+    for level_index, cells in enumerate(usage):
+        if cells > cells_per_row:
+            raise MappingError(
+                f"{dfg.name}: row {level_index + 1} oversubscribed "
+                f"({cells} > {cells_per_row} cells)")
+
+
+def virtual_latency(function_rows: int, physical_rows: int) -> int:
+    """Pipeline latency in fabric cycles (one per virtual row)."""
+    if physical_rows < 1:
+        raise MappingError("partition has no rows")
+    return function_rows
+
+
+def initiation_interval(function_rows: int, physical_rows: int) -> int:
+    """Fabric cycles between successive inputs after virtualization.
+
+    With enough physical rows the pipeline accepts one input per fabric
+    cycle (II = 1); a function virtualized over fewer rows accepts one
+    input every ceil(v/p) cycles because each physical row multiplexes
+    ceil(v/p) virtual rows.
+    """
+    if physical_rows < 1:
+        raise MappingError("partition has no rows")
+    if function_rows <= physical_rows:
+        return 1
+    return ceil_div(function_rows, physical_rows)

@@ -1,0 +1,135 @@
+"""SPL input/output queues (Figure 2(b)).
+
+Each core sharing a fabric has:
+
+* a **staging entry** — 16 bytes wide with per-byte valid bits — that
+  ``spl_load`` fills at byte alignments;
+* an **input queue** of sealed entries, each tagged with the configuration
+  id supplied by ``spl_init``;
+* an **output queue** of result words that ``spl_recv``/``spl_store`` pop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.common.errors import SplError
+
+#: Bytes per fabric input beat — one 16-cell row's width.
+BEAT_BYTES = 16
+#: Staging capacity: up to two beats; entries wider than one beat stream
+#: into the fabric over consecutive fabric cycles (multi-beat input).
+ENTRY_BYTES = 32
+
+
+class StagingEntry:
+    """The in-progress input-queue entry being assembled by spl_load."""
+
+    __slots__ = ("data", "valid", "ready")
+
+    def __init__(self) -> None:
+        self.data = bytearray(ENTRY_BYTES)
+        self.valid = 0
+        self.ready = 0  # cycle at which all staged values have arrived
+
+    def write_word(self, value: int, offset: int, ready: int = 0) -> None:
+        if not 0 <= offset <= ENTRY_BYTES - 4:
+            raise SplError(f"spl_load offset {offset} out of range")
+        self.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little")
+        self.valid |= 0xF << offset
+        if ready > self.ready:
+            self.ready = ready
+
+    @property
+    def empty(self) -> bool:
+        return self.valid == 0
+
+    def seal(self):
+        """Return (data, valid, ready) and clear for the next entry."""
+        sealed = (bytes(self.data), self.valid, self.ready)
+        self.data = bytearray(ENTRY_BYTES)
+        self.valid = 0
+        self.ready = 0
+        return sealed
+
+    @staticmethod
+    def beats(valid: int) -> int:
+        """Fabric input beats needed for a sealed entry's valid bytes."""
+        return 2 if valid >> BEAT_BYTES else 1
+
+
+class SplRequest:
+    """One sealed input-queue entry awaiting fabric issue."""
+
+    __slots__ = ("config_id", "data", "valid", "core", "cycle", "dest_slot",
+                 "ready")
+
+    def __init__(self, config_id: int, data: bytes, valid: int, core: int,
+                 cycle: int, ready: int = 0) -> None:
+        self.config_id = config_id
+        self.data = data
+        self.valid = valid
+        self.core = core
+        self.cycle = cycle
+        self.dest_slot: int = core
+        self.ready = ready  # core cycle when all staged data has arrived
+
+
+class InputQueue:
+    """Per-core FIFO of sealed requests."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: Deque[SplRequest] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def push(self, request: SplRequest) -> None:
+        if self.full:
+            raise SplError("input queue overflow")
+        self.entries.append(request)
+
+    def head(self) -> Optional[SplRequest]:
+        return self.entries[0] if self.entries else None
+
+    def pop(self) -> SplRequest:
+        return self.entries.popleft()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class OutputQueue:
+    """Per-core FIFO of 32-bit result words."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.words: Deque[int] = deque()
+
+    def space_for(self, n_words: int) -> bool:
+        return len(self.words) + n_words <= self.capacity
+
+    def push_words(self, words: List[int]) -> None:
+        if not self.space_for(len(words)):
+            raise SplError("output queue overflow")
+        self.words.extend(words)
+
+    def pop(self) -> Optional[int]:
+        if self.words:
+            return self.words.popleft()
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.words
+
+    def __len__(self) -> int:
+        return len(self.words)

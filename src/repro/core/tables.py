@@ -1,0 +1,167 @@
+"""SPL hardware tables (Figure 2(b)): Thread-to-Core and Barrier tables.
+
+The Thread-to-Core Table virtualizes destination selection for interthread
+communication (Section II-B1): producers name a destination *thread*; the
+table maps it to the core currently running it and counts in-flight fabric
+results bound for that core so a consumer cannot be switched out while data
+is in flight.
+
+The Barrier Table plus the inter-cluster barrier bus (Section II-B2) track
+arrivals.  Cross-cluster arrival broadcasts take ``bus_latency`` core
+cycles to become visible.  Barriers are reused across iterations, so the
+bus keeps a *cumulative* arrival count per barrier and each cluster
+releases generation ``g`` once the count visible to it reaches
+``total_threads * (g + 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SplError
+
+#: Maximum in-flight fabric instructions destined to one core (the fabric
+#: has 24 rows, so the counter is 5 bits — Section II-B1).
+MAX_IN_FLIGHT = 24
+
+
+class ThreadToCoreTable:
+    """One entry per core of the cluster."""
+
+    def __init__(self, n_cores: int, max_ids: int = 256) -> None:
+        self.n_cores = n_cores
+        self.max_ids = max_ids
+        self.thread_ids: List[Optional[int]] = [None] * n_cores
+        self.app_ids: List[int] = [0] * n_cores
+        self.in_flight: List[int] = [0] * n_cores
+
+    def set_thread(self, core_slot: int, thread_id: Optional[int],
+                   app_id: int = 0) -> None:
+        if thread_id is not None and not 0 <= thread_id < self.max_ids:
+            raise SplError(f"thread id {thread_id} out of table range")
+        if thread_id is None and self.in_flight[core_slot]:
+            raise SplError(
+                f"core slot {core_slot} switched out with "
+                f"{self.in_flight[core_slot]} in-flight SPL results")
+        self.thread_ids[core_slot] = thread_id
+        self.app_ids[core_slot] = app_id
+
+    def lookup(self, thread_id: int) -> Optional[int]:
+        """Core slot currently running ``thread_id``, or None."""
+        for slot, tid in enumerate(self.thread_ids):
+            if tid == thread_id:
+                return slot
+        return None
+
+    def try_reserve(self, core_slot: int) -> bool:
+        """Count one more in-flight result to ``core_slot`` if possible."""
+        if self.in_flight[core_slot] >= MAX_IN_FLIGHT:
+            return False
+        self.in_flight[core_slot] += 1
+        return True
+
+    def release(self, core_slot: int) -> None:
+        if self.in_flight[core_slot] <= 0:
+            raise SplError(f"in-flight underflow on core slot {core_slot}")
+        self.in_flight[core_slot] -= 1
+
+    def can_switch_out(self, core_slot: int) -> bool:
+        return self.in_flight[core_slot] == 0
+
+
+class BarrierBus:
+    """Chip-wide barrier state shared by all SPL clusters.
+
+    Registration mirrors what a runtime/OS would program: the barrier id,
+    application id, and the participating thread ids.
+    """
+
+    def __init__(self, bus_latency: int, max_ids: int = 256) -> None:
+        self.bus_latency = bus_latency
+        self.max_ids = max_ids
+        #: barrier id -> (app_id, participating thread ids)
+        self.registry: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        #: barrier id -> arrivals visible to everyone already
+        self.base_count: Dict[int, int] = {}
+        #: barrier id -> recent arrivals as (cycle, cluster_id)
+        self.recent: Dict[int, List[Tuple[int, int]]] = {}
+
+    def register(self, barrier_id: int, app_id: int,
+                 thread_ids: Tuple[int, ...]) -> None:
+        if not 0 <= barrier_id < self.max_ids:
+            raise SplError(f"barrier id {barrier_id} out of range")
+        if not thread_ids:
+            raise SplError("barrier with no participants")
+        self.registry[barrier_id] = (app_id, tuple(thread_ids))
+        self.base_count[barrier_id] = 0
+        self.recent[barrier_id] = []
+
+    def participants(self, barrier_id: int) -> Tuple[int, ...]:
+        try:
+            return self.registry[barrier_id][1]
+        except KeyError:
+            raise SplError(f"barrier {barrier_id} not registered") from None
+
+    def total(self, barrier_id: int) -> int:
+        return len(self.participants(barrier_id))
+
+    def arrive(self, barrier_id: int, thread_id: int, cluster_id: int,
+               cycle: int, app_id: Optional[int] = None) -> None:
+        registered_app, participants = self.registry.get(
+            barrier_id, (None, ()))
+        if thread_id not in participants:
+            raise SplError(
+                f"thread {thread_id} not registered for barrier {barrier_id}")
+        if app_id is not None and app_id != registered_app:
+            raise SplError(
+                f"barrier {barrier_id} belongs to application "
+                f"{registered_app}, not {app_id}")
+        self.recent[barrier_id].append((cycle, cluster_id))
+
+    def visible_count(self, barrier_id: int, cluster_id: int,
+                      now: int) -> int:
+        """Cumulative arrivals visible to ``cluster_id`` at ``now``."""
+        base = self.base_count.get(barrier_id, 0)
+        recent = self.recent.get(barrier_id, [])
+        if recent:
+            # Arrivals older than the bus latency are visible to everyone;
+            # fold them into the base count so the list stays short.
+            horizon = now - self.bus_latency
+            keep: List[Tuple[int, int]] = []
+            for cycle, cluster in recent:
+                if cycle <= horizon:
+                    base += 1
+                else:
+                    keep.append((cycle, cluster))
+            self.base_count[barrier_id] = base
+            self.recent[barrier_id] = keep
+            for cycle, cluster in keep:
+                if cluster == cluster_id and cycle <= now:
+                    base += 1
+        return base
+
+
+class BarrierTable:
+    """Per-cluster view of active barriers (Figure 2(b))."""
+
+    def __init__(self, cluster_id: int, bus: BarrierBus) -> None:
+        self.cluster_id = cluster_id
+        self.bus = bus
+        #: barrier id -> generation released locally so far
+        self.generation: Dict[int, int] = {}
+
+    def arrive(self, barrier_id: int, thread_id: int, cycle: int,
+               app_id: Optional[int] = None) -> None:
+        self.bus.arrive(barrier_id, thread_id, self.cluster_id, cycle,
+                        app_id)
+        self.generation.setdefault(barrier_id, 0)
+
+    def ready(self, barrier_id: int, now: int) -> bool:
+        """True when the current generation may be released locally."""
+        generation = self.generation.get(barrier_id, 0)
+        needed = self.bus.total(barrier_id) * (generation + 1)
+        return self.bus.visible_count(barrier_id, self.cluster_id,
+                                      now) >= needed
+
+    def release(self, barrier_id: int) -> None:
+        self.generation[barrier_id] = self.generation.get(barrier_id, 0) + 1

@@ -1,0 +1,54 @@
+"""Architectural thread context.
+
+Holds everything that migrates with a thread between cores: program,
+program counter, architectural register files, and identifiers used by the
+SPL tables (thread id, application id).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import FP_BASE, N_FP_REGS, N_INT_REGS, reg_index
+from repro.isa.program import Program, ThreadSpec
+
+
+class ThreadContext:
+    """One software thread's architectural state."""
+
+    __slots__ = ("program", "pc", "int_regs", "fp_regs", "thread_id",
+                 "app_id", "finished", "retired_instructions")
+
+    def __init__(self, spec: ThreadSpec) -> None:
+        self.program: Program = spec.program
+        self.pc = 0
+        self.int_regs = [0] * N_INT_REGS
+        self.fp_regs = [0.0] * N_FP_REGS
+        self.thread_id = spec.thread_id
+        self.app_id = spec.app_id
+        self.finished = False
+        self.retired_instructions = 0
+        for name, value in spec.int_regs.items():
+            index = reg_index(name)
+            if index >= FP_BASE:
+                raise ValueError(f"{name} is not an integer register")
+            self.int_regs[index] = value
+        for name, value in spec.fp_regs.items():
+            index = reg_index(name)
+            if index < FP_BASE:
+                raise ValueError(f"{name} is not a floating-point register")
+            self.fp_regs[index - FP_BASE] = float(value)
+
+    def read(self, flat_reg: int):
+        """Read a register by flat index (int or fp)."""
+        if flat_reg < FP_BASE:
+            return self.int_regs[flat_reg]
+        return self.fp_regs[flat_reg - FP_BASE]
+
+    def write(self, flat_reg: int, value) -> None:
+        if flat_reg == 0:
+            return
+        if flat_reg < FP_BASE:
+            self.int_regs[flat_reg] = value
+        else:
+            self.fp_regs[flat_reg - FP_BASE] = value

@@ -1,0 +1,111 @@
+"""Functional semantics of ALU, branch, and FP operations.
+
+Integer registers hold signed 32-bit Python ints; all results are wrapped
+back into that range.  Floating-point registers hold Python floats (the ISA
+treats them as IEEE single precision only when stored to memory).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.common.utils import to_signed, to_unsigned
+from repro.isa.opcodes import Op
+
+
+def _wrap(value: int) -> int:
+    return to_signed(to_unsigned(value))
+
+
+def alu(op: Op, a: int, b: int, imm: int) -> int:
+    """Evaluate an integer ALU/MUL/DIV operation.
+
+    ``a`` and ``b`` are the (signed) source register values; immediate
+    forms pass the immediate through ``imm``.
+    """
+    if op is Op.ADD:
+        return _wrap(a + b)
+    if op is Op.SUB:
+        return _wrap(a - b)
+    if op is Op.AND:
+        return _wrap(a & b)
+    if op is Op.OR:
+        return _wrap(a | b)
+    if op is Op.XOR:
+        return _wrap(a ^ b)
+    if op is Op.NOR:
+        return _wrap(~(a | b))
+    if op is Op.SLL:
+        return _wrap(a << (b & 31))
+    if op is Op.SRL:
+        return _wrap(to_unsigned(a) >> (b & 31))
+    if op is Op.SRA:
+        return _wrap(a >> (b & 31))
+    if op is Op.SLT:
+        return 1 if a < b else 0
+    if op is Op.SLTU:
+        return 1 if to_unsigned(a) < to_unsigned(b) else 0
+    if op is Op.ADDI:
+        return _wrap(a + imm)
+    if op is Op.ANDI:
+        return _wrap(a & imm)
+    if op is Op.ORI:
+        return _wrap(a | imm)
+    if op is Op.XORI:
+        return _wrap(a ^ imm)
+    if op is Op.SLLI:
+        return _wrap(a << (imm & 31))
+    if op is Op.SRLI:
+        return _wrap(to_unsigned(a) >> (imm & 31))
+    if op is Op.SRAI:
+        return _wrap(a >> (imm & 31))
+    if op is Op.SLTI:
+        return 1 if a < imm else 0
+    if op is Op.LI:
+        return _wrap(imm)
+    if op is Op.MUL:
+        return _wrap(a * b)
+    if op is Op.DIV:
+        if b == 0:
+            return -1  # MIPS-style: division by zero yields all ones
+        return _wrap(int(a / b))  # truncate toward zero
+    if op is Op.REM:
+        if b == 0:
+            return _wrap(a)
+        return _wrap(a - int(a / b) * b)
+    if op is Op.NOP:
+        return 0
+    raise SimulationError(f"alu cannot evaluate {op}")
+
+
+def fp(op: Op, a: float, b: float):
+    """Evaluate a floating-point operation."""
+    if op is Op.FADD:
+        return a + b
+    if op is Op.FSUB:
+        return a - b
+    if op is Op.FMUL:
+        return a * b
+    if op is Op.FDIV:
+        if b == 0.0:
+            return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+        return a / b
+    if op is Op.FSLT:
+        return 1 if a < b else 0
+    raise SimulationError(f"fp cannot evaluate {op}")
+
+
+def branch_taken(op: Op, a: int, b: int) -> bool:
+    """Resolve a conditional branch direction."""
+    if op is Op.BEQ:
+        return a == b
+    if op is Op.BNE:
+        return a != b
+    if op is Op.BLT:
+        return a < b
+    if op is Op.BGE:
+        return a >= b
+    if op is Op.BLTU:
+        return to_unsigned(a) < to_unsigned(b)
+    if op is Op.BGEU:
+        return to_unsigned(a) >= to_unsigned(b)
+    raise SimulationError(f"{op} is not a conditional branch")

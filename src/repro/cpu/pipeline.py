@@ -1,0 +1,779 @@
+"""Cycle-level out-of-order core model.
+
+Implements the Table II microarchitecture: parameterized fetch/decode/issue/
+retire widths, a gshare+bimodal hybrid predictor with BTB and RAS, register
+renaming bounded by the physical register files, separate int/FP issue
+queues, a 64-entry ROB, load/store queues with store-to-load forwarding,
+and in-order retirement.
+
+Modelling choices (see DESIGN.md):
+
+* Branches resolve at execute; a mispredict flushes younger instructions and
+  redirects fetch the following cycle, so the penalty emerges from pipeline
+  refill rather than a fixed constant.
+* ``spl_*``, atomic, and fence instructions execute non-speculatively when
+  they reach the ROB head, which keeps SPL queue state off the wrong path.
+* Loads read functional memory at issue.  To keep multithreaded programs
+  correct under this speculation, the core registers an invalidation
+  listener with the coherent memory system: if another core invalidates a
+  line that an in-flight issued load has read, the load and everything
+  younger are squashed and refetched (snoop-triggered load replay, as in
+  real TSO designs).
+* Stores perform their functional write at retirement, in program order,
+  draining through a store buffer whose timing comes from the cache
+  hierarchy.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CoreConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.cpu.branch import HybridPredictor
+from repro.cpu.context import ThreadContext
+from repro.cpu.exec import alu, branch_taken, fp
+from repro.cpu.ports import SplPort
+from repro.isa.instruction import FP_BASE, Instruction
+from repro.isa.opcodes import FuClass, Op
+from repro.mem.hierarchy import CoherentMemorySystem
+from repro.mem.memory import MainMemory
+
+DISP, ISSUED, DONE = 0, 1, 2
+
+#: Cycles between fetch and earliest rename (decode depth).
+FRONTEND_DELAY = 2
+
+_LOAD_OPS = {Op.LW: (4, True), Op.LB: (1, True), Op.LBU: (1, False),
+             Op.LH: (2, True), Op.LHU: (2, False), Op.FLW: (4, True)}
+_STORE_OPS = {Op.SW: 4, Op.SB: 1, Op.SH: 2, Op.FSW: 4}
+
+
+class RobEntry:
+    """One in-flight instruction."""
+
+    __slots__ = ("seq", "inst", "pc", "pred_next", "state", "value",
+                 "completion", "remaining", "consumers", "srcs", "addr",
+                 "size", "store_value", "flushed", "started", "actual_next",
+                 "in_fp_iq", "in_int_iq", "holds_lq", "holds_sq",
+                 "rename_fp", "rename_int")
+
+    def __init__(self, seq: int, inst: Instruction, pc: int,
+                 pred_next: int) -> None:
+        self.seq = seq
+        self.inst = inst
+        self.pc = pc
+        self.pred_next = pred_next
+        self.state = DISP
+        self.value = 0
+        self.completion = -1
+        self.remaining = 0
+        self.consumers: List[Tuple["RobEntry", int]] = []
+        self.srcs = [0, 0]
+        self.addr: Optional[int] = None
+        self.size = 0
+        self.store_value = 0
+        self.flushed = False
+        self.started = False
+        self.actual_next = pc + 1
+        self.in_fp_iq = False
+        self.in_int_iq = False
+        self.holds_lq = False
+        self.holds_sq = False
+        self.rename_fp = False
+        self.rename_int = False
+
+
+class OutOfOrderCore:
+    """One out-of-order core attached to the coherent memory system."""
+
+    def __init__(self, index: int, config: CoreConfig,
+                 mem_system: CoherentMemorySystem, memory: MainMemory,
+                 stats: Stats) -> None:
+        self.index = index
+        self.config = config
+        self.mem_system = mem_system
+        self.memory = memory
+        self.stats = stats
+        self.predictor = HybridPredictor(config.predictor,
+                                         stats.child("predictor"))
+        self.spl_port: Optional[SplPort] = None
+        self.ctx: Optional[ThreadContext] = None
+        self.halted = True
+        self.stop_fetch = True
+        self.stall_until = 0  # migration / startup stall
+        self._rename_limit_int = config.int_regs - 32
+        self._rename_limit_fp = config.fp_regs - 32
+        #: Optional PipelineTracer (see cpu.trace); None = no overhead.
+        self.tracer = None
+        self._reset_pipeline()
+        mem_system.invalidation_listeners.append(self._on_invalidation)
+
+    # ------------------------------------------------------------------ state
+
+    def _reset_pipeline(self) -> None:
+        self.rob: List[RobEntry] = []
+        self.ready: List[Tuple[int, RobEntry]] = []
+        self.fetch_queue: List[Tuple[Instruction, int, int, int]] = []
+        self.completing: Dict[int, List[RobEntry]] = {}
+        self.store_entries: List[RobEntry] = []
+        self.blocked_loads: List[RobEntry] = []
+        self.rat: Dict[int, RobEntry] = {}
+        self.seq = 0
+        self.fetch_pc = -1
+        self.fetch_resume = 0
+        self.last_fetch_line = -1
+        self.int_iq_used = 0
+        self.fp_iq_used = 0
+        self.lq_used = 0
+        self.sq_used = 0
+        self.rename_int_used = 0
+        self.rename_fp_used = 0
+        self.sb_next_free = 0
+        self.pending_stores: List[int] = []
+        self.last_retire_cycle = 0
+
+    # -------------------------------------------------------------- scheduling
+
+    def attach(self, ctx: ThreadContext, cycle: int, stall: int = 0) -> None:
+        """Begin executing ``ctx`` on this core at ``cycle + stall``."""
+        self._reset_pipeline()
+        self.ctx = ctx
+        self.halted = False
+        self.stop_fetch = False
+        self.stall_until = cycle + stall
+        self.fetch_pc = ctx.pc
+        self.fetch_resume = cycle + stall
+        self.last_retire_cycle = cycle
+        if self.spl_port is not None:
+            self.spl_port.on_context_change(ctx.thread_id, ctx.app_id)
+
+    def detach(self) -> ThreadContext:
+        """Remove the (drained) context from this core."""
+        if not self.is_drained():
+            raise SimulationError("detach before drain completed")
+        ctx = self.ctx
+        self.ctx = None
+        self.halted = True
+        self.stop_fetch = True
+        if self.spl_port is not None:
+            self.spl_port.on_context_change(None, 0)
+        return ctx
+
+    def begin_drain(self) -> None:
+        self.stop_fetch = True
+        self.fetch_queue.clear()
+
+    def is_drained(self) -> bool:
+        port_ok = self.spl_port is None or self.spl_port.can_switch_out()
+        return not self.rob and not self.pending_stores and port_ok
+
+    @property
+    def active(self) -> bool:
+        return self.ctx is not None and not self.halted
+
+    # ------------------------------------------------------------------- tick
+
+    def tick(self, cycle: int) -> None:
+        if self.ctx is None or self.halted or cycle < self.stall_until:
+            return
+        self.stats.bump("cycles")
+        self._writeback(cycle)
+        self._retire(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+
+    # -------------------------------------------------------------- writeback
+
+    def _writeback(self, cycle: int) -> None:
+        entries = self.completing.pop(cycle, None)
+        if not entries:
+            return
+        entries.sort(key=lambda e: e.seq)
+        for entry in entries:
+            if entry.flushed or entry.state == DONE:
+                continue
+            self._complete(entry, cycle)
+
+    def _complete(self, entry: RobEntry, cycle: int) -> None:
+        entry.state = DONE
+        if self.tracer is not None:
+            self.tracer.record(cycle, "complete", entry.seq, entry.pc,
+                               repr(entry.inst))
+        for consumer, slot in entry.consumers:
+            if consumer.flushed:
+                continue
+            consumer.srcs[slot] = entry.value
+            consumer.remaining -= 1
+            if consumer.remaining == 0 and consumer.state == DISP and \
+                    not consumer.inst.info.serialize:
+                heappush(self.ready, (consumer.seq, consumer))
+        entry.consumers = []
+        if entry.inst.info.is_branch:
+            self._resolve_branch(entry, cycle)
+
+    def _resolve_branch(self, entry: RobEntry, cycle: int) -> None:
+        op = entry.inst.op
+        if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+            self.predictor.update_direction(entry.pc,
+                                            entry.actual_next == entry.inst.target)
+        elif op is Op.JR:
+            self.predictor.btb_update(entry.pc, entry.actual_next)
+        self.stats.bump("branches_resolved")
+        if entry.actual_next != entry.pred_next:
+            self.stats.bump("mispredicts")
+            self._flush_after(entry, cycle, entry.actual_next)
+
+    # ----------------------------------------------------------------- flush
+
+    def _flush_after(self, entry: RobEntry, cycle: int, new_pc: int) -> None:
+        """Flush everything younger than ``entry`` and redirect fetch."""
+        self._flush_from_seq(entry.seq + 1, cycle, new_pc)
+
+    def _flush_from_seq(self, first_seq: int, cycle: int, new_pc: int) -> None:
+        self.stats.bump("flushes")
+        if self.tracer is not None:
+            self.tracer.record(cycle, "flush", first_seq, new_pc,
+                               f"redirect -> {new_pc}")
+        keep: List[RobEntry] = []
+        for candidate in self.rob:
+            if candidate.seq >= first_seq:
+                candidate.flushed = True
+                self._release(candidate)
+            else:
+                keep.append(candidate)
+        self.rob = keep
+        self.store_entries = [s for s in self.store_entries if not s.flushed]
+        self.blocked_loads = [b for b in self.blocked_loads if not b.flushed]
+        self._unblock_loads()
+        self.rat = {}
+        for candidate in self.rob:
+            dest = candidate.inst.dest()
+            if dest is not None:
+                self.rat[dest] = candidate
+        self.fetch_queue.clear()
+        if not self.stop_fetch:
+            self.fetch_pc = new_pc
+            self.fetch_resume = cycle + 1
+            self.last_fetch_line = -1
+        self.predictor.flush_speculative_state()
+
+    def _release(self, entry: RobEntry) -> None:
+        if entry.in_int_iq:
+            self.int_iq_used -= 1
+            entry.in_int_iq = False
+        if entry.in_fp_iq:
+            self.fp_iq_used -= 1
+            entry.in_fp_iq = False
+        if entry.holds_lq:
+            self.lq_used -= 1
+            entry.holds_lq = False
+        if entry.holds_sq:
+            self.sq_used -= 1
+            entry.holds_sq = False
+        if entry.rename_int:
+            self.rename_int_used -= 1
+            entry.rename_int = False
+        if entry.rename_fp:
+            self.rename_fp_used -= 1
+            entry.rename_fp = False
+
+    def _on_invalidation(self, target_core: int, line: int) -> None:
+        """Snoop-invalidation hook: replay in-flight loads of that line."""
+        if target_core != self.index or not self.rob:
+            return
+        for entry in self.rob:
+            # Serialized ops (atomics) execute non-speculatively at the ROB
+            # head with side effects; they are never replayed.
+            if (entry.inst.info.is_load and not entry.inst.info.serialize
+                    and entry.state != DISP
+                    and not entry.flushed and entry.addr is not None
+                    and (entry.addr >> 5) == line):
+                self.stats.bump("load_replays")
+                # Squash the load and everything younger; refetch the load.
+                self._flush_from_seq(entry.seq, self.last_retire_cycle + 1,
+                                     entry.pc)
+                return
+
+    # ----------------------------------------------------------------- retire
+
+    def _retire(self, cycle: int) -> None:
+        self._purge_store_buffer(cycle)
+        retired = 0
+        while self.rob and retired < self.config.retire_width:
+            head = self.rob[0]
+            if head.state != DONE:
+                if (head.inst.info.serialize and head.remaining == 0
+                        and head.state == DISP):
+                    if not self._exec_serialize(head, cycle):
+                        break
+                    if head.state != DONE:
+                        break  # multi-cycle serialize op in flight
+                else:
+                    break
+            if head.inst.info.is_store and not head.inst.info.serialize:
+                if not self._retire_store(head, cycle):
+                    self.stats.bump("store_buffer_stalls")
+                    break
+            dest = head.inst.dest()
+            if dest is not None:
+                self.ctx.write(dest, head.value)
+                if self.rat.get(dest) is head:
+                    del self.rat[dest]
+            self.rob.pop(0)
+            if self.tracer is not None:
+                self.tracer.record(cycle, "retire", head.seq, head.pc,
+                                   repr(head.inst))
+            if head.inst.info.is_store:
+                if head in self.store_entries:
+                    self.store_entries.remove(head)
+                self._unblock_loads()
+            self._release(head)
+            self.ctx.pc = head.actual_next
+            self.ctx.retired_instructions += 1
+            retired += 1
+            self.last_retire_cycle = cycle
+            if head.inst.op is Op.HALT:
+                self.halted = True
+                self.ctx.finished = True
+                self.stop_fetch = True
+                break
+        if retired:
+            self.stats.bump("retired", retired)
+
+    def _purge_store_buffer(self, cycle: int) -> None:
+        if self.pending_stores:
+            self.pending_stores = [t for t in self.pending_stores if t > cycle]
+
+    def _retire_store(self, entry: RobEntry, cycle: int) -> bool:
+        if len(self.pending_stores) >= self.config.store_queue:
+            return False
+        self._write_memory(entry.addr, entry.store_value, entry.inst.op)
+        start = max(self.sb_next_free, cycle)
+        done = self.mem_system.data_access(self.index, entry.addr, True, start)
+        self.sb_next_free = done
+        self.pending_stores.append(done)
+        self.stats.bump("stores")
+        return True
+
+    def _write_memory(self, addr: int, value, op: Op) -> None:
+        if op in (Op.SW, Op.AMO_ADD, Op.AMO_SWAP):
+            self.memory.write_word(addr, value & 0xFFFFFFFF)
+        elif op is Op.SB:
+            self.memory.write_byte(addr, value & 0xFF)
+        elif op is Op.SH:
+            self.memory.write_half(addr, value & 0xFFFF)
+        elif op is Op.FSW:
+            self.memory.write_float(addr, value)
+        else:  # pragma: no cover
+            raise SimulationError(f"not a store op: {op}")
+
+    # ------------------------------------------------------- serialized ops
+
+    def _exec_serialize(self, entry: RobEntry, cycle: int) -> bool:
+        """Execute a non-speculative op at the ROB head.
+
+        Returns False when the op must retry next cycle.  On success the
+        entry either becomes DONE immediately or is scheduled into the
+        writeback queue (multi-cycle ops).
+        """
+        op = entry.inst.op
+        if op is Op.HALT:
+            self._finish_serialize(entry, cycle)
+            return True
+        if op is Op.FENCE:
+            self._purge_store_buffer(cycle)
+            if self.pending_stores:
+                return False
+            self._finish_serialize(entry, cycle)
+            return True
+        if op in (Op.AMO_ADD, Op.AMO_SWAP):
+            if not entry.started:
+                entry.started = True
+                addr = entry.srcs[0]
+                old = self.memory.read_word_signed(addr)
+                operand = entry.srcs[1]
+                new = old + operand if op is Op.AMO_ADD else operand
+                self.memory.write_word(addr, new & 0xFFFFFFFF)
+                entry.value = old
+                entry.addr = addr
+                done = self.mem_system.data_access(self.index, addr, True,
+                                                   cycle)
+                entry.state = ISSUED
+                entry.completion = done
+                self.completing.setdefault(done, []).append(entry)
+                self.stats.bump("atomics")
+            return False  # completes through the writeback path
+        port = self.spl_port
+        if port is None:
+            raise SimulationError(
+                f"core {self.index} has no SPL/communication unit but "
+                f"executed {op.value}")
+        if op is Op.SPL_LOAD:
+            if port.stage_load(entry.srcs[0], entry.inst.imm, cycle):
+                self.stats.bump("spl_loads")
+                self._finish_serialize(entry, cycle)
+                return True
+            self.stats.bump("spl_load_stalls")
+            return False
+        if op in (Op.SPL_LOADM, Op.SPL_LOADV):
+            addr = entry.srcs[0] + entry.inst.imm
+            words = 4 if op is Op.SPL_LOADV else 1
+            ready = self.mem_system.data_access(self.index, addr, False,
+                                                cycle)
+            if words == 4 and (addr & 31) > 16:
+                # The 16-byte beat straddles a cache line: second access.
+                ready = max(ready, self.mem_system.data_access(
+                    self.index, addr + 12, False, cycle))
+            # inst.target carries the staging byte offset (imm is the
+            # address offset) — see the assembler's spl_loadm signature.
+            offset = entry.inst.target
+            for i in range(words):
+                value = self.memory.read_word_signed(addr + 4 * i)
+                if not port.stage_load(value, offset + 4 * i, cycle,
+                                       ready=ready):
+                    self.stats.bump("spl_load_stalls")
+                    return False
+            self.stats.bump("spl_loads")
+            self._finish_serialize(entry, cycle)
+            return True
+        if op is Op.SPL_INIT:
+            if port.init(entry.inst.imm, cycle):
+                self.stats.bump("spl_inits")
+                self._finish_serialize(entry, cycle)
+                return True
+            self.stats.bump("spl_init_stalls")
+            return False
+        if op is Op.SPL_RECV:
+            value = port.recv(cycle)
+            if value is None:
+                self.stats.bump("spl_recv_stalls")
+                return False
+            entry.value = value
+            self.stats.bump("spl_recvs")
+            self._finish_serialize(entry, cycle)
+            return True
+        if op is Op.SPL_STORE:
+            if len(self.pending_stores) >= self.config.store_queue:
+                return False
+            value = port.recv(cycle)
+            if value is None:
+                self.stats.bump("spl_recv_stalls")
+                return False
+            addr = entry.srcs[0] + entry.inst.imm
+            self.memory.write_word(addr, value & 0xFFFFFFFF)
+            start = max(self.sb_next_free, cycle)
+            done = self.mem_system.data_access(self.index, addr, True, start)
+            self.sb_next_free = done
+            self.pending_stores.append(done)
+            self.stats.bump("spl_stores")
+            self._finish_serialize(entry, cycle)
+            return True
+        raise SimulationError(f"unhandled serialized op {op}")
+
+    def _finish_serialize(self, entry: RobEntry, cycle: int) -> None:
+        entry.state = DONE
+        for consumer, slot in entry.consumers:
+            if consumer.flushed:
+                continue
+            consumer.srcs[slot] = entry.value
+            consumer.remaining -= 1
+            if consumer.remaining == 0 and consumer.state == DISP and \
+                    not consumer.inst.info.serialize:
+                heappush(self.ready, (consumer.seq, consumer))
+        entry.consumers = []
+
+    # ------------------------------------------------------------------ issue
+
+    def _fu_limit(self, fu: FuClass) -> Tuple[str, int]:
+        if fu in (FuClass.INT, FuClass.MUL, FuClass.DIV):
+            return "int", self.config.int_alus
+        if fu is FuClass.FP:
+            return "fp", self.config.fp_alus
+        if fu is FuClass.BRANCH:
+            return "branch", self.config.branch_units
+        return "mem", self.config.ldst_units
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.config.issue_width
+        fu_used: Dict[str, int] = {}
+        put_back: List[RobEntry] = []
+        while budget > 0 and self.ready:
+            _, entry = heappop(self.ready)
+            if entry.flushed or entry.state != DISP:
+                continue
+            pool, limit = self._fu_limit(entry.inst.info.fu)
+            if fu_used.get(pool, 0) >= limit:
+                put_back.append(entry)
+                continue
+            if entry.inst.info.is_load:
+                verdict = self._try_issue_load(entry, cycle)
+                if verdict == "blocked":
+                    self.blocked_loads.append(entry)
+                    continue
+            else:
+                self._execute(entry, cycle)
+            fu_used[pool] = fu_used.get(pool, 0) + 1
+            budget -= 1
+            if self.tracer is not None:
+                self.tracer.record(cycle, "issue", entry.seq, entry.pc,
+                                   repr(entry.inst))
+            if entry.in_int_iq:
+                self.int_iq_used -= 1
+                entry.in_int_iq = False
+            if entry.in_fp_iq:
+                self.fp_iq_used -= 1
+                entry.in_fp_iq = False
+            self.stats.bump("issued")
+        for entry in put_back:
+            heappush(self.ready, (entry.seq, entry))
+
+    def _try_issue_load(self, entry: RobEntry, cycle: int) -> str:
+        addr = entry.srcs[0] + entry.inst.imm
+        size, _ = _LOAD_OPS[entry.inst.op]
+        forward = None
+        for store in reversed(self.store_entries):
+            if store.seq > entry.seq or store.flushed:
+                continue
+            if store.addr is None:
+                return "blocked"
+            if store.addr == addr and store.size == size:
+                forward = store
+                break
+            if (store.addr < addr + size and addr < store.addr + store.size):
+                return "blocked"  # partial overlap: wait for the store
+        entry.addr = addr
+        entry.size = size
+        entry.state = ISSUED
+        if forward is not None:
+            entry.value = self._convert_load(entry.inst.op,
+                                             forward.store_value, addr,
+                                             forwarded=True)
+            done = cycle + self.config.l1d.hit_latency
+            self.stats.bump("load_forwards")
+        else:
+            entry.value = self._read_memory(entry.inst.op, addr)
+            done = self.mem_system.data_access(self.index, addr, False, cycle)
+        entry.completion = done
+        self.completing.setdefault(done, []).append(entry)
+        self.stats.bump("loads")
+        return "issued"
+
+    def _read_memory(self, op: Op, addr: int):
+        if op is Op.LW:
+            return self.memory.read_word_signed(addr)
+        if op is Op.LB:
+            value = self.memory.read_byte(addr)
+            return value - 256 if value >= 128 else value
+        if op is Op.LBU:
+            return self.memory.read_byte(addr)
+        if op is Op.LH:
+            value = self.memory.read_half(addr)
+            return value - 65536 if value >= 32768 else value
+        if op is Op.LHU:
+            return self.memory.read_half(addr)
+        if op is Op.FLW:
+            return self.memory.read_float(addr)
+        raise SimulationError(f"not a load op: {op}")  # pragma: no cover
+
+    @staticmethod
+    def _convert_load(op: Op, raw, addr: int, forwarded: bool):
+        """Interpret a forwarded store value through the load's width."""
+        if op in (Op.LW, Op.FLW):
+            return raw
+        if op is Op.LBU:
+            return raw & 0xFF
+        if op is Op.LB:
+            value = raw & 0xFF
+            return value - 256 if value >= 128 else value
+        if op is Op.LHU:
+            return raw & 0xFFFF
+        value = raw & 0xFFFF
+        return value - 65536 if value >= 32768 else value
+
+    def _execute(self, entry: RobEntry, cycle: int) -> None:
+        inst = entry.inst
+        op = inst.op
+        info = inst.info
+        entry.state = ISSUED
+        if info.is_store:
+            entry.addr = entry.srcs[0] + inst.imm
+            entry.size = _STORE_OPS[op]
+            entry.store_value = entry.srcs[1]
+            done = cycle + 1
+            self._unblock_loads()
+        elif info.is_branch:
+            entry.actual_next = self._branch_target(entry)
+            done = cycle + 1
+            if op is Op.JAL:
+                entry.value = entry.pc + 1
+        elif info.fu is FuClass.FP:
+            entry.value = fp(op, entry.srcs[0], entry.srcs[1])
+            done = cycle + info.latency
+            self.stats.bump("fp_ops")
+        else:
+            entry.value = alu(op, entry.srcs[0], entry.srcs[1], inst.imm)
+            done = cycle + info.latency
+            self.stats.bump("int_ops")
+        entry.completion = done
+        self.completing.setdefault(done, []).append(entry)
+
+    def _branch_target(self, entry: RobEntry) -> int:
+        op = entry.inst.op
+        if op in (Op.J, Op.JAL):
+            return entry.inst.target
+        if op is Op.JR:
+            return entry.srcs[0]
+        taken = branch_taken(op, entry.srcs[0], entry.srcs[1])
+        return entry.inst.target if taken else entry.pc + 1
+
+    def _unblock_loads(self) -> None:
+        if self.blocked_loads:
+            for load in self.blocked_loads:
+                if not load.flushed:
+                    heappush(self.ready, (load.seq, load))
+            self.blocked_loads.clear()
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch(self, cycle: int) -> None:
+        dispatched = 0
+        while self.fetch_queue and dispatched < self.config.decode_width:
+            inst, pc, pred_next, fetched = self.fetch_queue[0]
+            if cycle < fetched + FRONTEND_DELAY:
+                break
+            if len(self.rob) >= self.config.rob_entries:
+                self.stats.bump("rob_full_stalls")
+                break
+            info = inst.info
+            needs_fp_iq = info.fu is FuClass.FP and not info.serialize
+            needs_int_iq = not needs_fp_iq and not info.serialize
+            if needs_fp_iq and self.fp_iq_used >= self.config.fp_queue:
+                self.stats.bump("iq_full_stalls")
+                break
+            if needs_int_iq and self.int_iq_used >= self.config.int_queue:
+                self.stats.bump("iq_full_stalls")
+                break
+            if info.is_load and not info.serialize and \
+                    self.lq_used >= self.config.load_queue:
+                self.stats.bump("lsq_full_stalls")
+                break
+            if info.is_store and not info.serialize and \
+                    self.sq_used >= self.config.store_queue:
+                self.stats.bump("lsq_full_stalls")
+                break
+            dest = inst.dest()
+            dest_fp = dest is not None and dest >= FP_BASE
+            if dest is not None:
+                if dest_fp and self.rename_fp_used >= self._rename_limit_fp:
+                    self.stats.bump("rename_stalls")
+                    break
+                if not dest_fp and \
+                        self.rename_int_used >= self._rename_limit_int:
+                    self.stats.bump("rename_stalls")
+                    break
+            self.fetch_queue.pop(0)
+            entry = RobEntry(self.seq, inst, pc, pred_next)
+            self.seq += 1
+            self._rename_sources(entry)
+            if needs_fp_iq:
+                entry.in_fp_iq = True
+                self.fp_iq_used += 1
+            if needs_int_iq:
+                entry.in_int_iq = True
+                self.int_iq_used += 1
+            if info.is_load and not info.serialize:
+                entry.holds_lq = True
+                self.lq_used += 1
+            if info.is_store and not info.serialize:
+                entry.holds_sq = True
+                self.sq_used += 1
+                self.store_entries.append(entry)
+            if dest is not None:
+                if dest_fp:
+                    entry.rename_fp = True
+                    self.rename_fp_used += 1
+                else:
+                    entry.rename_int = True
+                    self.rename_int_used += 1
+                self.rat[dest] = entry
+            self.rob.append(entry)
+            if self.tracer is not None:
+                self.tracer.record(cycle, "dispatch", entry.seq, entry.pc,
+                                   repr(inst))
+            if entry.remaining == 0 and not info.serialize:
+                heappush(self.ready, (entry.seq, entry))
+            dispatched += 1
+        if dispatched:
+            self.stats.bump("dispatched", dispatched)
+
+    def _rename_sources(self, entry: RobEntry) -> None:
+        inst = entry.inst
+        for slot, reg in ((0, inst.rs1), (1, inst.rs2)):
+            if reg is None or reg == 0:
+                entry.srcs[slot] = 0
+                continue
+            producer = self.rat.get(reg)
+            if producer is None:
+                entry.srcs[slot] = self.ctx.read(reg)
+            elif producer.state == DONE:
+                entry.srcs[slot] = producer.value
+            else:
+                producer.consumers.append((entry, slot))
+                entry.remaining += 1
+                entry.srcs[slot] = None
+
+    # ------------------------------------------------------------------ fetch
+
+    def _fetch(self, cycle: int) -> None:
+        if self.stop_fetch or cycle < self.fetch_resume or self.fetch_pc < 0:
+            return
+        program = self.ctx.program
+        fetched = 0
+        while fetched < self.config.fetch_width and \
+                len(self.fetch_queue) < self.config.fetch_queue:
+            pc = self.fetch_pc
+            if pc < 0 or pc >= len(program):
+                break  # wrong-path or past-end: wait for redirect
+            line = pc >> 3  # 32 B line / 4 B per instruction
+            if line != self.last_fetch_line:
+                done = self.mem_system.inst_fetch(self.index, pc, cycle)
+                self.last_fetch_line = line
+                if done > cycle + self.config.l1i.hit_latency:
+                    self.fetch_resume = done
+                    self.stats.bump("icache_stall_cycles", done - cycle)
+                    break
+            inst = program[pc]
+            pred_next = self._predict_next(inst, pc)
+            self.fetch_queue.append((inst, pc, pred_next, cycle))
+            self.stats.bump("fetched")
+            fetched += 1
+            if inst.op is Op.HALT:
+                self.fetch_pc = -1
+                break
+            self.fetch_pc = pred_next
+            if pred_next != pc + 1:
+                break  # taken-predicted branch ends the fetch group
+
+    def _predict_next(self, inst: Instruction, pc: int) -> int:
+        op = inst.op
+        if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+            if self.predictor.predict_direction(pc):
+                return inst.target
+            return pc + 1
+        if op is Op.J:
+            return inst.target
+        if op is Op.JAL:
+            self.predictor.ras_push(pc + 1)
+            return inst.target
+        if op is Op.JR:
+            target = self.predictor.ras_pop()
+            if target is None:
+                target = self.predictor.btb_lookup(pc)
+            if target is None:
+                return -1  # stall fetch until the JR resolves
+            return target
+        return pc + 1

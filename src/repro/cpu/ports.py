@@ -1,0 +1,42 @@
+"""Interface between a core and its SPL (or substitute) communication unit.
+
+The pipeline executes ``spl_*`` instructions non-speculatively at the ROB
+head through this port.  The real SPL implementation lives in
+:mod:`repro.core.controller`; the OOO2+Comm baseline provides an idealized
+hardware-queue implementation in :mod:`repro.baselines.comm_network`.
+All methods are non-blocking: a ``False``/``None`` return means "retry next
+cycle" (queue full, destination not resident, output empty...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SplPort:
+    """Abstract core-side port; concrete units override all four methods."""
+
+    def stage_load(self, value: int, offset: int, cycle: int,
+                   ready: int = 0) -> bool:
+        """``spl_load``/``spl_loadm``: place a word into the staging entry.
+
+        ``ready`` is the cycle the value actually arrives (cache latency for
+        ``spl_loadm``); the fabric will not consume the sealed entry before
+        then, but the instruction itself completes immediately.
+        """
+        raise NotImplementedError
+
+    def init(self, config_id: int, cycle: int) -> bool:
+        """``spl_init``: seal staging and issue it with ``config_id``."""
+        raise NotImplementedError
+
+    def recv(self, cycle: int) -> Optional[int]:
+        """``spl_recv``/``spl_store``: pop a word from the output queue."""
+        raise NotImplementedError
+
+    def can_switch_out(self) -> bool:
+        """True when no in-flight fabric results still target this core."""
+        return True
+
+    def on_context_change(self, thread_id: Optional[int], app_id: int) -> None:
+        """Notify the unit that the core now runs a different thread."""

@@ -1,0 +1,72 @@
+"""Pipeline tracing: a per-cycle event log for debugging programs.
+
+Attach a :class:`PipelineTracer` to a core and every fetch / dispatch /
+issue / complete / retire / flush event is recorded (optionally bounded).
+The textual rendering is a classic pipe-trace::
+
+    cycle    12 retire   seq=007 pc=004  addi r1, r1, 1
+    cycle    13 flush    seq=009 pc=006  blt r1, r2, ...  (redirect -> 2)
+
+Tracing is opt-in and costs nothing when no tracer is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    stage: str
+    seq: int
+    pc: int
+    text: str
+
+    def render(self) -> str:
+        return (f"cycle {self.cycle:6d} {self.stage:<8s} "
+                f"seq={self.seq:04d} pc={self.pc:04d}  {self.text}")
+
+
+class PipelineTracer:
+    """Bounded in-memory event recorder for one core."""
+
+    def __init__(self, limit: int = 100_000,
+                 stages: Optional[List[str]] = None) -> None:
+        self.limit = limit
+        self.stages = set(stages) if stages else None
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, cycle: int, stage: str, seq: int, pc: int,
+               text: str) -> None:
+        if self.stages is not None and stage not in self.stages:
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(cycle, stage, seq, pc, text))
+
+    def render(self, last: Optional[int] = None) -> str:
+        events = self.events if last is None else self.events[-last:]
+        lines = [event.render() for event in events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (limit "
+                         f"{self.limit})")
+        return "\n".join(lines)
+
+    def of_stage(self, stage: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.stage == stage]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+
+def attach_tracer(core, limit: int = 100_000,
+                  stages: Optional[List[str]] = None) -> PipelineTracer:
+    """Create a tracer and attach it to an OutOfOrderCore."""
+    tracer = PipelineTracer(limit=limit, stages=stages)
+    core.tracer = tracer
+    return tracer

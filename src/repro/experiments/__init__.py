@@ -1,0 +1,5 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from repro.experiments.runner import RunResult, execute, relative_ed, speedup
+
+__all__ = ["RunResult", "execute", "relative_ed", "speedup"]

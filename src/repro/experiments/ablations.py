@@ -1,0 +1,219 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism of the ReMAP design and sweeps it:
+
+* **Fabric sharing degree** — how much does 4-way temporal sharing cost a
+  thread vs owning the fabric (Section II-A's contention argument)?
+* **Fabric size / virtualization** — shrink the 24 rows and watch
+  functions virtualize (initiation interval grows, Section II-A).
+* **Spatial partitioning** — private per-thread partitions vs full-fabric
+  temporal sharing for the LL3 MAC stream.
+* **Queue depth** — the decoupling capacity of the SPL input/output
+  queues for a producer/consumer pair.
+* **Barrier bus latency** — sensitivity of multi-cluster barriers to the
+  inter-cluster broadcast delay (Section II-B2).
+* **Reconfiguration cost** — per-row configuration-load cycles for a
+  workload that alternates fabric functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.common.config import ClusterConfig, SplConfig, SystemConfig, \
+    ooo1_config
+from repro.experiments.runner import execute
+from repro.workloads import dijkstra as dijkstra_mod
+from repro.workloads import g721, hmmer
+from repro.workloads.livermore import LL3_VARIANTS
+
+
+def _spl_system(spl: SplConfig, n_clusters: int = 1) -> SystemConfig:
+    cluster = ClusterConfig(kind="spl", core=ooo1_config(),
+                            n_cores=spl.sharers, spl=spl)
+    return SystemConfig(clusters=[cluster] * n_clusters)
+
+
+def sharing_degree(items: int = 24) -> List[Dict]:
+    """Per-thread region throughput with 1, 2, and 4 fabric sharers."""
+    rows = []
+    for copies in (1, 2, 4):
+        spec = g721.spl_spec(items=items, copies=copies)
+        result = execute(spec)
+        rows.append({
+            "sharers": copies,
+            "cycles_per_item": result.cycles_per_item,
+        })
+    base = rows[0]["cycles_per_item"]
+    for row in rows:
+        row["slowdown_vs_private"] = row["cycles_per_item"] / base
+    return rows
+
+
+def fabric_size(items: int = 24) -> List[Dict]:
+    """Shrink the fabric: virtualization raises the initiation interval.
+
+    The g721 fmult configuration needs 26 rows, so it is virtualized even
+    at full size; at 12 and 6 rows the multiplexing deepens.
+    """
+    rows = []
+    for fabric_rows in (48, 24, 12, 6):
+        partitions = 4 if fabric_rows % 4 == 0 else 2
+        spl = replace(SplConfig(), rows=fabric_rows,
+                      max_partitions=partitions)
+        spec = g721.spl_spec(items=items, copies=4)
+        spec = replace(spec, system=_spl_system(spl),
+                       name=f"g721/spl_rows{fabric_rows}")
+        result = execute(spec)
+        rows.append({
+            "fabric_rows": fabric_rows,
+            "cycles_per_item": result.cycles_per_item,
+        })
+    return rows
+
+
+def spatial_partitioning(n: int = 256, p: int = 4,
+                         passes: int = 5) -> List[Dict]:
+    """LL3 MAC streams: private 6-row partitions vs shared 24 rows.
+
+    The shipped barrier_comp variant partitions; this ablation also runs
+    an unpartitioned configuration for comparison.
+    """
+    partitioned = execute(LL3_VARIANTS["barrier_comp"](
+        n=n, p=p, passes=passes))
+
+    # Monkey-path-free unpartitioned run: rebuild the spec and strip the
+    # set_partitions call by wrapping the workload setup.
+    spec = LL3_VARIANTS["barrier_comp"](n=n, p=p, passes=passes)
+    original_setup = spec.workload.setup
+
+    def setup_without_partitions(machine) -> None:
+        calls = []
+        original = machine.set_partitions
+        machine.set_partitions = lambda *a, **k: calls.append(a)
+        try:
+            original_setup(machine)
+        finally:
+            machine.set_partitions = original
+
+    spec.workload.setup = setup_without_partitions
+    shared = execute(spec)
+    return [
+        {"configuration": "private 6-row partitions",
+         "cycles_per_pass": partitioned.cycles_per_item},
+        {"configuration": "shared 24-row fabric",
+         "cycles_per_pass": shared.cycles_per_item},
+    ]
+
+
+def queue_depth(M: int = 64, R: int = 3) -> List[Dict]:
+    """Producer/consumer decoupling vs SPL queue capacity."""
+    rows = []
+    for entries in (2, 4, 16, 64):
+        spl = replace(SplConfig(), input_queue_entries=entries,
+                      output_queue_entries=entries)
+        spec = hmmer.compcomm_spec(M=M, R=R)
+        spec = replace(spec, system=_spl_system(spl),
+                       name=f"hmmer/compcomm_q{entries}")
+        result = execute(spec)
+        rows.append({
+            "queue_entries": entries,
+            "cycles_per_item": result.cycles_per_item,
+        })
+    return rows
+
+
+def barrier_bus_latency(n: int = 40, p: int = 8) -> List[Dict]:
+    """Multi-cluster barrier cost vs inter-cluster bus latency."""
+    rows = []
+    for latency in (0, 10, 50, 200):
+        spl = replace(SplConfig(), barrier_bus_latency=latency)
+        spec = dijkstra_mod.barrier_spec(n=n, p=p)
+        spec = replace(spec, system=_spl_system(spl, n_clusters=2),
+                       name=f"dijkstra/barrier_bus{latency}")
+        result = execute(spec)
+        rows.append({
+            "bus_latency": latency,
+            "cycles_per_iteration": result.cycles_per_item,
+        })
+    return rows
+
+
+def reconfiguration_cost(n: int = 128, p: int = 4,
+                         passes: int = 5) -> List[Dict]:
+    """LL3 barrier_comp alternates MAC and reduce configurations every
+    pass; sweep the per-row configuration-load cost."""
+    rows = []
+    for cycles_per_row in (0, 1, 4, 16):
+        spl = replace(SplConfig(), config_cycles_per_row=cycles_per_row)
+        spec = LL3_VARIANTS["barrier_comp"](n=n, p=p, passes=passes)
+        spec = replace(spec, system=_spl_system(spl),
+                       name=f"ll3/bc_cfg{cycles_per_row}")
+        result = execute(spec)
+        rows.append({
+            "config_cycles_per_row": cycles_per_row,
+            "cycles_per_pass": result.cycles_per_item,
+        })
+    return rows
+
+
+def dynamic_management(n: int = 128) -> List[Dict]:
+    """Adaptive partitioning (core/manager.py) vs static temporal sharing
+    on a four-thread stream with two different fabric functions."""
+    from repro.common.config import remap_system
+    from repro.core.compile import compile_expression
+    from repro.core.manager import attach_fabric_manager
+    from repro.isa import Asm, MemoryImage, ThreadSpec
+    from repro.system.machine import Machine
+    from repro.system.workload import Workload
+
+    def make_workload() -> Workload:
+        image = MemoryImage()
+        fn_a = compile_expression("o = x * 3 + 1;", inputs={"x": 0},
+                                  name="fa")
+        fn_b = compile_expression("o = max(x, -x) - 2;", inputs={"x": 0},
+                                  name="fb")
+        threads = []
+        for tid in range(4):
+            values = [(tid * 11 + i * 7) % 300 - 150 for i in range(n)]
+            src = image.alloc_words(values)
+            dst = image.alloc_zeroed(n)
+            asm = Asm(f"t{tid}")
+            asm.li("r1", src)
+            asm.li("r2", dst)
+            asm.li("r3", 0)
+            asm.li("r4", n)
+            asm.label("loop")
+            asm.spl_loadm("r1", 0)
+            asm.spl_init(1)
+            asm.spl_recv("r5")
+            asm.sw("r5", "r2", 0)
+            asm.addi("r1", "r1", 4)
+            asm.addi("r2", "r2", 4)
+            asm.addi("r3", "r3", 1)
+            asm.blt("r3", "r4", "loop")
+            asm.halt()
+            threads.append(ThreadSpec(asm.assemble(), thread_id=tid + 1))
+
+        def setup(machine) -> None:
+            for core in range(4):
+                machine.configure_spl(core, 1,
+                                      fn_a if core % 2 == 0 else fn_b)
+
+        return Workload("mixed", image, threads, placement=[0, 1, 2, 3],
+                        setup=setup)
+
+    rows = []
+    for managed in (False, True):
+        machine = Machine(remap_system())
+        machine.load(make_workload())
+        if managed:
+            attach_fabric_manager(machine, 0, interval=512)
+        cycles = machine.run(max_cycles=5_000_000)
+        reconfigs = machine.stats.find("spl0").get("reconfigurations")
+        rows.append({"configuration": "managed" if managed
+                     else "static shared",
+                     "cycles": cycles,
+                     "reconfigurations": int(reconfigs)})
+    return rows

@@ -1,0 +1,153 @@
+"""Figures 12, 13, and 14: fine-grained barrier synchronization sweeps.
+
+For each of LL2 / LL6 / LL3 / Dijkstra this sweeps problem size and
+thread count across the synchronization schemes: sequential, software
+barriers (SW), ReMAP barriers, ReMAP barriers+computation (LL3 and
+Dijkstra only), and the dedicated-network homogeneous baseline of
+Section V-C2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.runner import RunResult, execute
+from repro.workloads import registry
+
+#: Paper sweep ranges (Figure 12); quick runs use subsets.
+PAPER_SIZES = {
+    "ll2": (8, 16, 32, 64, 128, 256, 512),
+    "ll6": (8, 16, 32, 64, 128, 256),
+    "ll3": (32, 64, 128, 256, 512, 1024),
+    "dijkstra": (20, 40, 60, 80, 100, 120, 140, 160, 180, 200),
+}
+
+QUICK_SIZES = {
+    "ll2": (16, 64, 256),
+    "ll6": (8, 16, 48),
+    "ll3": (32, 128, 512),
+    "dijkstra": (20, 40, 80),
+}
+
+HAS_COMP = {"ll3", "dijkstra"}
+
+#: Keyword used for the problem size by each benchmark's spec factories.
+_SIZE_KEY = {"ll2": "n", "ll6": "n", "ll3": "n", "dijkstra": "n"}
+
+
+@dataclass
+class BarrierSweep:
+    """cycles-per-iteration and ED for each (variant, threads, size)."""
+
+    bench: str
+    #: {(variant, threads or 0, size): RunResult}
+    runs: Dict[Tuple[str, int, int], RunResult] = field(default_factory=dict)
+
+    def cycles_per_iteration(self, variant: str, threads: int,
+                             size: int) -> float:
+        return self.runs[(variant, threads, size)].cycles_per_item
+
+    def relative_ed(self, variant: str, threads: int, size: int) -> float:
+        """ED relative to sequential execution at the same size."""
+        seq = self.runs[("seq", 0, size)]
+        run = self.runs[(variant, threads, size)]
+        seq_ed = (seq.energy_joules / seq.spec.region_items) * \
+            (seq.seconds / seq.spec.region_items)
+        run_ed = (run.energy_joules / run.spec.region_items) * \
+            (run.seconds / run.spec.region_items)
+        return run_ed / seq_ed
+
+
+def run_barrier_sweep(bench: str, sizes: Optional[List[int]] = None,
+                      thread_counts: Tuple[int, ...] = (8, 16),
+                      include_hwbar: bool = False) -> BarrierSweep:
+    info = registry.REGISTRY[bench]
+    sizes = list(sizes or QUICK_SIZES[bench])
+    sweep = BarrierSweep(bench)
+    key = _SIZE_KEY[bench]
+    for size in sizes:
+        sweep.runs[("seq", 0, size)] = execute(
+            info.variants["seq"](**{key: size}))
+        for p in thread_counts:
+            for variant in ("sw", "barrier"):
+                sweep.runs[(variant, p, size)] = execute(
+                    info.variants[variant](**{key: size, "p": p}))
+            if bench in HAS_COMP:
+                sweep.runs[("barrier_comp", p, size)] = execute(
+                    info.variants["barrier_comp"](**{key: size, "p": p}))
+            if include_hwbar:
+                sweep.runs[("hwbar", p, size)] = execute(
+                    info.variants["hwbar"](**{key: size, "p": p}))
+    return sweep
+
+
+def figure12_series(sweep: BarrierSweep,
+                    thread_counts: Tuple[int, ...] = (8, 16)) -> Dict:
+    """Per-iteration cycles vs problem size, one series per config."""
+    sizes = sorted({size for (_, _, size) in sweep.runs})
+    series = {"sizes": sizes,
+              "Seq": [sweep.cycles_per_iteration("seq", 0, s)
+                      for s in sizes]}
+    for p in thread_counts:
+        series[f"SW-p{p}"] = [sweep.cycles_per_iteration("sw", p, s)
+                              for s in sizes]
+        series[f"Barrier-p{p}"] = [
+            sweep.cycles_per_iteration("barrier", p, s) for s in sizes]
+        if ("barrier_comp", p, sizes[0]) in sweep.runs:
+            series[f"Barrier+Comp-p{p}"] = [
+                sweep.cycles_per_iteration("barrier_comp", p, s)
+                for s in sizes]
+    return series
+
+
+def figure13_series(sweep: BarrierSweep,
+                    thread_counts: Tuple[int, ...] = (2, 4, 8, 16)) -> Dict:
+    """Barrier+Comp improvement over Barrier alone, per thread count."""
+    sizes = sorted({size for (_, _, size) in sweep.runs})
+    series = {"sizes": sizes}
+    for p in thread_counts:
+        if ("barrier_comp", p, sizes[0]) not in sweep.runs:
+            continue
+        series[f"Barrier+Comp-p{p}"] = [
+            (sweep.cycles_per_iteration("barrier", p, s)
+             / sweep.cycles_per_iteration("barrier_comp", p, s) - 1.0) * 100
+            for s in sizes]
+    return series
+
+
+def figure14_series(sweep: BarrierSweep,
+                    thread_counts: Tuple[int, ...] = (8, 16)) -> Dict:
+    """Relative ED vs problem size (sequential baseline = 1.0)."""
+    sizes = sorted({size for (_, _, size) in sweep.runs})
+    series = {"sizes": sizes}
+    for p in thread_counts:
+        series[f"SW-p{p}"] = [sweep.relative_ed("sw", p, s) for s in sizes]
+        series[f"Barrier-p{p}"] = [sweep.relative_ed("barrier", p, s)
+                                   for s in sizes]
+        if ("barrier_comp", p, sizes[0]) in sweep.runs:
+            series[f"Barrier+Comp-p{p}"] = [
+                sweep.relative_ed("barrier_comp", p, s) for s in sizes]
+    return series
+
+
+def homogeneous_comparison(bench: str, sizes: Optional[List[int]] = None,
+                           thread_counts: Tuple[int, ...] = (4, 8)
+                           ) -> List[dict]:
+    """Section V-C2: ReMAP barrier+comp ED vs the homogeneous baseline."""
+    if bench not in HAS_COMP:
+        raise ValueError(f"{bench} has no barrier+comp variant")
+    sweep = run_barrier_sweep(bench, sizes, thread_counts,
+                              include_hwbar=True)
+    sizes_run = sorted({size for (_, _, size) in sweep.runs})
+    rows = []
+    for size in sizes_run:
+        for p in thread_counts:
+            remap_ed = sweep.relative_ed("barrier_comp", p, size)
+            hw_ed = sweep.relative_ed("hwbar", p, size)
+            rows.append({
+                "size": size, "threads": p,
+                "remap_ed": remap_ed, "homogeneous_ed": hw_ed,
+                "ed_reduction_pct": (1.0 - remap_ed / hw_ed) * 100.0,
+            })
+    return rows

@@ -1,0 +1,81 @@
+"""ASCII line plots for the figure series (no plotting libraries needed).
+
+Renders the Figure 12/13/14-style sweeps as terminal charts, with optional
+logarithmic y scaling like the paper's plots::
+
+    cycles
+    10000 |                      S
+          |              S
+     3162 |      S               w      S = Seq
+          |              w   B          w = SW-p8
+     1000 |      w   B                  B = Barrier-p8
+          +---------------------------
+            8     32    128   512
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKS = "SwBbCcXxOo*+"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int,
+           log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return max(0, min(steps - 1, round(position * (steps - 1))))
+
+
+def ascii_plot(series: Dict, height: int = 12, width: int = 60,
+               log_y: bool = True, ylabel: str = "") -> str:
+    """Render a {name: [values], "sizes": [...]} mapping as an ASCII chart."""
+    sizes: Sequence = series["sizes"]
+    names = [name for name in series if name != "sizes"]
+    values: List[float] = [v for name in names for v in series[name]
+                           if v is not None and v > 0]
+    if not values:
+        return "(nothing to plot)"
+    lo, hi = min(values), max(values)
+    if log_y and lo <= 0:
+        log_y = False
+    grid = [[" "] * width for _ in range(height)]
+    for name_index, name in enumerate(names):
+        mark = _MARKS[name_index % len(_MARKS)]
+        for size_index, value in enumerate(series[name]):
+            if value is None or (log_y and value <= 0):
+                continue
+            x = _scale(size_index, 0, max(1, len(sizes) - 1), width, False)
+            y = _scale(value, lo, hi, height, log_y)
+            grid[height - 1 - y][x] = mark
+    # y axis labels at top/middle/bottom
+    def fmt(v: float) -> str:
+        return f"{v:9.3g}"
+
+    if log_y:
+        mid = 10 ** ((math.log10(lo) + math.log10(hi)) / 2)
+    else:
+        mid = (lo + hi) / 2
+    labels = {0: fmt(hi), height // 2: fmt(mid), height - 1: fmt(lo)}
+    lines = [ylabel] if ylabel else []
+    for row_index, row in enumerate(grid):
+        label = labels.get(row_index, " " * 9)
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    # x tick labels
+    ticks = [" "] * width
+    for size_index, size in enumerate(sizes):
+        x = _scale(size_index, 0, max(1, len(sizes) - 1), width, False)
+        text = str(size)
+        x = max(0, min(x, width - len(text)))  # keep the label in frame
+        for offset, char in enumerate(text):
+            ticks[x + offset] = char
+    lines.append(" " * 10 + "".join(ticks))
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} = {name}"
+                        for i, name in enumerate(names))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Figures 10 and 11: optimized-region performance and energy x delay.
+
+For every Table III computation/communication benchmark this study runs
+the region variants the paper plots — 1Th+Comp, 2Th+Comm, 2Th+CompComm,
+and OOO2+Comm — against the single-threaded OOO1 baseline, plus the
+software-queue comparison of Section V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import RunResult, execute, relative_ed, speedup
+from repro.workloads import registry
+
+#: Variant keys in Figure 10/11 order.
+REGION_VARIANTS_COMP = ("spl",)
+REGION_VARIANTS_COMM = ("spl", "comm", "compcomm", "ooo2comm")
+
+#: Default per-benchmark item counts for quick runs (None = module default).
+QUICK_ITEMS: Dict[str, Optional[dict]] = {
+    "hmmer": {"M": 64, "R": 3},
+}
+
+
+@dataclass
+class RegionResults:
+    """All region runs for one benchmark."""
+
+    bench: str
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def speedup(self, variant: str) -> float:
+        return speedup(self.runs["seq"], self.runs[variant])
+
+    def improvement_pct(self, variant: str) -> float:
+        return (self.speedup(variant) - 1.0) * 100.0
+
+    def relative_ed(self, variant: str) -> float:
+        return relative_ed(self.runs["seq"], self.runs[variant])
+
+
+def run_region_study(benchmarks: Optional[List[str]] = None,
+                     include_swqueue: bool = False,
+                     overrides: Optional[Dict[str, dict]] = None
+                     ) -> Dict[str, RegionResults]:
+    """Execute the region variants; returns {bench: RegionResults}."""
+    overrides = overrides or {}
+    wanted = benchmarks or [info.name for info in
+                            registry.computation_only()
+                            + registry.communicating()]
+    study: Dict[str, RegionResults] = {}
+    for name in wanted:
+        info = registry.REGISTRY[name]
+        kwargs = overrides.get(name, QUICK_ITEMS.get(name) or {})
+        variants = ["seq", "seq_ooo2"]
+        if info.category == registry.CATEGORY_COMP:
+            variants += list(REGION_VARIANTS_COMP)
+        else:
+            variants += list(REGION_VARIANTS_COMM)
+            if include_swqueue:
+                variants.append("swqueue")
+        results = RegionResults(name)
+        for variant in variants:
+            results.runs[variant] = execute(info.variants[variant](**kwargs))
+        study[name] = results
+    return study
+
+
+def figure10_rows(study: Dict[str, RegionResults]) -> List[dict]:
+    """Per-benchmark % performance improvement over the OOO1 baseline."""
+    rows = []
+    for bench, results in study.items():
+        row = {"bench": bench}
+        for variant, label in (("spl", "1Th+Comp"), ("comm", "2Th+Comm"),
+                               ("compcomm", "2Th+CompComm"),
+                               ("ooo2comm", "OOO2+Comm")):
+            if variant in results.runs:
+                row[label] = results.improvement_pct(variant)
+        rows.append(row)
+    return rows
+
+
+def figure11_rows(study: Dict[str, RegionResults]) -> List[dict]:
+    """Per-benchmark relative energy x delay (baseline = 1.0)."""
+    rows = []
+    for bench, results in study.items():
+        row = {"bench": bench}
+        for variant, label in (("spl", "1Th+Comp"), ("comm", "2Th+Comm"),
+                               ("compcomm", "2Th+CompComm"),
+                               ("ooo2comm", "OOO2+Comm")):
+            if variant in results.runs:
+                row[label] = results.relative_ed(variant)
+        rows.append(row)
+    return rows
+
+
+def swqueue_rows(study: Dict[str, RegionResults]) -> List[dict]:
+    """Section V-B: software-queue slowdown vs the OOO1 baseline."""
+    rows = []
+    for bench, results in study.items():
+        if "swqueue" in results.runs:
+            rows.append({
+                "bench": bench,
+                "swqueue_slowdown_pct":
+                    (1.0 / results.speedup("swqueue") - 1.0) * 100.0,
+            })
+    return rows

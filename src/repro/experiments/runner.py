@@ -1,0 +1,98 @@
+"""Run one RunSpec on a fresh machine and account performance + energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config import CORE_CLOCK_HZ
+from repro.common.stats import Stats
+from repro.power.model import EnergyBreakdown, EnergyModel
+from repro.system.machine import Machine
+from repro.workloads.base import RunSpec
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated benchmark variant."""
+
+    spec: RunSpec
+    cycles: int
+    energy: EnergyBreakdown
+    stats: Stats
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / CORE_CLOCK_HZ
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total / self.spec.energy_divisor
+
+    @property
+    def energy_delay(self) -> float:
+        return self.energy_joules * self.seconds
+
+    @property
+    def cycles_per_item(self) -> float:
+        return self.cycles / self.spec.region_items
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "cycles_per_item": self.cycles_per_item,
+            "energy_j": self.energy_joules,
+            "ed": self.energy_delay,
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record of the run (spec + results)."""
+        from repro.common.serialize import system_to_dict
+        return {
+            "name": self.spec.name,
+            "region_items": self.spec.region_items,
+            "system": system_to_dict(self.spec.system),
+            "results": self.summary(),
+            "energy_breakdown": {
+                "core_dynamic": self.energy.core_dynamic,
+                "memory_dynamic": self.energy.memory_dynamic,
+                "spl_dynamic": self.energy.spl_dynamic,
+                "leakage": self.energy.leakage,
+            },
+        }
+
+
+def execute(spec: RunSpec, check: bool = True,
+            model: Optional[EnergyModel] = None) -> RunResult:
+    """Build a machine, run the workload to completion, verify, account."""
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    cycles = machine.run(max_cycles=spec.max_cycles)
+    if check and spec.workload.check is not None:
+        spec.workload.check(machine.memory)
+    model = model or EnergyModel()
+    energy = model.configuration_energy(
+        machine.stats, cycles,
+        ooo1_cores=spec.ooo1_cores,
+        ooo2_cores=spec.ooo2_cores,
+        spl_clusters=spec.spl_clusters)
+    return RunResult(spec=spec, cycles=cycles, energy=energy,
+                     stats=machine.stats)
+
+
+def speedup(baseline: RunResult, candidate: RunResult) -> float:
+    """Throughput ratio on a per-work-item basis (>1 means faster)."""
+    return baseline.cycles_per_item / candidate.cycles_per_item
+
+
+def relative_ed(baseline: RunResult, candidate: RunResult) -> float:
+    """ED of the candidate relative to the baseline (<1 means better).
+
+    Both runs complete the same number of work items per thread-set, so ED
+    is compared per item-set: (E/items) x (T/items).
+    """
+    base = (baseline.energy_joules / baseline.spec.region_items) * \
+        (baseline.seconds / baseline.spec.region_items)
+    cand = (candidate.energy_joules / candidate.spec.region_items) * \
+        (candidate.seconds / candidate.spec.region_items)
+    return cand / base

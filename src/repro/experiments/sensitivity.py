@@ -1,0 +1,69 @@
+"""Microarchitectural sensitivity studies.
+
+Sweeps one Table II core parameter at a time and measures its effect on a
+representative kernel — the standard methodology for checking that a
+simulator's bottlenecks respond believably (ROB-limited ILP, physical
+registers, cache capacity, memory latency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.common.config import CacheConfig, SystemConfig, ooo1_cluster
+from repro.experiments.runner import execute
+from repro.workloads import hmmer
+
+
+def _system_with_core(**core_overrides) -> SystemConfig:
+    cluster = ooo1_cluster()
+    core = dataclasses.replace(cluster.core, **core_overrides)
+    return SystemConfig(clusters=[dataclasses.replace(cluster, core=core)])
+
+
+def _run_seq(system: SystemConfig, label: str, value) -> Dict:
+    spec = hmmer.seq_spec(M=64, R=3)
+    spec = dataclasses.replace(spec, system=system,
+                               name=f"hmmer/seq_{label}{value}")
+    result = execute(spec)
+    return {label: value, "cycles_per_item": result.cycles_per_item}
+
+
+def rob_size(values=(16, 32, 64, 128)) -> List[Dict]:
+    """Window-limited ILP: shrinking the ROB must cost performance."""
+    return [_run_seq(_system_with_core(rob_entries=v), "rob", v)
+            for v in values]
+
+
+def physical_registers(values=(40, 48, 64, 96)) -> List[Dict]:
+    """Rename-limited ILP (Table II gives 64/64)."""
+    return [_run_seq(_system_with_core(int_regs=v, fp_regs=v), "regs", v)
+            for v in values]
+
+
+def l1d_size(values=(2, 8, 32)) -> List[Dict]:
+    """Cache capacity in kB; the hmmer tables live or die by this."""
+    rows = []
+    for kb in values:
+        l1 = CacheConfig("L1D", kb * 1024, 2, 32, 2)
+        rows.append(_run_seq(_system_with_core(l1d=l1), "l1d_kb", kb))
+    return rows
+
+
+def memory_latency(values=(50, 200, 800)) -> List[Dict]:
+    """Main-memory access time in cycles (the paper's 100 ns = 200)."""
+    rows = []
+    for cycles in values:
+        cluster = ooo1_cluster()
+        system = SystemConfig(clusters=[cluster], memory_latency=cycles)
+        rows.append(_run_seq(system, "mem_cycles", cycles))
+    return rows
+
+
+ALL_SENSITIVITIES = {
+    "rob": rob_size,
+    "registers": physical_registers,
+    "l1d": l1d_size,
+    "memory": memory_latency,
+}

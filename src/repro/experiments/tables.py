@@ -1,0 +1,60 @@
+"""Regeneration of Tables I, II, and III."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.config import ooo1_config, ooo2_config, spl_config
+from repro.power.area import table1 as power_table1
+from repro.workloads import registry
+
+
+def table1() -> Dict[str, Dict[str, float]]:
+    """Table I: relative area and power of four OOO1 cores vs the SPL."""
+    return power_table1()
+
+
+def table2() -> List[Tuple[str, str, str]]:
+    """Table II: architecture parameters as (parameter, OOO1, OOO2) rows."""
+    ooo1, ooo2 = ooo1_config(), ooo2_config()
+    rows = [
+        ("Fetch/Decode/Rename Width", str(ooo1.fetch_width),
+         str(ooo2.fetch_width)),
+        ("Issue/Retire Width", str(ooo1.issue_width), str(ooo2.issue_width)),
+        ("Branch Predictor", "gshare + bimodal", "gshare + bimodal"),
+        ("RAS Entries", str(ooo1.predictor.ras_entries),
+         str(ooo2.predictor.ras_entries)),
+        ("BTB Size", "512B", "512B"),
+        ("Integer/FP Registers", f"{ooo1.int_regs}/{ooo1.fp_regs}",
+         f"{ooo2.int_regs}/{ooo2.fp_regs}"),
+        ("Integer/FP Queue Entries", f"{ooo1.int_queue}/{ooo1.fp_queue}",
+         f"{ooo2.int_queue}/{ooo2.fp_queue}"),
+        ("ROB Entries", str(ooo1.rob_entries), str(ooo2.rob_entries)),
+        ("Int/FP ALUs", f"{ooo1.int_alus}/{ooo1.fp_alus}",
+         f"{ooo2.int_alus}/{ooo2.fp_alus}"),
+        ("Branch Units", str(ooo1.branch_units), str(ooo2.branch_units)),
+        ("LD/ST Units", str(ooo1.ldst_units), str(ooo2.ldst_units)),
+        ("L1 Inst Cache", "8kB 2-way, 2-cycle", "8kB 2-way, 2-cycle"),
+        ("L1 Data Cache", "8kB 2-way, 2-cycle", "8kB 2-way, 2-cycle"),
+        ("L2 Cache", "1MB per core, 10-cycle", "1MB per core, 10-cycle"),
+        ("Coherence Protocol", "MESI", "MESI"),
+        ("Main Memory Access Time", "100 ns", "100 ns"),
+    ]
+    return rows
+
+
+def table3() -> List[Tuple[str, str, str]]:
+    """Table III: benchmark, optimized functions, % exec time."""
+    return registry.table3_rows()
+
+
+def spl_parameters() -> Dict[str, int]:
+    """The SPL organization of Section II-A (for reports/tests)."""
+    spl = spl_config()
+    return {
+        "rows": spl.rows,
+        "cells_per_row": spl.cells_per_row,
+        "bits_per_cell": spl.bits_per_cell,
+        "sharers": spl.sharers,
+        "max_partitions": spl.max_partitions,
+    }

@@ -1,0 +1,124 @@
+"""Figures 8 and 9: whole-program performance and ED in the heterogeneous
+CMP.
+
+The paper runs 250M-instruction SimPoints of whole programs.  We simulate
+the optimized regions and compose whole-program behaviour analytically
+(see DESIGN.md):
+
+* the region accounts for ``f`` of baseline execution time (Table III);
+* under ReMAP, the region runs on the SPL cluster (best ReMAP variant) and
+  the rest on an OOO2 core, paying the 500-cycle migration both ways per
+  region entry (Section V-A);
+* under OOO2+Comm, the region runs on the OOO2+network pair and the rest
+  on an OOO2 core, with no migrations.
+
+Energy is composed the same way: measured region energy plus the remainder
+at the measured average power of the corresponding core type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import MIGRATION_CYCLES
+from repro.experiments.regions import RegionResults, run_region_study
+from repro.workloads import registry
+
+
+@dataclass
+class WholeProgramPoint:
+    """Composed whole-program numbers for one benchmark."""
+
+    bench: str
+    remap_speedup: float
+    ooo2comm_speedup: float
+    remap_relative_ed: float
+    ooo2comm_relative_ed: float
+
+    def improvement_pct(self, config: str) -> float:
+        value = self.remap_speedup if config == "remap" \
+            else self.ooo2comm_speedup
+        return (value - 1.0) * 100.0
+
+
+def _compose(results: RegionResults, info,
+             region_variant: str, uses_migration: bool):
+    """Returns (speedup, relative ED) for one configuration."""
+    f = info.exec_fraction
+    seq = results.runs["seq"]
+    wide = results.runs["seq_ooo2"]
+    region = results.runs[region_variant]
+    # Baseline: the whole program on one OOO1 core.
+    base_region_cycles = seq.cycles
+    base_total_cycles = base_region_cycles / f
+    rest_cycles_base = base_total_cycles - base_region_cycles
+    # Sequential-code speedup of an OOO2 core, measured on this kernel.
+    s2 = seq.cycles / wide.cycles
+    rest_cycles = rest_cycles_base / s2
+    migration = (2 * MIGRATION_CYCLES * info.region_entries
+                 if uses_migration else 0)
+    total_cycles = region.cycles + rest_cycles + migration
+    speedup = base_total_cycles / total_cycles
+    # Energy composition: measured region energy + remainder at the
+    # average power of the core running it.
+    p1 = seq.energy_joules / seq.seconds          # OOO1 average power
+    p2 = wide.energy_joules / wide.seconds        # OOO2 average power
+    cycles_to_s = seq.seconds / seq.cycles
+    base_energy = p1 * base_total_cycles * cycles_to_s
+    energy = (region.energy_joules
+              + p2 * (rest_cycles + migration) * cycles_to_s)
+    base_ed = base_energy * base_total_cycles * cycles_to_s
+    ed = energy * total_cycles * cycles_to_s
+    return speedup, ed / base_ed
+
+
+def best_remap_variant(info) -> str:
+    """The region variant ReMAP schedules (Section V-A)."""
+    if info.category == registry.CATEGORY_COMP:
+        return "spl"
+    return "compcomm"
+
+
+def whole_program_study(benchmarks: Optional[List[str]] = None,
+                        overrides: Optional[Dict[str, dict]] = None
+                        ) -> List[WholeProgramPoint]:
+    study = run_region_study(benchmarks, overrides=overrides)
+    points = []
+    for bench, results in study.items():
+        info = registry.REGISTRY[bench]
+        remap_speedup, remap_ed = _compose(
+            results, info, best_remap_variant(info), uses_migration=True)
+        if info.category == registry.CATEGORY_COMP:
+            # Computation-only programs under OOO2+Comm simply run on the
+            # OOO2 core (the network is unused).
+            ooo2_speedup = results.runs["seq"].cycles / \
+                results.runs["seq_ooo2"].cycles
+            base = results.runs["seq"]
+            wide = results.runs["seq_ooo2"]
+            ooo2_ed = (wide.energy_joules * wide.seconds) / \
+                (base.energy_joules * base.seconds)
+        else:
+            ooo2_speedup, ooo2_ed = _compose(
+                results, info, "ooo2comm", uses_migration=False)
+        points.append(WholeProgramPoint(
+            bench=bench,
+            remap_speedup=remap_speedup,
+            ooo2comm_speedup=ooo2_speedup,
+            remap_relative_ed=remap_ed,
+            ooo2comm_relative_ed=ooo2_ed))
+    return points
+
+
+def figure8_rows(points: List[WholeProgramPoint]) -> List[dict]:
+    return [{"bench": p.bench,
+             "ReMAP_improvement_pct": p.improvement_pct("remap"),
+             "OOO2+Comm_improvement_pct": p.improvement_pct("ooo2comm")}
+            for p in points]
+
+
+def figure9_rows(points: List[WholeProgramPoint]) -> List[dict]:
+    return [{"bench": p.bench,
+             "ReMAP_relative_ED": p.remap_relative_ed,
+             "OOO2+Comm_relative_ED": p.ooo2comm_relative_ed}
+            for p in points]

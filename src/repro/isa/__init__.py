@@ -1,0 +1,12 @@
+"""Custom RISC ISA: opcodes, instructions, assembler, programs."""
+
+from repro.isa.assembler import Asm
+from repro.isa.instruction import Instruction, reg_index, reg_name
+from repro.isa.opcodes import FuClass, Op, OpInfo, info
+from repro.isa.program import MemoryImage, Program, ThreadSpec
+
+__all__ = [
+    "Asm", "Instruction", "reg_index", "reg_name",
+    "FuClass", "Op", "OpInfo", "info",
+    "MemoryImage", "Program", "ThreadSpec",
+]

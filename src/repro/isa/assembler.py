@@ -1,0 +1,222 @@
+"""A tiny macro assembler.
+
+Workload builders construct programs through an :class:`Asm` instance whose
+methods mirror the opcodes::
+
+    a = Asm("loop_demo")
+    a.li("r1", 0)
+    a.label("loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    program = a.assemble()
+
+Operand order follows the formats in :mod:`repro.isa.opcodes`:
+
+* ``a.add(rd, rs1, rs2)``, ``a.addi(rd, rs1, imm)``, ``a.li(rd, imm)``
+* ``a.lw(rd, base, offset=0)`` loads ``mem[base + offset]``
+* ``a.sw(src, base, offset=0)`` stores ``src`` to ``mem[base + offset]``
+* ``a.amo_add(rd, addr, operand)`` atomically ``rd = mem[addr];
+  mem[addr] += operand``
+* ``a.beq(rs1, rs2, label)`` ... ``a.j(label)`` ... ``a.jr(rs1)``
+* ``a.spl_load(src, offset)``, ``a.spl_init(config)``, ``a.spl_recv(rd)``,
+  ``a.spl_store(base, offset=0)``
+
+plus a few pseudo-instruction helpers (``mov``, ``bgt``, ``ble``, ``neg``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import AssemblyError
+from repro.isa.instruction import Instruction, reg_index
+from repro.isa.opcodes import Fmt, Op, info
+from repro.isa.program import Program
+
+Reg = Union[str, int]
+
+
+def _reg(value: Reg) -> int:
+    return reg_index(value) if isinstance(value, str) else value
+
+
+class Asm:
+    """Accumulates instructions and labels, then assembles a Program."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._label_seq = 0
+
+    # -- core emission -----------------------------------------------------
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self._insts.append(inst)
+        return inst
+
+    def label(self, name: str) -> str:
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._label_seq += 1
+        return f"__{hint}_{self._label_seq}"
+
+    def here(self) -> int:
+        return len(self._insts)
+
+    def assemble(self) -> Program:
+        if not self._insts:
+            raise AssemblyError(f"{self.name}: empty program")
+        return Program(self.name, self._insts, self._labels)
+
+    # -- generic opcode dispatch --------------------------------------------
+
+    def _op(self, op: Op, *args) -> Instruction:
+        fmt = info(op).fmt
+        if fmt is Fmt.RRR:
+            rd, rs1, rs2 = args
+            inst = Instruction(op, rd=_reg(rd), rs1=_reg(rs1), rs2=_reg(rs2))
+        elif fmt is Fmt.RRI:
+            rd, rs1, imm = args
+            inst = Instruction(op, rd=_reg(rd), rs1=_reg(rs1), imm=int(imm))
+        elif fmt is Fmt.RI:
+            rd, imm = args
+            inst = Instruction(op, rd=_reg(rd), imm=int(imm))
+        elif fmt is Fmt.BRANCH:
+            rs1, rs2, target = args
+            inst = Instruction(op, rs1=_reg(rs1), rs2=_reg(rs2), target=target)
+        elif fmt is Fmt.JUMP:
+            if op is Op.JAL:
+                rd, target = args
+                inst = Instruction(op, rd=_reg(rd), target=target)
+            else:
+                (target,) = args
+                inst = Instruction(op, target=target)
+        elif fmt is Fmt.JREG:
+            (rs1,) = args
+            inst = Instruction(op, rs1=_reg(rs1))
+        elif fmt is Fmt.MEM_LOAD:
+            rd, base = args[0], args[1]
+            offset = args[2] if len(args) > 2 else 0
+            inst = Instruction(op, rd=_reg(rd), rs1=_reg(base), imm=int(offset))
+        elif fmt is Fmt.MEM_STORE:
+            src, base = args[0], args[1]
+            offset = args[2] if len(args) > 2 else 0
+            inst = Instruction(op, rs2=_reg(src), rs1=_reg(base),
+                               imm=int(offset))
+        elif fmt is Fmt.AMO:
+            rd, addr, operand = args
+            inst = Instruction(op, rd=_reg(rd), rs1=_reg(addr),
+                               rs2=_reg(operand))
+        elif fmt is Fmt.SPL_LOAD:
+            src, offset = args
+            inst = Instruction(op, rs1=_reg(src), imm=int(offset))
+        elif fmt is Fmt.SPL_LOADM:
+            # spl_loadm(base, staging_offset, addr_offset=0):
+            # loads mem[base + addr_offset] into staging[staging_offset].
+            base, staging_offset = args[0], args[1]
+            addr_offset = args[2] if len(args) > 2 else 0
+            inst = Instruction(op, rs1=_reg(base), imm=int(addr_offset),
+                               target=int(staging_offset))
+        elif fmt is Fmt.SPL_INIT:
+            (config,) = args
+            inst = Instruction(op, imm=int(config))
+        elif fmt is Fmt.SPL_RECV:
+            (rd,) = args
+            inst = Instruction(op, rd=_reg(rd))
+        elif fmt is Fmt.SPL_STORE:
+            base = args[0]
+            offset = args[1] if len(args) > 1 else 0
+            inst = Instruction(op, rs1=_reg(base), imm=int(offset))
+        elif fmt is Fmt.NONE:
+            if args:
+                raise AssemblyError(f"{op.value} takes no operands")
+            inst = Instruction(op)
+        else:  # pragma: no cover - all formats covered above
+            raise AssemblyError(f"unhandled format {fmt}")
+        return self.emit(inst)
+
+    def __getattr__(self, name: str):
+        try:
+            op = Op(name)
+        except ValueError as exc:
+            raise AttributeError(name) from exc
+
+        def method(*args):
+            return self._op(op, *args)
+
+        method.__name__ = name
+        return method
+
+    # -- pseudo-instructions -------------------------------------------------
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        """Alias for the OR opcode (``or`` is a Python keyword)."""
+        return self._op(Op.OR, rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        """Alias for the AND opcode (``and`` is a Python keyword)."""
+        return self._op(Op.AND, rd, rs1, rs2)
+
+    def mov(self, rd: Reg, rs: Reg) -> Instruction:
+        return self._op(Op.ADD, rd, rs, "r0")
+
+    def neg(self, rd: Reg, rs: Reg) -> Instruction:
+        return self._op(Op.SUB, rd, "r0", rs)
+
+    def bgt(self, rs1: Reg, rs2: Reg, target: str) -> Instruction:
+        """Branch if rs1 > rs2 (signed)."""
+        return self._op(Op.BLT, rs2, rs1, target)
+
+    def ble(self, rs1: Reg, rs2: Reg, target: str) -> Instruction:
+        """Branch if rs1 <= rs2 (signed)."""
+        return self._op(Op.BGE, rs2, rs1, target)
+
+    def beqz(self, rs: Reg, target: str) -> Instruction:
+        return self._op(Op.BEQ, rs, "r0", target)
+
+    def bnez(self, rs: Reg, target: str) -> Instruction:
+        return self._op(Op.BNE, rs, "r0", target)
+
+    # -- structured-control helpers -------------------------------------------
+
+    def for_range(self, counter: Reg, start_imm: int, bound: Reg,
+                  body, step: int = 1) -> None:
+        """Emit ``for (counter = start; counter < bound; counter += step)``.
+
+        ``body`` is a callable invoked once to emit the loop body.  The loop
+        condition is re-tested at the bottom (do-while shape preceded by a
+        guard), matching how compilers emit counted loops.
+        """
+        top = self.fresh_label("for")
+        done = self.fresh_label("endfor")
+        self.li(counter, start_imm)
+        self._op(Op.BGE, counter, bound, done)
+        self.label(top)
+        body()
+        self._op(Op.ADDI, counter, counter, step)
+        self._op(Op.BLT, counter, bound, top)
+        self.label(done)
+
+    def max_signed(self, rd: Reg, rs1: Reg, rs2: Reg, tmp: Reg) -> None:
+        """rd = max(rs1, rs2) using a conditional branch (as compiled code)."""
+        take = self.fresh_label("max")
+        self.mov(tmp, rs1)
+        self._op(Op.BGE, rs1, rs2, take)
+        self.mov(tmp, rs2)
+        self.label(take)
+        self.mov(rd, tmp)
+
+    def min_signed(self, rd: Reg, rs1: Reg, rs2: Reg, tmp: Reg) -> None:
+        take = self.fresh_label("min")
+        self.mov(tmp, rs1)
+        self._op(Op.BGE, rs2, rs1, take)
+        self.mov(tmp, rs2)
+        self.label(take)
+        self.mov(rd, tmp)

@@ -1,0 +1,125 @@
+"""Instruction and register representations.
+
+Registers are encoded as small integers: ``r0``..``r31`` map to 0..31 and
+``f0``..``f31`` map to 32..63.  ``r0`` is hardwired to zero.  Instructions
+are plain slotted objects because the simulator touches them constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import AssemblyError
+from repro.isa.opcodes import Fmt, Op, OpInfo, info
+
+N_INT_REGS = 32
+N_FP_REGS = 32
+N_ARCH_REGS = N_INT_REGS + N_FP_REGS
+ZERO_REG = 0
+FP_BASE = N_INT_REGS
+
+
+def reg_index(name: str) -> int:
+    """Translate ``"r5"`` / ``"f3"`` into the flat register index."""
+    if len(name) < 2 or name[0] not in "rf":
+        raise AssemblyError(f"bad register name {name!r}")
+    try:
+        num = int(name[1:])
+    except ValueError as exc:
+        raise AssemblyError(f"bad register name {name!r}") from exc
+    limit = N_INT_REGS if name[0] == "r" else N_FP_REGS
+    if not 0 <= num < limit:
+        raise AssemblyError(f"register {name!r} out of range")
+    return num if name[0] == "r" else FP_BASE + num
+
+
+def reg_name(index: int) -> str:
+    if 0 <= index < FP_BASE:
+        return f"r{index}"
+    if FP_BASE <= index < N_ARCH_REGS:
+        return f"f{index - FP_BASE}"
+    raise AssemblyError(f"register index {index} out of range")
+
+
+def is_fp(index: int) -> bool:
+    return index >= FP_BASE
+
+
+class Instruction:
+    """One decoded instruction.
+
+    ``target`` holds a label name until the assembler resolves it to an
+    instruction index.  ``rd``/``rs1``/``rs2`` are flat register indices or
+    None.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target", "index")
+
+    def __init__(self, op: Op, rd: Optional[int] = None,
+                 rs1: Optional[int] = None, rs2: Optional[int] = None,
+                 imm: int = 0, target=None) -> None:
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.index: int = -1  # set when added to a program
+
+    @property
+    def info(self) -> OpInfo:
+        return info(self.op)
+
+    def sources(self):
+        """Register indices read by this instruction (excluding r0)."""
+        regs = []
+        if self.rs1 is not None and self.rs1 != ZERO_REG:
+            regs.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != ZERO_REG:
+            regs.append(self.rs2)
+        return regs
+
+    def dest(self) -> Optional[int]:
+        """Register written, or None (writes to r0 are discarded)."""
+        if self.info.writes_rd and self.rd is not None and self.rd != ZERO_REG:
+            return self.rd
+        return None
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        fmt = self.info.fmt
+        if fmt in (Fmt.RRR,):
+            parts.append(f"{reg_name(self.rd)}, {reg_name(self.rs1)}, "
+                         f"{reg_name(self.rs2)}")
+        elif fmt in (Fmt.RRI,):
+            parts.append(f"{reg_name(self.rd)}, {reg_name(self.rs1)}, "
+                         f"{self.imm}")
+        elif fmt is Fmt.RI:
+            parts.append(f"{reg_name(self.rd)}, {self.imm}")
+        elif fmt is Fmt.BRANCH:
+            parts.append(f"{reg_name(self.rs1)}, {reg_name(self.rs2)}, "
+                         f"{self.target}")
+        elif fmt is Fmt.JUMP:
+            parts.append(str(self.target))
+        elif fmt is Fmt.JREG:
+            parts.append(reg_name(self.rs1))
+        elif fmt is Fmt.MEM_LOAD:
+            parts.append(f"{reg_name(self.rd)}, {self.imm}"
+                         f"({reg_name(self.rs1)})")
+        elif fmt is Fmt.MEM_STORE:
+            parts.append(f"{reg_name(self.rs2)}, {self.imm}"
+                         f"({reg_name(self.rs1)})")
+        elif fmt is Fmt.AMO:
+            parts.append(f"{reg_name(self.rd)}, {reg_name(self.rs2)}, "
+                         f"({reg_name(self.rs1)})")
+        elif fmt is Fmt.SPL_LOAD:
+            parts.append(f"{reg_name(self.rs1)}, offset={self.imm}")
+        elif fmt is Fmt.SPL_LOADM:
+            parts.append(f"({reg_name(self.rs1)}), offset={self.imm}")
+        elif fmt is Fmt.SPL_INIT:
+            parts.append(f"config={self.imm}")
+        elif fmt is Fmt.SPL_RECV:
+            parts.append(reg_name(self.rd))
+        elif fmt is Fmt.SPL_STORE:
+            parts.append(f"{self.imm}({reg_name(self.rs1)})")
+        return " ".join(p for p in parts if p)

@@ -1,0 +1,204 @@
+"""A functional (golden-model) interpreter for the ISA.
+
+Executes programs sequentially with no timing, used as the oracle for
+differential testing of the out-of-order pipeline: any program that runs
+on the cycle-level simulator must produce exactly the same architectural
+state here.  SPL instructions are interpreted against a caller-provided
+functional fabric model (:class:`FunctionalSpl`), which evaluates the same
+:class:`repro.core.function.SplFunction` objects the timing simulator
+uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.core.queues import StagingEntry
+from repro.cpu.exec import alu, branch_taken, fp
+from repro.isa.instruction import FP_BASE, N_FP_REGS, N_INT_REGS
+from repro.isa.opcodes import FuClass, Op
+from repro.isa.program import Program
+from repro.mem.memory import MainMemory
+
+
+class FunctionalSpl:
+    """Zero-latency functional model of one core's SPL interface."""
+
+    def __init__(self) -> None:
+        self.bindings: Dict[int, object] = {}
+        self.dest_queues: Dict[int, "FunctionalSpl"] = {}
+        self.staging = StagingEntry()
+        self.output: Deque[int] = deque()
+
+    def configure(self, config_id: int, function,
+                  dest: Optional["FunctionalSpl"] = None) -> None:
+        self.bindings[config_id] = (function, dest or self)
+
+    def stage(self, value: int, offset: int) -> None:
+        self.staging.write_word(value, offset)
+
+    def init(self, config_id: int) -> None:
+        if config_id not in self.bindings:
+            raise SimulationError(f"unbound SPL config {config_id}")
+        function, dest = self.bindings[config_id]
+        data, valid, _ = self.staging.seal()
+        for word in function.evaluate_entry(data, valid):
+            dest.output.append(word)
+
+    def recv(self) -> int:
+        if not self.output:
+            raise SimulationError("functional SPL recv on empty queue")
+        return self.output.popleft()
+
+
+class Interpreter:
+    """Sequential, in-order execution of one program."""
+
+    def __init__(self, program: Program, memory: MainMemory,
+                 spl: Optional[FunctionalSpl] = None,
+                 max_steps: int = 10_000_000) -> None:
+        self.program = program
+        self.memory = memory
+        self.spl = spl
+        self.max_steps = max_steps
+        self.int_regs: List[int] = [0] * N_INT_REGS
+        self.fp_regs: List[float] = [0.0] * N_FP_REGS
+        self.pc = 0
+        self.steps = 0
+        self.halted = False
+
+    # -- register helpers ---------------------------------------------------------
+
+    def _read(self, reg: Optional[int]):
+        if reg is None:
+            return 0
+        if reg < FP_BASE:
+            return self.int_regs[reg]
+        return self.fp_regs[reg - FP_BASE]
+
+    def _write(self, reg: Optional[int], value) -> None:
+        if reg is None or reg == 0:
+            return
+        if reg < FP_BASE:
+            self.int_regs[reg] = value
+        else:
+            self.fp_regs[reg - FP_BASE] = value
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> int:
+        """Execute until HALT; returns the number of instructions."""
+        while not self.halted:
+            self.step()
+        return self.steps
+
+    def step(self) -> None:
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program):
+            raise SimulationError(f"PC {self.pc} out of program")
+        if self.steps >= self.max_steps:
+            raise SimulationError("interpreter step limit exceeded")
+        inst = self.program[self.pc]
+        self.steps += 1
+        op = inst.op
+        info = inst.info
+        next_pc = self.pc + 1
+        a = self._read(inst.rs1)
+        b = self._read(inst.rs2)
+        if op is Op.HALT:
+            self.halted = True
+        elif info.is_branch:
+            next_pc = self._branch(inst, a)
+        elif op in (Op.AMO_ADD, Op.AMO_SWAP):
+            old = self.memory.read_word_signed(a)
+            new = old + b if op is Op.AMO_ADD else b
+            self.memory.write_word(a, new & 0xFFFFFFFF)
+            self._write(inst.rd, old)
+        elif info.is_load:
+            self._load(inst, a)
+        elif info.is_store:
+            self._store(inst, a, b)
+        elif op is Op.FENCE:
+            pass
+        elif info.is_spl:
+            self._spl(inst, a)
+        elif info.fu is FuClass.FP:
+            self._write(inst.rd, fp(op, a, b))
+        else:
+            self._write(inst.rd, alu(op, a, b, inst.imm))
+        self.pc = next_pc
+
+    def _branch(self, inst, a: int) -> int:
+        op = inst.op
+        if op is Op.J:
+            return inst.target
+        if op is Op.JAL:
+            self._write(inst.rd, self.pc + 1)
+            return inst.target
+        if op is Op.JR:
+            return a
+        taken = branch_taken(op, a, self._read(inst.rs2))
+        return inst.target if taken else self.pc + 1
+
+    def _load(self, inst, base: int) -> None:
+        addr = base + inst.imm
+        op = inst.op
+        if op is Op.LW:
+            value = self.memory.read_word_signed(addr)
+        elif op is Op.LB:
+            raw = self.memory.read_byte(addr)
+            value = raw - 256 if raw >= 128 else raw
+        elif op is Op.LBU:
+            value = self.memory.read_byte(addr)
+        elif op is Op.LH:
+            raw = self.memory.read_half(addr)
+            value = raw - 65536 if raw >= 32768 else raw
+        elif op is Op.LHU:
+            value = self.memory.read_half(addr)
+        elif op is Op.FLW:
+            value = self.memory.read_float(addr)
+        else:  # pragma: no cover
+            raise SimulationError(f"bad load {op}")
+        self._write(inst.rd, value)
+
+    def _store(self, inst, base: int, value) -> None:
+        addr = base + inst.imm
+        op = inst.op
+        if op is Op.SW:
+            self.memory.write_word(addr, value & 0xFFFFFFFF)
+        elif op is Op.SB:
+            self.memory.write_byte(addr, value & 0xFF)
+        elif op is Op.SH:
+            self.memory.write_half(addr, value & 0xFFFF)
+        elif op is Op.FSW:
+            self.memory.write_float(addr, value)
+        else:  # pragma: no cover
+            raise SimulationError(f"bad store {op}")
+
+    def _spl(self, inst, a: int) -> None:
+        if self.spl is None:
+            raise SimulationError("program uses SPL ops but no functional "
+                                  "SPL was provided")
+        op = inst.op
+        if op is Op.SPL_LOAD:
+            self.spl.stage(a, inst.imm)
+        elif op is Op.SPL_LOADM:
+            self.spl.stage(self.memory.read_word_signed(a + inst.imm),
+                           inst.target)
+        elif op is Op.SPL_LOADV:
+            for i in range(4):
+                self.spl.stage(
+                    self.memory.read_word_signed(a + inst.imm + 4 * i),
+                    inst.target + 4 * i)
+        elif op is Op.SPL_INIT:
+            self.spl.init(inst.imm)
+        elif op is Op.SPL_RECV:
+            self._write(inst.rd, self.spl.recv())
+        elif op is Op.SPL_STORE:
+            self.memory.write_word(a + inst.imm,
+                                   self.spl.recv() & 0xFFFFFFFF)
+        else:  # pragma: no cover
+            raise SimulationError(f"bad spl op {op}")

@@ -1,0 +1,210 @@
+"""Instruction set definition.
+
+A small 32-bit RISC ISA, sufficient to express every kernel in Table III of
+the paper, plus the SPL interface instructions of Section II-B:
+
+* ``spl_load``  — place a register value into the core's SPL input staging
+  entry at a byte alignment (Figure 3(a)).
+* ``spl_loadm`` — load the word at ``(rs1)`` from the L1D straight into the
+  staging entry (the "From C0 L1D" path of Figure 2(b)); the cache access
+  overlaps with execution and ``spl_init`` issue waits for it.
+* ``spl_loadv`` — like ``spl_loadm`` but loads a full 16-byte input beat
+  (the row width) of four contiguous words in one instruction, matching
+  the fabric's row-wide input bus.
+* ``spl_init``  — seal the staging entry and issue it to the fabric with a
+  configuration id (Figure 3(b)); barrier configurations mark arrival at a
+  barrier instead (Figure 4).
+* ``spl_recv``  — pop one word from the core's SPL output queue into a
+  register (blocks while the queue is empty).
+* ``spl_store`` — pop one word from the output queue and store it to memory
+  (the paper's "SPL Store" writing the output queue to the store queue).
+
+``amo_add``/``amo_swap`` provide the atomic read-modify-write needed by the
+software-queue and software-barrier baselines, and ``fence`` is the memory
+fence executed after barrier stores (Section II-B2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class FuClass(enum.Enum):
+    """Functional unit classes used by the issue stage."""
+
+    INT = "int"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    BRANCH = "branch"
+    MEM = "mem"
+    SPL = "spl"
+    SYS = "sys"
+
+
+class Fmt(enum.Enum):
+    """Operand formats, used by the assembler for validation."""
+
+    RRR = "rd, rs1, rs2"
+    RRI = "rd, rs1, imm"
+    RI = "rd, imm"
+    BRANCH = "rs1, rs2, label"
+    JUMP = "label"
+    JREG = "rs1"
+    MEM_LOAD = "rd, imm(rs1)"
+    MEM_STORE = "rs2, imm(rs1)"
+    AMO = "rd, rs2, (rs1)"
+    SPL_LOAD = "rs1, offset"
+    SPL_LOADM = "(rs1), offset"
+    SPL_INIT = "config"
+    SPL_RECV = "rd"
+    SPL_STORE = "imm(rs1)"
+    NONE = ""
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    fu: FuClass
+    latency: int
+    fmt: Fmt
+    writes_rd: bool = True
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_spl: bool = False
+    serialize: bool = False  # executes non-speculatively at ROB head
+
+
+class Op(enum.Enum):
+    """All opcodes.  The value is the mnemonic."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    SLTI = "slti"
+    LI = "li"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # Floating point (operates on f-registers)
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSLT = "fslt"  # rd (int) = f[rs1] < f[rs2]
+    # Memory
+    LW = "lw"
+    LB = "lb"
+    LBU = "lbu"
+    LH = "lh"
+    LHU = "lhu"
+    SW = "sw"
+    SB = "sb"
+    SH = "sh"
+    FLW = "flw"
+    FSW = "fsw"
+    AMO_ADD = "amo_add"
+    AMO_SWAP = "amo_swap"
+    FENCE = "fence"
+    # Control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    HALT = "halt"
+    NOP = "nop"
+    # SPL interface
+    SPL_LOAD = "spl_load"
+    SPL_LOADM = "spl_loadm"
+    SPL_LOADV = "spl_loadv"
+    SPL_INIT = "spl_init"
+    SPL_RECV = "spl_recv"
+    SPL_STORE = "spl_store"
+
+
+_ALU = dict(fu=FuClass.INT, latency=1)
+
+OP_TABLE: Dict[Op, OpInfo] = {}
+
+
+def _register(op: Op, fu: FuClass, latency: int, fmt: Fmt, **flags) -> None:
+    OP_TABLE[op] = OpInfo(name=op.value, fu=fu, latency=latency, fmt=fmt, **flags)
+
+
+for _op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.NOR, Op.SLL, Op.SRL,
+            Op.SRA, Op.SLT, Op.SLTU):
+    _register(_op, FuClass.INT, 1, Fmt.RRR)
+for _op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SRAI,
+            Op.SLTI):
+    _register(_op, FuClass.INT, 1, Fmt.RRI)
+_register(Op.LI, FuClass.INT, 1, Fmt.RI)
+_register(Op.MUL, FuClass.MUL, 3, Fmt.RRR)
+_register(Op.DIV, FuClass.DIV, 12, Fmt.RRR)
+_register(Op.REM, FuClass.DIV, 12, Fmt.RRR)
+
+for _op, _lat in ((Op.FADD, 2), (Op.FSUB, 2), (Op.FMUL, 4), (Op.FDIV, 12)):
+    _register(_op, FuClass.FP, _lat, Fmt.RRR)
+_register(Op.FSLT, FuClass.FP, 2, Fmt.RRR)
+
+for _op in (Op.LW, Op.LB, Op.LBU, Op.LH, Op.LHU, Op.FLW):
+    _register(_op, FuClass.MEM, 1, Fmt.MEM_LOAD, is_load=True)
+for _op in (Op.SW, Op.SB, Op.SH, Op.FSW):
+    _register(_op, FuClass.MEM, 1, Fmt.MEM_STORE, writes_rd=False,
+              is_store=True)
+_register(Op.AMO_ADD, FuClass.MEM, 1, Fmt.AMO, is_load=True, is_store=True,
+          serialize=True)
+_register(Op.AMO_SWAP, FuClass.MEM, 1, Fmt.AMO, is_load=True, is_store=True,
+          serialize=True)
+_register(Op.FENCE, FuClass.SYS, 1, Fmt.NONE, writes_rd=False, serialize=True)
+
+for _op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+    _register(_op, FuClass.BRANCH, 1, Fmt.BRANCH, writes_rd=False,
+              is_branch=True)
+_register(Op.J, FuClass.BRANCH, 1, Fmt.JUMP, writes_rd=False, is_branch=True)
+_register(Op.JAL, FuClass.BRANCH, 1, Fmt.JUMP, is_branch=True)
+_register(Op.JR, FuClass.BRANCH, 1, Fmt.JREG, writes_rd=False, is_branch=True)
+_register(Op.HALT, FuClass.SYS, 1, Fmt.NONE, writes_rd=False, serialize=True)
+_register(Op.NOP, FuClass.INT, 1, Fmt.NONE, writes_rd=False)
+
+_register(Op.SPL_LOAD, FuClass.SPL, 1, Fmt.SPL_LOAD, writes_rd=False,
+          is_spl=True, serialize=True)
+_register(Op.SPL_LOADM, FuClass.SPL, 1, Fmt.SPL_LOADM, writes_rd=False,
+          is_spl=True, serialize=True)
+_register(Op.SPL_LOADV, FuClass.SPL, 1, Fmt.SPL_LOADM, writes_rd=False,
+          is_spl=True, serialize=True)
+_register(Op.SPL_INIT, FuClass.SPL, 1, Fmt.SPL_INIT, writes_rd=False,
+          is_spl=True, serialize=True)
+_register(Op.SPL_RECV, FuClass.SPL, 1, Fmt.SPL_RECV, is_spl=True,
+          serialize=True)
+_register(Op.SPL_STORE, FuClass.SPL, 1, Fmt.SPL_STORE, writes_rd=False,
+          is_spl=True, serialize=True)
+
+
+def info(op: Op) -> OpInfo:
+    return OP_TABLE[op]

@@ -1,0 +1,139 @@
+"""Program and memory-image containers.
+
+A :class:`Program` is an ordered list of instructions with resolved branch
+targets; each simulated thread executes one program.  A
+:class:`MemoryImage` is a bump-allocated description of initial memory
+contents, shared by all threads of a workload and applied to simulated main
+memory when a machine is loaded.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.errors import AssemblyError, MemoryFault
+from repro.common.utils import to_unsigned
+from repro.isa.instruction import Instruction
+
+
+class Program:
+    """An assembled instruction sequence with a label table."""
+
+    def __init__(self, name: str, instructions: List[Instruction],
+                 labels: Dict[str, int]) -> None:
+        self.name = name
+        self.instructions = instructions
+        self.labels = dict(labels)
+        self._resolve()
+
+    def _resolve(self) -> None:
+        for index, inst in enumerate(self.instructions):
+            inst.index = index
+            if isinstance(inst.target, str):
+                if inst.target not in self.labels:
+                    raise AssemblyError(
+                        f"{self.name}: undefined label {inst.target!r}")
+                inst.target = self.labels[inst.target]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def listing(self) -> str:
+        """Human-readable assembly listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:4d}  {inst!r}")
+        return "\n".join(lines)
+
+
+class MemoryImage:
+    """Initial memory contents plus a bump allocator.
+
+    Addresses are byte addresses; allocation is word-aligned by default.
+    The image starts allocating at ``base`` so that low memory can be left
+    for workload-specific fixed addresses if needed.
+    """
+
+    def __init__(self, base: int = 0x1000, size_limit: int = 1 << 26) -> None:
+        if base % 4 != 0:
+            raise MemoryFault("image base must be word aligned")
+        self.base = base
+        self.size_limit = size_limit
+        self._next = base
+        self.words: Dict[int, int] = {}  # word address (byte addr // 4) -> value
+
+    @property
+    def limit(self) -> int:
+        """One past the highest allocated byte address."""
+        return self._next
+
+    def alloc(self, nbytes: int, align: int = 4) -> int:
+        if nbytes < 0:
+            raise MemoryFault("negative allocation")
+        addr = -(-self._next // align) * align
+        self._next = addr + nbytes
+        if self._next > self.size_limit:
+            raise MemoryFault("memory image exceeds size limit")
+        return addr
+
+    def alloc_words(self, values: Sequence[int]) -> int:
+        """Allocate and initialize a word array; returns base address."""
+        addr = self.alloc(4 * len(values))
+        for i, value in enumerate(values):
+            self.write_word(addr + 4 * i, value)
+        return addr
+
+    def alloc_bytes(self, data: bytes) -> int:
+        addr = self.alloc(len(data))
+        self.write_bytes(addr, data)
+        return addr
+
+    def alloc_zeroed(self, nwords: int) -> int:
+        return self.alloc_words([0] * nwords)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr % 4 != 0:
+            raise MemoryFault(f"unaligned word write at {addr:#x}")
+        self.words[addr >> 2] = to_unsigned(value)
+
+    def read_word(self, addr: int) -> int:
+        if addr % 4 != 0:
+            raise MemoryFault(f"unaligned word read at {addr:#x}")
+        return self.words.get(addr >> 2, 0)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for offset, byte in enumerate(data):
+            byte_addr = addr + offset
+            word = self.words.get(byte_addr >> 2, 0)
+            shift = (byte_addr & 3) * 8
+            word = (word & ~(0xFF << shift)) | (byte << shift)
+            self.words[byte_addr >> 2] = word
+
+    def write_float(self, addr: int, value: float) -> None:
+        self.write_word(addr, struct.unpack("<I", struct.pack("<f", value))[0])
+
+    def items(self) -> Iterable:
+        return self.words.items()
+
+
+class ThreadSpec:
+    """One thread of a workload: a program plus initial register values."""
+
+    def __init__(self, program: Program, thread_id: int,
+                 int_regs: Optional[Dict[str, int]] = None,
+                 fp_regs: Optional[Dict[str, float]] = None,
+                 app_id: int = 1) -> None:
+        self.program = program
+        self.thread_id = thread_id
+        self.app_id = app_id
+        self.int_regs = dict(int_regs or {})
+        self.fp_regs = dict(fp_regs or {})

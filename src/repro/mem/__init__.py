@@ -1,0 +1,14 @@
+"""Memory subsystem: main memory, caches, MESI coherence, snooping bus."""
+
+from repro.mem.bus import SnoopBus
+from repro.mem.cache import TagArray
+from repro.mem.hierarchy import (
+    CoherentMemorySystem, SHARED, EXCLUSIVE, MODIFIED,
+    C2C_LATENCY, UPGRADE_LATENCY,
+)
+from repro.mem.memory import MainMemory
+
+__all__ = [
+    "SnoopBus", "TagArray", "CoherentMemorySystem", "MainMemory",
+    "SHARED", "EXCLUSIVE", "MODIFIED", "C2C_LATENCY", "UPGRADE_LATENCY",
+]

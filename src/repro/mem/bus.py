@@ -1,0 +1,32 @@
+"""Shared snooping bus with arbitration and fixed occupancy.
+
+Requests are serialized: a transaction issued at cycle ``c`` is granted at
+``max(c, next_free)`` and holds the bus for ``occupancy`` cycles.  This
+captures the first-order contention behaviour (e.g. software barriers
+hammering a shared counter line) without message-level simulation.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import Stats
+
+
+class SnoopBus:
+    """Single shared bus connecting all private L2s and main memory."""
+
+    __slots__ = ("occupancy", "next_free", "stats")
+
+    def __init__(self, occupancy: int, stats: Stats) -> None:
+        self.occupancy = occupancy
+        self.next_free = 0
+        self.stats = stats
+
+    def transact(self, cycle: int) -> int:
+        """Arbitrate at ``cycle``; returns the grant cycle."""
+        grant = cycle if cycle >= self.next_free else self.next_free
+        wait = grant - cycle
+        self.next_free = grant + self.occupancy
+        self.stats.bump("transactions")
+        if wait:
+            self.stats.bump("wait_cycles", wait)
+        return grant

@@ -1,0 +1,225 @@
+"""MESI-coherent private cache hierarchy.
+
+Each core owns a private L1I, L1D and an inclusive private L2 (Table II:
+8 kB 2-way L1s, 1 MB L2 per core, MESI, 100 ns memory).  The L2s snoop a
+shared bus.  One MESI state machine runs per (core, line); the L1/L2 tag
+arrays model capacity and give the latency of the level the line is found
+in.  Timing is computed transactionally at access time — the returned value
+is the cycle at which the access completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.stats import Stats
+from repro.mem.bus import SnoopBus
+from repro.mem.cache import TagArray
+
+# MESI states; absence from the state dict means Invalid.
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+#: Latency of a cache-to-cache transfer once the bus is granted.
+C2C_LATENCY = 30
+#: Latency of an invalidation-only (upgrade) transaction once granted.
+UPGRADE_LATENCY = 8
+#: Instruction addresses live in their own region so program text never
+#: aliases workload data in the shared tag space.
+INST_SPACE = 1 << 31
+
+
+class _CorePort:
+    """Per-core tag arrays and counters."""
+
+    __slots__ = ("index", "l1i", "l1d", "l2", "states", "stats",
+                 "l1_latency", "l2_latency")
+
+    def __init__(self, index: int, l1i_cfg: CacheConfig, l1d_cfg: CacheConfig,
+                 l2_cfg: CacheConfig, stats: Stats) -> None:
+        self.index = index
+        self.stats = stats
+        self.l1i = TagArray(l1i_cfg, stats.child("l1i"))
+        self.l1d = TagArray(l1d_cfg, stats.child("l1d"))
+        self.l2 = TagArray(l2_cfg, stats.child("l2"))
+        self.states: Dict[int, int] = {}
+        self.l1_latency = l1d_cfg.hit_latency
+        self.l2_latency = l2_cfg.hit_latency
+
+
+class CoherentMemorySystem:
+    """All private hierarchies plus the shared bus and main memory timing."""
+
+    def __init__(self, core_cache_configs, system: SystemConfig,
+                 stats: Stats) -> None:
+        """``core_cache_configs`` is a list of (l1i, l1d, l2) per core."""
+        self.system = system
+        self.stats = stats
+        self.bus = SnoopBus(system.bus_occupancy, stats.child("bus"))
+        self.memory_latency = system.memory_latency
+        #: Callbacks (core_index, line) fired on snoop invalidations, used by
+        #: cores to replay speculatively-issued loads (see cpu.pipeline).
+        self.invalidation_listeners = []
+        self.ports: List[_CorePort] = [
+            _CorePort(i, l1i, l1d, l2, stats.child(f"core{i}"))
+            for i, (l1i, l1d, l2) in enumerate(core_cache_configs)
+        ]
+
+    # -- public access points ---------------------------------------------------
+
+    def data_access(self, core: int, addr: int, is_write: bool,
+                    cycle: int) -> int:
+        """Perform the timing side of a data access; returns completion cycle."""
+        port = self.ports[core]
+        line = port.l1d.line_addr(addr)
+        state = port.states.get(line, 0)
+        if port.l1d.lookup(line):
+            if not is_write or state >= EXCLUSIVE:
+                port.stats.bump("l1d_hits")
+                if is_write and state == EXCLUSIVE:
+                    port.states[line] = MODIFIED
+                return cycle + port.l1_latency
+            # Write hit on a Shared line: bus upgrade.
+            port.stats.bump("l1d_upgrades")
+            return self._upgrade(port, line, cycle + port.l1_latency)
+        port.stats.bump("l1d_misses")
+        ready = cycle + port.l1_latency
+        if port.l2.lookup(line) and state:
+            port.stats.bump("l2_hits")
+            ready += port.l2_latency
+            if is_write and state == SHARED:
+                ready = self._upgrade(port, line, ready)
+            elif is_write:
+                port.states[line] = MODIFIED
+            self._fill_l1(port, line)
+            return ready
+        port.stats.bump("l2_misses")
+        ready += port.l2_latency
+        return self._bus_fill(port, line, is_write, ready, data_cache=True)
+
+    def inst_fetch(self, core: int, pc: int, cycle: int) -> int:
+        """Fetch timing for the line containing instruction index ``pc``."""
+        port = self.ports[core]
+        line = port.l1i.line_addr(INST_SPACE + pc * 4)
+        if port.l1i.lookup(line):
+            port.stats.bump("l1i_hits")
+            return cycle + port.l1_latency
+        port.stats.bump("l1i_misses")
+        ready = cycle + port.l1_latency
+        if port.l2.lookup(line):
+            ready += port.l2_latency
+        else:
+            # Instructions are read-only: no snooping needed, straight to
+            # memory through the bus.
+            grant = self.bus.transact(ready + port.l2_latency)
+            ready = grant + self.memory_latency
+            self._fill_l2(port, line, SHARED)
+        victim = port.l1i.insert(line)
+        if victim is not None:
+            pass  # clean instruction lines are silently dropped
+        return ready
+
+    # -- internals ----------------------------------------------------------------
+
+    def _upgrade(self, port: _CorePort, line: int, ready: int) -> int:
+        grant = self.bus.transact(ready)
+        self._invalidate_others(port.index, line)
+        port.states[line] = MODIFIED
+        self.stats.bump("upgrades")
+        return grant + UPGRADE_LATENCY
+
+    def _bus_fill(self, port: _CorePort, line: int, is_write: bool,
+                  ready: int, data_cache: bool) -> int:
+        grant = self.bus.transact(ready)
+        supplier = self._snoop(port.index, line, is_write)
+        if supplier == "c2c":
+            done = grant + C2C_LATENCY
+            self.stats.bump("c2c_transfers")
+        else:
+            done = grant + self.memory_latency
+            self.stats.bump("memory_reads")
+        if is_write:
+            port.states[line] = MODIFIED
+        else:
+            shared = any(line in other.states
+                         for other in self.ports if other is not port)
+            port.states[line] = SHARED if shared else EXCLUSIVE
+        self._fill_l2(port, line, port.states[line])
+        if data_cache:
+            self._fill_l1(port, line)
+        return done
+
+    def _snoop(self, requester: int, line: int, is_write: bool) -> str:
+        """Snoop every other hierarchy; returns "c2c" or "memory"."""
+        supplier = "memory"
+        for other in self.ports:
+            if other.index == requester:
+                continue
+            state = other.states.get(line)
+            if state is None:
+                continue
+            if state == MODIFIED:
+                other.stats.bump("snoop_writebacks")
+                supplier = "c2c"
+            elif supplier == "memory":
+                supplier = "c2c"
+            if is_write:
+                self._drop(other, line)
+                other.stats.bump("snoop_invalidations")
+            else:
+                other.states[line] = SHARED
+        return supplier
+
+    def _invalidate_others(self, requester: int, line: int) -> None:
+        for other in self.ports:
+            if other.index == requester:
+                continue
+            if line in other.states:
+                self._drop(other, line)
+                other.stats.bump("snoop_invalidations")
+
+    def _drop(self, port: _CorePort, line: int) -> None:
+        port.states.pop(line, None)
+        port.l1d.remove(line)
+        port.l2.remove(line)
+        for listener in self.invalidation_listeners:
+            listener(port.index, line)
+
+    def _fill_l1(self, port: _CorePort, line: int) -> None:
+        victim = port.l1d.insert(line)
+        if victim is not None and victim not in port.l2.sets.get(
+                victim & port.l2.set_mask, ()):
+            # Inclusion normally guarantees the victim is still in L2;
+            # nothing to do if it is (writeback stays on-chip).
+            pass
+
+    def _fill_l2(self, port: _CorePort, line: int, state: int) -> None:
+        victim = port.l2.insert(line)
+        if victim is not None:
+            # Inclusive hierarchy: the L1 copy must go too.
+            port.l1d.remove(victim)
+            port.l1i.remove(victim)
+            victim_state = port.states.pop(victim, None)
+            if victim_state == MODIFIED:
+                port.stats.bump("l2_writebacks")
+
+    # -- introspection -------------------------------------------------------------
+
+    def line_state(self, core: int, addr: int) -> int:
+        """MESI state (0 = Invalid) of the line holding ``addr`` in ``core``."""
+        port = self.ports[core]
+        return port.states.get(port.l1d.line_addr(addr), 0)
+
+    def check_invariants(self) -> None:
+        """Assert the MESI single-writer invariant over all tracked lines."""
+        owners: Dict[int, List[int]] = {}
+        for port in self.ports:
+            for line, state in port.states.items():
+                owners.setdefault(line, []).append(state)
+        for line, states in owners.items():
+            exclusive = sum(1 for s in states if s >= EXCLUSIVE)
+            if exclusive > 1 or (exclusive == 1 and len(states) > 1):
+                raise AssertionError(
+                    f"MESI violation on line {line:#x}: states {states}")

@@ -1,0 +1,17 @@
+"""Power/area models calibrated to Table I."""
+
+from repro.power.area import (
+    OOO1_AREA, OOO2_AREA, SPL_AREA, AreaBudget, area_equivalences,
+    homogeneous_barrier_cluster_area, ooo2_comm_cluster_area,
+    spl_cluster_area, table1,
+)
+from repro.power.model import EnergyBreakdown, EnergyModel, energy_delay
+from repro.power.presets import DEFAULT_PARAMS, EnergyParams
+
+__all__ = [
+    "OOO1_AREA", "OOO2_AREA", "SPL_AREA", "AreaBudget", "area_equivalences",
+    "homogeneous_barrier_cluster_area", "ooo2_comm_cluster_area",
+    "spl_cluster_area", "table1",
+    "EnergyBreakdown", "EnergyModel", "energy_delay",
+    "DEFAULT_PARAMS", "EnergyParams",
+]

@@ -1,0 +1,81 @@
+"""Area model; regenerates Table I and the area-equivalence arguments.
+
+The unit of area is one OOO1 core.  Section V uses two equivalences:
+
+* a (4 x OOO1 + SPL) cluster ~ a 4 x OOO2 cluster with a zero-area
+  communication network (Section V-A), and
+* the SPL ~ two OOO1 cores, so a homogeneous replacement cluster has six
+  OOO1 cores plus a zero-area barrier network (Section V-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.power.presets import (EnergyParams, DEFAULT_PARAMS,
+                                 OOO2_AREA_RATIO, SPL_AREA_RATIO_VS_4CORES)
+
+OOO1_AREA = 1.0
+OOO2_AREA = OOO2_AREA_RATIO
+SPL_AREA = SPL_AREA_RATIO_VS_4CORES * 4
+
+
+def spl_cluster_area() -> float:
+    """Area of a ReMAP cluster: four OOO1 cores plus the shared SPL."""
+    return 4 * OOO1_AREA + SPL_AREA
+
+
+def ooo2_comm_cluster_area() -> float:
+    """Four OOO2 cores; the dedicated network is assumed free (Sec V-A)."""
+    return 4 * OOO2_AREA
+
+
+def homogeneous_barrier_cluster_area() -> float:
+    """Six OOO1 cores; the barrier network is assumed free (Sec V-C2)."""
+    return 6 * OOO1_AREA
+
+
+def table1(params: EnergyParams = DEFAULT_PARAMS) -> Dict[str, Dict[str, float]]:
+    """Regenerate Table I: relative area/peak-dynamic/leakage figures."""
+    four_cores_area = 4 * OOO1_AREA
+    four_cores_peak = 4 * params.ooo1_peak_w
+    four_cores_leak = 4 * params.ooo1_leak_w
+    return {
+        "four_cores": {"spl_rows": 0, "total_area": 1.0,
+                       "peak_dynamic": 1.0, "total_leakage": 1.0},
+        "spl": {
+            "spl_rows": 24,
+            "total_area": SPL_AREA / four_cores_area,
+            "peak_dynamic": params.spl_peak_w / four_cores_peak,
+            "total_leakage": params.spl_leak_w / four_cores_leak,
+        },
+    }
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """Check that two configurations occupy comparable die area."""
+
+    name_a: str
+    area_a: float
+    name_b: str
+    area_b: float
+
+    @property
+    def ratio(self) -> float:
+        return self.area_a / self.area_b
+
+    def comparable(self, tolerance: float = 0.05) -> bool:
+        return abs(self.ratio - 1.0) <= tolerance
+
+
+def area_equivalences() -> Dict[str, AreaBudget]:
+    return {
+        "remap_vs_ooo2comm": AreaBudget(
+            "spl_cluster", spl_cluster_area(),
+            "ooo2_comm_cluster", ooo2_comm_cluster_area()),
+        "remap_vs_homogeneous": AreaBudget(
+            "spl_cluster", spl_cluster_area(),
+            "homogeneous_barrier_cluster", homogeneous_barrier_cluster_area()),
+    }

@@ -1,0 +1,155 @@
+"""Activity-based energy accounting (the Wattch/HotLeakage substitute).
+
+Dynamic energy is charged per microarchitectural event using the counters
+the simulator already collects; leakage is charged per second for every
+hardware block the evaluated configuration occupies, whether busy or idle.
+``energy_delay`` returns the paper's ED metric (Figures 9/11/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.common.config import CORE_CLOCK_HZ
+from repro.common.stats import Stats
+from repro.power.presets import DEFAULT_PARAMS, EnergyParams
+
+PJ = 1e-12
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules, split by source."""
+
+    core_dynamic: float = 0.0
+    memory_dynamic: float = 0.0
+    spl_dynamic: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.core_dynamic + self.memory_dynamic
+                + self.spl_dynamic + self.leakage)
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.core_dynamic + other.core_dynamic,
+            self.memory_dynamic + other.memory_dynamic,
+            self.spl_dynamic + other.spl_dynamic,
+            self.leakage + other.leakage)
+
+
+class EnergyModel:
+    """Computes energy for a machine run from its statistics tree."""
+
+    def __init__(self, params: EnergyParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+
+    # -- per-block dynamic energy ------------------------------------------------
+
+    def core_dynamic(self, cpu_stats: Stats, wide: bool) -> float:
+        """Dynamic Joules from one core's pipeline counters.
+
+        ``wide`` selects the OOO2 scaling of per-event energy.
+        """
+        p = self.params
+        get = cpu_stats.get
+        pj = (get("fetched") * p.fetch_pj
+              + get("dispatched") * p.dispatch_pj
+              + get("issued") * p.issue_pj
+              + get("int_ops") * p.int_op_pj
+              + get("fp_ops") * p.fp_op_pj
+              + get("branches_resolved") * p.branch_pj
+              + get("retired") * p.retire_pj
+              + get("atomics") * p.atomic_pj
+              + (get("spl_loads") + get("spl_recvs") + get("spl_inits")
+                 + get("spl_stores")) * p.spl_queue_pj)
+        if wide:
+            pj *= self.params.ooo2_peak_w / self.params.ooo1_peak_w
+        return pj * PJ
+
+    def memory_dynamic(self, mem_core_stats: Stats) -> float:
+        """Dynamic Joules from one core's cache-port counters."""
+        p = self.params
+        get = mem_core_stats.get
+        l1 = (get("l1d_hits") + get("l1d_misses")
+              + get("l1i_hits") + get("l1i_misses"))
+        l2 = get("l2_hits") + get("l2_misses")
+        pj = l1 * p.l1_access_pj + l2 * p.l2_access_pj
+        return pj * PJ
+
+    def spl_dynamic(self, spl_stats: Stats) -> float:
+        p = self.params
+        get = spl_stats.get
+        pj = (get("rows_evaluated") * p.spl_row_pj
+              + get("reconfig_rows") * p.spl_config_row_pj
+              + (get("stage_loads") + get("deliveries")
+                 + get("requests")) * p.spl_queue_pj)
+        return pj * PJ
+
+    def shared_dynamic(self, mem_stats: Stats) -> float:
+        """Bus + main-memory dynamic Joules (machine-wide)."""
+        p = self.params
+        bus = mem_stats.find("bus")
+        pj = mem_stats.total("memory_reads") * p.memory_access_pj
+        if bus is not None:
+            pj += bus.get("transactions") * p.bus_transaction_pj
+        return pj * PJ
+
+    # -- whole-configuration accounting --------------------------------------------
+
+    def configuration_energy(self, machine_stats: Stats, cycles: int,
+                             ooo1_cores: Iterable[int] = (),
+                             ooo2_cores: Iterable[int] = (),
+                             spl_clusters: Iterable = (),
+                             extra_leak_w: float = 0.0) -> EnergyBreakdown:
+        """Energy of a hardware configuration over ``cycles``.
+
+        ``ooo1_cores``/``ooo2_cores`` list the core indices that exist in
+        the evaluated configuration (they leak even when idle);
+        ``spl_clusters`` lists SPL controller ids whose fabric is present —
+        either bare ids or ``(id, fraction)`` pairs, where ``fraction``
+        charges only part of the fabric's leakage (e.g. 0.5 when a
+        communicating pair owns half of a spatially-partitioned fabric,
+        Section V-A).
+        """
+        seconds = cycles / CORE_CLOCK_HZ
+        breakdown = EnergyBreakdown()
+        mem_stats = machine_stats.find("mem")
+        for index in ooo1_cores:
+            breakdown = self._add_core(breakdown, machine_stats, mem_stats,
+                                       index, wide=False)
+            breakdown.leakage += self.params.ooo1_leak_w * seconds
+        for index in ooo2_cores:
+            breakdown = self._add_core(breakdown, machine_stats, mem_stats,
+                                       index, wide=True)
+            breakdown.leakage += self.params.ooo2_leak_w * seconds
+        for entry in spl_clusters:
+            cluster_id, fraction = entry if isinstance(entry, tuple) \
+                else (entry, 1.0)
+            spl_stats = machine_stats.find(f"spl{cluster_id}")
+            if spl_stats is not None:
+                breakdown.spl_dynamic += self.spl_dynamic(spl_stats)
+            breakdown.leakage += self.params.spl_leak_w * fraction * seconds
+        if mem_stats is not None:
+            breakdown.memory_dynamic += self.shared_dynamic(mem_stats)
+        breakdown.leakage += extra_leak_w * seconds
+        return breakdown
+
+    def _add_core(self, breakdown: EnergyBreakdown, machine_stats: Stats,
+                  mem_stats: Optional[Stats], index: int,
+                  wide: bool) -> EnergyBreakdown:
+        cpu_stats = machine_stats.find(f"cpu{index}")
+        if cpu_stats is not None:
+            breakdown.core_dynamic += self.core_dynamic(cpu_stats, wide)
+        if mem_stats is not None:
+            port = mem_stats.find(f"core{index}")
+            if port is not None:
+                breakdown.memory_dynamic += self.memory_dynamic(port)
+        return breakdown
+
+
+def energy_delay(energy_joules: float, cycles: int) -> float:
+    """The paper's ED metric: energy x execution time (J*s)."""
+    return energy_joules * (cycles / CORE_CLOCK_HZ)

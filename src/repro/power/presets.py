@@ -1,0 +1,85 @@
+"""Energy/area constants (65 nm, 2 GHz, 1.1 V — Section IV).
+
+The paper derives power with Wattch/CACTI/HotLeakage and reports only the
+*ratios* of Table I:
+
+===================  =====  ==============  =============
+Component            Rows   Peak dyn power  Total leakage
+4 x OOO1 cores       n/a    1.00            1.00
+4-way shared SPL     24     0.14            0.67
+===================  =====  ==============  =============
+
+with total SPL area 0.51x the four cores.  We anchor absolute numbers to a
+plausible 65 nm operating point (an OOO1 core peaking at ~2 W dynamic with
+0.5 W leakage) and size every other constant so the Table I ratios hold by
+construction; all results in the paper's evaluation depend on these ratios,
+not on the absolute wattage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CORE_CLOCK_HZ
+
+#: Assumed OOO1 peak dynamic power (W); anchor for Table I ratios.
+OOO1_PEAK_DYNAMIC_W = 2.0
+#: Assumed OOO1 leakage power (W).
+OOO1_LEAKAGE_W = 0.5
+
+#: Area of one OOO2 core relative to one OOO1 core.  Section V-C2 notes the
+#: SPL "consumes as much area as two single-issue cores" and Section V-A
+#: that a 4 x OOO2 cluster matches a (4 x OOO1 + SPL) cluster, giving
+#: OOO2 = (4 + 2.04) / 4 = 1.51 OOO1 areas.
+OOO2_AREA_RATIO = 1.51
+#: 4-way shared 24-row SPL area relative to FOUR OOO1 cores (Table I).
+SPL_AREA_RATIO_VS_4CORES = 0.51
+#: SPL peak dynamic and leakage relative to four OOO1 cores (Table I).
+SPL_PEAK_DYNAMIC_RATIO = 0.14
+SPL_LEAKAGE_RATIO = 0.67
+
+#: Dynamic energy is dominated by capacitance, which scales with area;
+#: the OOO2's wider structures also switch more per event.
+OOO2_DYNAMIC_SCALE = 1.4
+OOO2_LEAKAGE_SCALE = OOO2_AREA_RATIO
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies (picojoules) and leakage (watts)."""
+
+    # -- OOO1 per-event dynamic energy (pJ) --
+    fetch_pj: float = 60.0
+    dispatch_pj: float = 60.0
+    issue_pj: float = 80.0
+    int_op_pj: float = 40.0
+    fp_op_pj: float = 110.0
+    branch_pj: float = 25.0
+    retire_pj: float = 40.0
+    l1_access_pj: float = 90.0
+    l2_access_pj: float = 420.0
+    memory_access_pj: float = 8000.0
+    bus_transaction_pj: float = 600.0
+    atomic_pj: float = 180.0
+    # -- SPL dynamic energy (pJ) --
+    #: One row evaluated for one input (sized so 24 rows at 500 MHz full
+    #: throughput equal SPL_PEAK_DYNAMIC_RATIO x four OOO1 peak cores).
+    spl_row_pj: float = (SPL_PEAK_DYNAMIC_RATIO * 4 * OOO1_PEAK_DYNAMIC_W
+                         / 500e6 / 24) * 1e12  # ~93 pJ
+    spl_queue_pj: float = 20.0
+    spl_config_row_pj: float = 120.0
+    # -- leakage power (W) --
+    ooo1_leak_w: float = OOO1_LEAKAGE_W
+    ooo2_leak_w: float = OOO1_LEAKAGE_W * OOO2_LEAKAGE_SCALE
+    spl_leak_w: float = SPL_LEAKAGE_RATIO * 4 * OOO1_LEAKAGE_W
+    # -- peak dynamic power (W), used to regenerate Table I --
+    ooo1_peak_w: float = OOO1_PEAK_DYNAMIC_W
+    ooo2_peak_w: float = OOO1_PEAK_DYNAMIC_W * OOO2_DYNAMIC_SCALE
+    spl_peak_w: float = SPL_PEAK_DYNAMIC_RATIO * 4 * OOO1_PEAK_DYNAMIC_W
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / CORE_CLOCK_HZ
+
+
+DEFAULT_PARAMS = EnergyParams()

@@ -1,0 +1,6 @@
+"""System assembly: clusters, the heterogeneous CMP, and workloads."""
+
+from repro.system.machine import ClusterInstance, Machine
+from repro.system.workload import Workload
+
+__all__ = ["ClusterInstance", "Machine", "Workload"]

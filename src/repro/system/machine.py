@@ -1,0 +1,225 @@
+"""The simulated heterogeneous CMP (Figure 2(a)).
+
+A :class:`Machine` instantiates clusters of out-of-order cores over a
+MESI-coherent memory system; SPL clusters additionally own a fabric
+controller whose ports are attached to their cores.  The machine provides
+the run loop, thread placement, migration (with the paper's 500-cycle
+context-switch cost), and convenience wrappers for SPL configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError, DeadlockError, SimulationError
+from repro.common.stats import Stats
+from repro.core.controller import SplClusterController
+from repro.core.function import SplFunction
+from repro.core.tables import BarrierBus
+from repro.cpu.context import ThreadContext
+from repro.cpu.pipeline import OutOfOrderCore
+from repro.mem.hierarchy import CoherentMemorySystem
+from repro.mem.memory import MainMemory
+from repro.system.workload import Workload
+
+_WATCHDOG_STRIDE = 4096
+
+
+class ClusterInstance:
+    """One cluster's cores plus (for SPL clusters) the fabric controller."""
+
+    def __init__(self, index: int, kind: str, core_indices: List[int],
+                 controller: Optional[SplClusterController]) -> None:
+        self.index = index
+        self.kind = kind
+        self.core_indices = core_indices
+        self.controller = controller
+
+
+class Machine:
+    """A runnable CMP instance."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.stats = Stats("machine")
+        self.memory = MainMemory()
+        self.cycle = 0
+        cache_configs = []
+        for cluster in config.clusters:
+            for _ in range(cluster.n_cores):
+                cache_configs.append(
+                    (cluster.core.l1i, cluster.core.l1d, cluster.core.l2))
+        self.mem_system = CoherentMemorySystem(
+            cache_configs, config, self.stats.child("mem"))
+        bus_latency = 10
+        for cluster in config.clusters:
+            if cluster.kind == "spl":
+                bus_latency = cluster.spl.barrier_bus_latency
+                break
+        self.barrier_bus = BarrierBus(bus_latency)
+        self.cores: List[OutOfOrderCore] = []
+        self.clusters: List[ClusterInstance] = []
+        #: Everything with a ``tick(cycle)`` method: SPL controllers and any
+        #: baseline communication hardware attached later.
+        self._controllers: List = []
+        core_index = 0
+        for cluster_id, cluster in enumerate(config.clusters):
+            indices = []
+            for _ in range(cluster.n_cores):
+                core = OutOfOrderCore(core_index, cluster.core,
+                                      self.mem_system, self.memory,
+                                      self.stats.child(f"cpu{core_index}"))
+                self.cores.append(core)
+                indices.append(core_index)
+                core_index += 1
+            controller = None
+            if cluster.kind == "spl":
+                controller = SplClusterController(
+                    cluster_id, cluster.spl, self.barrier_bus,
+                    self.stats.child(f"spl{cluster_id}"))
+                for slot, index in enumerate(indices):
+                    self.cores[index].spl_port = controller.ports[slot]
+                self._controllers.append(controller)
+            self.clusters.append(
+                ClusterInstance(cluster_id, cluster.kind, indices, controller))
+        self.contexts: List[ThreadContext] = []
+        self.thread_core: Dict[int, int] = {}
+
+    # -- lookup helpers -----------------------------------------------------------
+
+    def cluster_of_core(self, core_index: int) -> ClusterInstance:
+        for cluster in self.clusters:
+            if core_index in cluster.core_indices:
+                return cluster
+        raise ConfigError(f"no cluster owns core {core_index}")
+
+    def core_slot(self, core_index: int) -> Tuple[ClusterInstance, int]:
+        cluster = self.cluster_of_core(core_index)
+        return cluster, cluster.core_indices.index(core_index)
+
+    # -- SPL configuration ----------------------------------------------------------
+
+    def configure_spl(self, core_index: int, config_id: int,
+                      function: SplFunction,
+                      dest_thread: Optional[int] = None,
+                      barrier_id: Optional[int] = None) -> None:
+        """Bind ``config_id`` on the core's SPL cluster (runtime action)."""
+        cluster, slot = self.core_slot(core_index)
+        if cluster.controller is None:
+            raise ConfigError(
+                f"core {core_index} is not part of an SPL cluster")
+        cluster.controller.configure(slot, config_id, function,
+                                     dest_thread, barrier_id)
+
+    def register_barrier(self, barrier_id: int, app_id: int,
+                         thread_ids) -> None:
+        self.barrier_bus.register(barrier_id, app_id, tuple(thread_ids))
+
+    def set_partitions(self, core_index: int, row_counts: List[int],
+                       core_assignment: Optional[List[int]] = None) -> None:
+        cluster, _ = self.core_slot(core_index)
+        if cluster.controller is None:
+            raise ConfigError("not an SPL cluster")
+        cluster.controller.set_partitions(row_counts, core_assignment)
+
+    def add_controller(self, controller) -> None:
+        """Register extra per-cycle hardware (baseline comm networks)."""
+        self._controllers.append(controller)
+
+    # -- workload loading --------------------------------------------------------------
+
+    def load(self, workload: Workload) -> None:
+        """Load memory, place threads, and run the workload's SPL setup."""
+        self.memory.load_image(workload.image)
+        for spec, core_index in zip(workload.threads, workload.placement):
+            if not 0 <= core_index < len(self.cores):
+                raise ConfigError(f"placement on missing core {core_index}")
+            ctx = ThreadContext(spec)
+            self.contexts.append(ctx)
+            self.thread_core[ctx.thread_id] = core_index
+            self.cores[core_index].attach(ctx, self.cycle)
+        if workload.setup is not None:
+            workload.setup(self)
+
+    # -- execution ------------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 1_000_000_000,
+            until: Optional[Callable[[], bool]] = None) -> int:
+        """Advance until all threads finish (or ``until`` returns True).
+
+        Returns the cycle count at stop.  Raises DeadlockError when no core
+        retires anything for the configured watchdog window.
+        """
+        cores = self.cores
+        controllers = self._controllers
+        limit = self.cycle + max_cycles
+        next_watchdog = self.cycle + _WATCHDOG_STRIDE
+        while self.cycle < limit:
+            if until is not None and until():
+                return self.cycle
+            running = False
+            cycle = self.cycle
+            for core in cores:
+                if core.ctx is not None and not core.halted:
+                    core.tick(cycle)
+                    running = True
+            if not running:
+                return self.cycle
+            for controller in controllers:
+                controller.tick(cycle)
+            self.cycle += 1
+            if self.cycle >= next_watchdog:
+                next_watchdog = self.cycle + _WATCHDOG_STRIDE
+                self._check_watchdog()
+        if until is not None and until():
+            return self.cycle
+        if any(core.active for core in cores):
+            raise SimulationError(
+                f"run exceeded {max_cycles} cycles without completing")
+        return self.cycle
+
+    def _check_watchdog(self) -> None:
+        stuck = []
+        for core in self.cores:
+            if core.ctx is None or core.halted:
+                continue
+            if self.cycle - core.last_retire_cycle > \
+                    self.config.deadlock_cycles:
+                stuck.append(core)
+        if stuck and len(stuck) == sum(
+                1 for c in self.cores if c.ctx is not None and not c.halted):
+            details = ", ".join(
+                f"core{c.index}@pc={c.ctx.pc}" for c in stuck)
+            raise DeadlockError(f"no forward progress: {details}")
+
+    # -- migration ----------------------------------------------------------------------------
+
+    def migrate(self, thread_id: int, dest_core: int,
+                max_cycles: int = 1_000_000) -> int:
+        """Migrate a thread, modelling drain + 500-cycle switch (Sec V-A).
+
+        Returns the cycle at which the thread resumes on ``dest_core``.
+        """
+        src_core = self.cores[self.thread_core[thread_id]]
+        dest = self.cores[dest_core]
+        if dest.ctx is not None:
+            raise SimulationError(f"core {dest_core} is occupied")
+        src_core.begin_drain()
+        self.run(max_cycles=max_cycles, until=src_core.is_drained)
+        if not src_core.is_drained():
+            raise SimulationError("migration drain did not complete")
+        ctx = src_core.detach()
+        dest.attach(ctx, self.cycle, stall=self.config.migration_cycles)
+        self.thread_core[thread_id] = dest_core
+        self.stats.bump("migrations")
+        return self.cycle + self.config.migration_cycles
+
+    # -- results --------------------------------------------------------------------------------
+
+    def total_retired(self) -> int:
+        return sum(ctx.retired_instructions for ctx in self.contexts)
+
+    def finished(self) -> bool:
+        return all(ctx.finished for ctx in self.contexts)

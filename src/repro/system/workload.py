@@ -1,0 +1,53 @@
+"""Workload container: programs, memory image, placement, SPL setup.
+
+A :class:`Workload` bundles everything a :class:`repro.system.machine.Machine`
+needs to run one benchmark variant: per-thread programs, the initial memory
+image, the core placement, a hook that installs SPL bindings/partitions/
+barriers, and a result checker that validates simulated output against the
+kernel's reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import WorkloadError
+from repro.isa.program import MemoryImage, ThreadSpec
+
+
+class Workload:
+    """One runnable benchmark variant."""
+
+    def __init__(self, name: str, image: MemoryImage,
+                 threads: List[ThreadSpec],
+                 placement: Optional[List[int]] = None,
+                 setup: Optional[Callable] = None,
+                 check: Optional[Callable] = None,
+                 metadata: Optional[Dict] = None) -> None:
+        """
+        :param placement: core index for each thread (default: thread i on
+            core i).
+        :param setup: ``setup(machine)`` called after threads are placed;
+            installs SPL configurations, partitions, and barriers.
+        :param check: ``check(memory)`` called after the run; raises
+            AssertionError when simulated results disagree with the
+            reference implementation.
+        :param metadata: free-form experiment info (iteration counts, sizes).
+        """
+        if not threads:
+            raise WorkloadError(f"{name}: no threads")
+        self.name = name
+        self.image = image
+        self.threads = threads
+        self.placement = placement or list(range(len(threads)))
+        if len(self.placement) != len(threads):
+            raise WorkloadError(f"{name}: placement/thread count mismatch")
+        if len(set(self.placement)) != len(self.placement):
+            raise WorkloadError(f"{name}: two threads on one core")
+        self.setup = setup
+        self.check = check
+        self.metadata = dict(metadata or {})
+
+    def __repr__(self) -> str:
+        return (f"Workload({self.name!r}, {len(self.threads)} threads, "
+                f"cores {self.placement})")

@@ -1,0 +1,1 @@
+"""Table III workloads: reference kernels, programs, and run specs."""

@@ -1,0 +1,156 @@
+"""adpcm decoder workload (communication+computation, 99% of execution).
+
+Split per Section V-B1: the producer decodes the bitstream (delta
+extraction + step-table/index bookkeeping, which needs the 89-entry
+memory table) and feeds (delta, step) into the fabric; the fabric computes
+``vpdiff``, applies the sign, and keeps the ``valpred`` predictor state in
+a delay register; the consumer stores the reconstructed samples.  Moving
+the vpdiff conditionals into the fabric removes the unpredictable
+branches the paper calls out for adpcm.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.adpcm import (INDEX_TABLE, SHORT_MAX, SHORT_MIN,
+                                           STEPSIZE_TABLE, decode_reference,
+                                           make_deltas)
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PD, PSTEP, PIDXTAB, INDEX = "r3", "r4", "r5", "r6"
+DELTA, STEP = "r7", "r8"
+T0, T1, VALPRED = "r9", "r10", "r11"
+POUT = "r14"
+
+
+def adpcm_function(name: str = "adpcm_step") -> SplFunction:
+    """vpdiff + sign + saturating valpred update (valpred is fabric state)."""
+    g = Dfg(name)
+    delta = g.input("delta", 0, width=1)
+    step = g.input("step", 4, width=2)
+    valpred = g.delay(width=2, init=0)
+    zero1 = g.const(0, 1)
+    vpdiff = g.op(DfgOp.SHR, step, shift=3, width=2)
+    for bit, shift in ((4, 0), (2, 1), (1, 2)):
+        flag = g.op(DfgOp.CMPGT,
+                    g.op(DfgOp.AND, delta, g.const(bit, 1), width=1),
+                    zero1, width=1)
+        term = g.op(DfgOp.SHR, step, shift=shift, width=2) if shift else step
+        vpdiff = g.op(DfgOp.ADD, vpdiff,
+                      g.select(flag, term, g.const(0, 2)), width=4)
+    sign = g.op(DfgOp.CMPGT,
+                g.op(DfgOp.AND, delta, g.const(8, 1), width=1),
+                zero1, width=1)
+    updated = g.select(sign,
+                       g.op(DfgOp.SUB, valpred, vpdiff, width=4),
+                       g.op(DfgOp.ADD, valpred, vpdiff, width=4))
+    saturated = g.clamp(updated, SHORT_MIN, SHORT_MAX)
+    g.set_delay_source(valpred, saturated)
+    g.output("sample", saturated)
+    # The vpdiff computation is feed-forward and retimes out of the loop;
+    # the true recurrence is add/sub -> select -> clamp on valpred
+    # (~6 rows), which bounds the initiation interval.
+    return SplFunction(g, retimed_feedback_ii=6)
+
+
+class AdpcmKernel(StreamKernel):
+    bench_name = "adpcm"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        super().__init__(image, items, seed)
+        self.deltas = make_deltas(items, seed)
+        self.deltas_addr = image.alloc_bytes(bytes(self.deltas))
+        self.steps_addr = image.alloc_words(STEPSIZE_TABLE)
+        self.idxtab_addr = image.alloc_words(INDEX_TABLE)
+        self.out = image.alloc_zeroed(items)
+
+    def make_function(self) -> SplFunction:
+        return adpcm_function(f"adpcm_step_{self.seed}")
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PD, self.deltas_addr)
+            a.li(PSTEP, self.steps_addr)
+            a.li(PIDXTAB, self.idxtab_addr)
+            a.li(INDEX, 0)
+            a.li(VALPRED, 0)
+        if role in ("seq", "consumer"):
+            a.li(POUT, self.out)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        """Read a delta, fetch step, update the index (producer side)."""
+        a.lbu(DELTA, PD, 0)
+        a.addi(PD, PD, 1)
+        a.slli(T0, INDEX, 2)
+        a.add(T0, T0, PSTEP)
+        a.lw(STEP, T0, 0)
+        # index += indexTable[delta & 7]; clamp to [0, 88]
+        a.andi(T0, DELTA, 7)
+        a.slli(T0, T0, 2)
+        a.add(T0, T0, PIDXTAB)
+        a.lw(T0, T0, 0)
+        a.add(INDEX, INDEX, T0)
+        lo = a.fresh_label("ilo")
+        hi = a.fresh_label("ihi")
+        a.bge(INDEX, "r0", lo)
+        a.li(INDEX, 0)
+        a.label(lo)
+        a.li(T0, len(STEPSIZE_TABLE) - 1)
+        a.ble(INDEX, T0, hi)
+        a.mov(INDEX, T0)
+        a.label(hi)
+
+    def emit_f_software(self, a: Asm) -> None:
+        """vpdiff/sign/saturate in software (seq and comm variants)."""
+        a.srai(T0, STEP, 3)  # vpdiff
+        for bit, shift in ((4, 0), (2, 1), (1, 2)):
+            skip = a.fresh_label("vp")
+            a.andi(T1, DELTA, bit)
+            a.beqz(T1, skip)
+            if shift:
+                a.srai(T1, STEP, shift)
+                a.add(T0, T0, T1)
+            else:
+                a.add(T0, T0, STEP)
+            a.label(skip)
+        plus = a.fresh_label("plus")
+        done = a.fresh_label("sdone")
+        a.andi(T1, DELTA, 8)
+        a.beqz(T1, plus)
+        a.sub(VALPRED, VALPRED, T0)
+        a.j(done)
+        a.label(plus)
+        a.add(VALPRED, VALPRED, T0)
+        a.label(done)
+        lo = a.fresh_label("clo")
+        hi = a.fresh_label("chi")
+        a.li(T1, SHORT_MIN)
+        a.bge(VALPRED, T1, lo)
+        a.mov(VALPRED, T1)
+        a.label(lo)
+        a.li(T1, SHORT_MAX)
+        a.ble(VALPRED, T1, hi)
+        a.mov(VALPRED, T1)
+        a.label(hi)
+        a.mov(RESULT, VALPRED)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        a.spl_load(DELTA, 0)
+        a.spl_load(STEP, 4)
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T1)
+        a.sw(T1, POUT, 0)
+        a.addi(POUT, POUT, 4)
+
+    def check(self, memory) -> None:
+        expected = decode_reference(self.deltas)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "adpcm decode mismatch"
+
+
+VARIANTS = make_variants(AdpcmKernel, default_items=384)

@@ -1,0 +1,137 @@
+"""473.astar makebound2 workload (communication+computation).
+
+The producer walks the boundary list and loads the four neighbours' fill
+numbers; the fabric compares them against the fill number and packs the
+"expand" decisions with the cell index into one word; the consumer marks
+and appends the expanded neighbours (branchy, store-heavy)."""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.astar import (FILLNUM, GRID_W, NOWAY,
+                                           makebound2_reference, make_grid)
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PCELLS, CELL, PMAP = "r3", "r4", "r5"
+F0, F1, F2, F3 = "r6", "r7", "r8", "r9"
+T0, T1, T2 = "r10", "r11", "r12"
+PB2, MAPBASE, NBR = "r13", "r14", "r15"
+
+#: Neighbour offsets in cell-index units, fixed order (E, W, S, N).
+OFFSETS = (1, -1, GRID_W, -GRID_W)
+
+
+def bound_function(name: str = "astar_bound") -> SplFunction:
+    """packed = (cell << 4) | expand-mask over the four neighbours."""
+    g = Dfg(name)
+    flags = [g.input(f"f{i}", 4 * i, width=2) for i in range(4)]
+    cell = g.input("cell", 16)
+    fill = g.const(FILLNUM, 2)
+    noway = g.const(NOWAY, 2)
+    one = g.const(1, 1)
+    mask = None
+    for i, flag in enumerate(flags):
+        unfilled = g.op(DfgOp.XOR,
+                        g.op(DfgOp.CMPEQ, flag, fill, width=1), one,
+                        width=1)
+        passable = g.op(DfgOp.XOR,
+                        g.op(DfgOp.CMPEQ, flag, noway, width=1), one,
+                        width=1)
+        miss = g.op(DfgOp.AND, unfilled, passable, width=1)
+        bit = g.op(DfgOp.SHL, miss, shift=i, width=1) if i else miss
+        mask = bit if mask is None else g.op(DfgOp.OR, mask, bit, width=1)
+    packed = g.op(DfgOp.OR, g.op(DfgOp.SHL, cell, shift=4, width=4),
+                  mask, width=4)
+    g.output("packed", packed)
+    return SplFunction(g)
+
+
+class AstarKernel(StreamKernel):
+    bench_name = "astar"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        super().__init__(image, items, seed)
+        self.waymap, self.cells = make_grid(items, seed)
+        self.map_addr = image.alloc_words(self.waymap)
+        self.cells_addr = image.alloc_words(self.cells)
+        ref_map, ref_bound2 = makebound2_reference(self.waymap, self.cells)
+        self.ref_map = ref_map
+        self.ref_bound2 = ref_bound2
+        self.bound2_addr = image.alloc_zeroed(4 * items + 1)
+        self.bound2_len_addr = image.alloc_zeroed(1)
+
+    def make_function(self) -> SplFunction:
+        return bound_function()
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PCELLS, self.cells_addr)
+            a.li(PMAP, self.map_addr)
+        if role in ("seq", "consumer"):
+            a.li(MAPBASE, self.map_addr)
+            a.li(PB2, self.bound2_addr)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        a.lw(CELL, PCELLS, 0)
+        a.addi(PCELLS, PCELLS, 4)
+        a.slli(T0, CELL, 2)
+        a.add(T0, T0, PMAP)
+        for reg, offset in zip((F0, F1, F2, F3), OFFSETS):
+            a.lw(reg, T0, 4 * offset)
+
+    def emit_f_software(self, a: Asm) -> None:
+        a.li(RESULT, 0)
+        a.li(T1, FILLNUM)
+        for i, reg in enumerate((F0, F1, F2, F3)):
+            skip = a.fresh_label("filled")
+            a.beq(reg, T1, skip)
+            a.beqz(reg, skip)  # NOWAY: not passable
+            a.ori(RESULT, RESULT, 1 << i)
+            a.label(skip)
+        a.slli(T0, CELL, 4)
+        a.or_(RESULT, RESULT, T0)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        for reg, offset in zip((F0, F1, F2, F3), (0, 4, 8, 12)):
+            a.spl_load(reg, offset)
+        a.spl_load(CELL, 16)
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T2)
+        a.srli(NBR, T2, 4)  # the cell index
+        for i, offset in enumerate(OFFSETS):
+            skip = a.fresh_label("noexp")
+            a.andi(T0, T2, 1 << i)
+            a.beqz(T0, skip)
+            a.addi(T1, NBR, offset)       # neighbour index
+            a.sw(T1, PB2, 0)              # append to bound2
+            a.addi(PB2, PB2, 4)
+            a.slli(T0, T1, 2)
+            a.add(T0, T0, MAPBASE)
+            a.li(T1, FILLNUM)
+            a.sw(T1, T0, 0)               # mark filled
+            a.label(skip)
+
+    def emit_fini(self, a: Asm, role: str) -> None:
+        if role in ("seq", "consumer"):
+            a.li(T0, self.bound2_addr)
+            a.sub(T0, PB2, T0)
+            a.srli(T0, T0, 2)
+            a.li(T1, self.bound2_len_addr)
+            a.sw(T0, T1, 0)
+
+    def check(self, memory) -> None:
+        length = memory.read_word_signed(self.bound2_len_addr)
+        assert length == len(self.ref_bound2), \
+            f"astar bound2 length {length} != {len(self.ref_bound2)}"
+        got = memory.read_words(self.bound2_addr, length)
+        assert got == self.ref_bound2, "astar bound2 mismatch"
+        got_map = memory.read_words(self.map_addr, len(self.ref_map))
+        assert got_map == self.ref_map, "astar waymap mismatch"
+
+
+VARIANTS = make_variants(AstarKernel, default_items=192)

@@ -1,0 +1,107 @@
+"""Workload framework: run specifications and system presets.
+
+Every benchmark variant is described by a :class:`RunSpec`: the workload
+(programs + memory image + SPL setup), the machine configuration it runs
+on, and the energy-accounting footprint of the hardware configuration it
+represents (Section V compares configurations of equal *area*, so idle
+blocks still leak).
+
+Energy-accounting conventions (documented in EXPERIMENTS.md):
+
+* ``seq``            — one OOO1 core.
+* ``seq_ooo2``       — one OOO2 core.
+* ``spl`` (1Th+Comp) — computation-only workloads run four concurrent
+  copies to model fabric contention (Section V-A); energy of the whole
+  (4 cores + SPL) cluster is divided by four for per-thread ED.
+* ``2Th+Comm`` / ``2Th+CompComm`` — two OOO1 cores plus half the SPL
+  (the other half assumed in use by another pair, Section V-A).
+* ``OOO2+Comm``      — two OOO2 cores; the network is free.
+* barrier variants   — all cores of the configuration plus any SPL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import (ClusterConfig, SystemConfig, ooo1_cluster,
+                                 ooo2_cluster, remap_cluster)
+from repro.common.errors import WorkloadError
+from repro.system.workload import Workload
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to execute and account one benchmark variant."""
+
+    name: str
+    workload: Workload
+    system: SystemConfig
+    #: Core indices charged as OOO1 / OOO2 in the energy model.
+    ooo1_cores: Tuple[int, ...] = ()
+    ooo2_cores: Tuple[int, ...] = ()
+    #: SPL clusters charged: (cluster_id, leakage_fraction).
+    spl_clusters: Tuple[Tuple[int, float], ...] = ()
+    #: Divide total configuration energy by this (concurrent-copy runs).
+    energy_divisor: float = 1.0
+    #: Work units completed, for per-item/per-iteration metrics.
+    region_items: int = 1
+    #: Free-form details for reports.
+    info: Dict = field(default_factory=dict)
+    max_cycles: int = 80_000_000
+
+    def __post_init__(self) -> None:
+        if self.region_items < 1:
+            raise WorkloadError(f"{self.name}: region_items must be >= 1")
+
+
+# -- system presets ------------------------------------------------------------
+
+
+def seq_system() -> SystemConfig:
+    """A single conventional OOO1 cluster (the baseline core)."""
+    return SystemConfig(clusters=[ooo1_cluster(4)])
+
+
+def ooo2_system() -> SystemConfig:
+    """A conventional OOO2 cluster (OOO2+Comm hardware before the network
+    is attached)."""
+    return SystemConfig(clusters=[ooo2_cluster(4)])
+
+
+def remap_machine_system(n_spl_clusters: int = 1) -> SystemConfig:
+    """``n`` four-core SPL clusters (barrier experiments use up to four)."""
+    return SystemConfig(clusters=[remap_cluster()
+                                  for _ in range(n_spl_clusters)])
+
+
+def homogeneous_barrier_system(n_threads: int) -> SystemConfig:
+    """Area-equivalent homogeneous clusters for Section V-C2.
+
+    Each SPL cluster is replaced by six OOO1 cores (the SPL's area equals
+    two cores) with a free dedicated barrier network.  Enough clusters are
+    instantiated to hold ``n_threads``.
+    """
+    n_clusters = max(1, -(-n_threads // 6))
+    return SystemConfig(clusters=[ooo1_cluster(6)
+                                  for _ in range(n_clusters)])
+
+
+def spl_clusters_for_threads(n_threads: int) -> int:
+    """SPL clusters needed for ``n_threads`` at four cores per cluster."""
+    return max(1, -(-n_threads // 4))
+
+
+def require_power_of_two_threads(n_threads: int, name: str) -> None:
+    if n_threads not in (1, 2, 4, 8, 16):
+        raise WorkloadError(f"{name}: thread count {n_threads} not in "
+                            f"{{1, 2, 4, 8, 16}}")
+
+
+def chunk_bounds(total: int, n_chunks: int, index: int) -> Tuple[int, int]:
+    """Split ``range(total)`` into contiguous chunks (last gets remainder)."""
+    base = total // n_chunks
+    extra = total % n_chunks
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return start, start + size

@@ -1,0 +1,125 @@
+"""cjpeg workload: rgb->Y in the fabric, DCT butterflies in the consumer."""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.cjpeg import (ROUND, Y_B, Y_G, Y_R,
+                                           cjpeg_reference, make_rgb)
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PP, PIX = "r3", "r4"
+T0, T1, T2 = "r5", "r6", "r7"
+PBUF, CNT, POUT, BUF0 = "r15", "r16", "r17", "r18"
+
+
+def ycc_function(name: str = "cjpeg_ycc") -> SplFunction:
+    """Y = (19595 r + 38470 g + 7471 b + 32768) >> 16 from a packed pixel."""
+    g = Dfg(name)
+    r = g.input("r", 0, width=1)
+    gg = g.input("g", 1, width=1)
+    b = g.input("b", 2, width=1)
+    mask = g.const(0xFF, 2)
+    acc = g.const(ROUND, 4)
+    for byte, coefficient in ((r, Y_R), (gg, Y_G), (b, Y_B)):
+        wide = g.op(DfgOp.AND, byte, mask, width=2)
+        acc = g.add(acc, g.op(DfgOp.MUL, wide, g.const(coefficient, 4),
+                              width=4))
+    g.output("y", g.op(DfgOp.SHR, acc, shift=16, width=4))
+    return SplFunction(g)
+
+
+class CjpegKernel(StreamKernel):
+    bench_name = "cjpeg"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        if items % 8:
+            raise ValueError("cjpeg items must be a multiple of 8")
+        super().__init__(image, items, seed)
+        self.pixels = make_rgb(items, seed)
+        packed = [r | (g << 8) | (b << 16) for r, g, b in self.pixels]
+        self.pix_addr = image.alloc_words(packed)
+        self.buf = image.alloc_zeroed(8)
+        self.out = image.alloc_zeroed(items)
+
+    def make_function(self) -> SplFunction:
+        return ycc_function()
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PP, self.pix_addr)
+        if role in ("seq", "consumer"):
+            a.li(BUF0, self.buf)
+            a.mov(PBUF, BUF0)
+            a.li(CNT, 0)
+            a.li(POUT, self.out)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        a.lw(PIX, PP, 0)
+        a.addi(PP, PP, 4)
+
+    def emit_f_software(self, a: Asm) -> None:
+        a.andi(T0, PIX, 0xFF)
+        a.li(T1, Y_R)
+        a.mul(RESULT, T0, T1)
+        a.srli(T0, PIX, 8)
+        a.andi(T0, T0, 0xFF)
+        a.li(T1, Y_G)
+        a.mul(T0, T0, T1)
+        a.add(RESULT, RESULT, T0)
+        a.srli(T0, PIX, 16)
+        a.andi(T0, T0, 0xFF)
+        a.li(T1, Y_B)
+        a.mul(T0, T0, T1)
+        a.add(RESULT, RESULT, T0)
+        a.li(T1, ROUND)
+        a.add(RESULT, RESULT, T1)
+        a.srai(RESULT, RESULT, 16)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        a.spl_loadm(PP, 0, -4)  # the packed pixel stage A just consumed
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T2)
+        a.sw(T2, PBUF, 0)
+        a.addi(PBUF, PBUF, 4)
+        a.addi(CNT, CNT, 1)
+        skip = a.fresh_label("nodct")
+        a.li(T0, 8)
+        a.bne(CNT, T0, skip)
+        # Two butterfly stages over buf[0..7] into the output stream.
+        y = [f"r{19 + i}" for i in range(8)]  # r19-r26... r26 clashes
+        y = ["r19", "r20", "r21", "r22", "r23", "r24", "r5", "r6"]
+        for i, reg in enumerate(y):
+            a.lw(reg, BUF0, 4 * i)
+        # tmp[i] = y[i] + y[7-i]; tmp[4+i] = y[3-i] - y[4+i]
+        tmps = ["r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14"]
+        for i in range(4):
+            a.add(tmps[i], y[i], y[7 - i])
+        for i in range(4):
+            a.sub(tmps[4 + i], y[3 - i], y[4 + i])
+        a.add(T0, tmps[0], tmps[3])
+        a.sw(T0, POUT, 0)
+        a.add(T0, tmps[1], tmps[2])
+        a.sw(T0, POUT, 4)
+        a.sub(T0, tmps[1], tmps[2])
+        a.sw(T0, POUT, 8)
+        a.sub(T0, tmps[0], tmps[3])
+        a.sw(T0, POUT, 12)
+        for i in range(4):
+            a.sw(tmps[4 + i], POUT, 16 + 4 * i)
+        a.addi(POUT, POUT, 32)
+        a.mov(PBUF, BUF0)
+        a.li(CNT, 0)
+        a.label(skip)
+
+    def check(self, memory) -> None:
+        expected = cjpeg_reference(self.pixels)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "cjpeg mismatch"
+
+
+VARIANTS = make_variants(CjpegKernel, default_items=256)

@@ -1,0 +1,272 @@
+"""g721enc / g721dec workload variants (computation-only, Table III).
+
+Variants: ``seq``, ``seq_ooo2``, and ``spl`` (1Th+Comp run as four
+concurrent copies sharing the fabric).  The fabric configuration evaluates
+the full fmult dataflow — magnitude/exponent extraction (the ``quan``
+table search becomes a comparator bank feeding an adder tree), mantissa
+normalization through the barrel shifters, the 6-bit multiply, and the
+sign fix-up — one result per fabric cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm, MemoryImage, Program
+from repro.workloads.base import RunSpec
+from repro.workloads.kernels.g721 import (POWER2, TAPS, make_data,
+                                          predictor_reference)
+from repro.workloads.pipeline_common import (COMPUTE_CONFIG,
+                                             build_loop_program,
+                                             concurrent_spl_spec,
+                                             single_thread_spec)
+
+# Registers (r1/r2 reserved by build_loop_program).
+PA, PS, ACC, POUT = "r3", "r4", "r5", "r6"
+AN, SRN, RES = "r7", "r8", "r9"
+T0, T1, T2, T3 = "r10", "r11", "r12", "r13"
+PTAB, QI = "r14", "r15"
+
+
+def fmult_function(name: str = "g721_fmult") -> SplFunction:
+    """The fmult dataflow graph (one (an, srn) pair per invocation)."""
+    g = Dfg(name)
+    an = g.input("an", 0, width=2)
+    srn = g.input("srn", 4, width=2)
+    zero = g.const(0, 2)
+    # anmag
+    neg = g.sub(zero, an)
+    negm = g.op(DfgOp.AND, neg, g.const(0x1FFF, 2))
+    gt0 = g.op(DfgOp.CMPGT, an, zero, width=1)
+    anmag = g.select(gt0, an, negm, )
+    # anexp = quan(anmag) - 6: count of thresholds <= anmag, as a
+    # comparator bank feeding a narrow adder tree.
+    flags = [g.op(DfgOp.CMPGT, anmag, g.const(threshold - 1, 2), width=1)
+             for threshold in POWER2]
+    while len(flags) > 1:
+        nxt = []
+        for i in range(0, len(flags) - 1, 2):
+            nxt.append(g.op(DfgOp.ADD, flags[i], flags[i + 1], width=1))
+        if len(flags) % 2:
+            nxt.append(flags[-1])
+        flags = nxt
+    anexp = g.op(DfgOp.SUB, flags[0], g.const(6, 1), width=2)
+    # anmant
+    exp_ge0 = g.op(DfgOp.CMPGT, anexp, g.const(-1, 2), width=1)
+    pos_amt = g.max_(anexp, zero)
+    neg_amt = g.max_(g.sub(zero, anexp), zero)
+    mant = g.select(exp_ge0,
+                    g.op(DfgOp.SHRV, anmag, pos_amt),
+                    g.op(DfgOp.SHLV, anmag, neg_amt))
+    is_zero = g.op(DfgOp.CMPEQ, anmag, zero, width=1)
+    anmant = g.select(is_zero, g.const(32, 2), mant)
+    # wanexp / wanmant
+    sx = g.op(DfgOp.AND, g.op(DfgOp.SHR, srn, shift=6), g.const(0xF, 2))
+    wanexp = g.sub(g.add(anexp, sx), g.const(13, 2))
+    product = g.op(DfgOp.MUL, anmant,
+                   g.op(DfgOp.AND, srn, g.const(63, 2)), width=4)
+    wanmant = g.op(DfgOp.SHR, g.add(product, g.const(0x30, 4)), shift=4,
+                   width=4)
+    # retval with sign fix-up
+    wexp_ge0 = g.op(DfgOp.CMPGT, wanexp, g.const(-1, 2), width=1)
+    pos_val = g.op(DfgOp.AND,
+                   g.op(DfgOp.SHLV, wanmant, g.max_(wanexp, zero), width=4),
+                   g.const(0x7FFF, 4), width=2)
+    neg_val = g.op(DfgOp.SHRV, wanmant,
+                   g.max_(g.sub(zero, wanexp), zero), width=2)
+    retval = g.select(wexp_ge0, pos_val, neg_val)
+    sign = g.op(DfgOp.CMPGT, zero, g.op(DfgOp.XOR, an, srn), width=1)
+    g.output("result",
+             g.op(DfgOp.SELECT, sign, g.op(DfgOp.SUB, zero, retval, width=4),
+                  retval, width=4))
+    return SplFunction(g)
+
+
+class G721Layout:
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.items = items
+        self.an, self.srn = make_data(items, seed)
+        self.an_addr = image.alloc_words(self.an)
+        self.srn_addr = image.alloc_words(self.srn)
+        self.out = image.alloc_zeroed(items)
+
+    def check(self, memory) -> None:
+        expected = predictor_reference(self.an, self.srn)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "g721 predictor mismatch"
+
+
+def _emit_init(lay: G721Layout, power2_addr: int):
+    def emit(a: Asm) -> None:
+        a.li(PA, lay.an_addr)
+        a.li(PS, lay.srn_addr)
+        a.li(POUT, lay.out)
+        a.li("r16", power2_addr)
+    return emit
+
+
+def _emit_fmult_software(a: Asm) -> None:
+    """result <- fmult(AN, SRN) following the C code; clobbers T0-T3, QI."""
+    d = a.fresh_label
+    # anmag (T0)
+    pos = d("fm_pos")
+    a.mov(T0, AN)
+    a.bgt(AN, "r0", pos)
+    a.neg(T0, AN)
+    a.andi(T0, T0, 0x1FFF)
+    a.label(pos)
+    # quan: linear table search (branchy, as in the C code)
+    a.mov(PTAB, "r16")
+    a.li(QI, 0)
+    qloop = d("quan")
+    qdone = d("quan_done")
+    a.label(qloop)
+    a.lw(T1, PTAB, 0)
+    a.blt(T0, T1, qdone)
+    a.addi(PTAB, PTAB, 4)
+    a.addi(QI, QI, 1)
+    a.li(T1, len(POWER2))
+    a.blt(QI, T1, qloop)
+    a.label(qdone)
+    a.addi(QI, QI, -6)          # anexp
+    # anmant (T1)
+    mant_done = d("mant_done")
+    not_zero = d("nz")
+    a.li(T1, 32)
+    a.bnez(T0, not_zero)
+    a.j(mant_done)
+    a.label(not_zero)
+    shl_case = d("shl")
+    a.blt(QI, "r0", shl_case)
+    a.srl(T1, T0, QI)
+    a.j(mant_done)
+    a.label(shl_case)
+    a.neg(T2, QI)
+    a.sll(T1, T0, T2)
+    a.label(mant_done)
+    # wanexp (T2) = anexp + ((srn >> 6) & 0xF) - 13
+    a.srai(T2, SRN, 6)
+    a.andi(T2, T2, 0xF)
+    a.add(T2, T2, QI)
+    a.addi(T2, T2, -13)
+    # wanmant (T1) = (anmant * (srn & 63) + 0x30) >> 4
+    a.andi(T3, SRN, 63)
+    a.mul(T1, T1, T3)
+    a.addi(T1, T1, 0x30)
+    a.srai(T1, T1, 4)
+    # retval (T0)
+    rneg = d("rneg")
+    rdone = d("rdone")
+    a.blt(T2, "r0", rneg)
+    a.sll(T0, T1, T2)
+    a.andi(T0, T0, 0x7FFF)
+    a.j(rdone)
+    a.label(rneg)
+    a.neg(T3, T2)
+    a.srl(T0, T1, T3)
+    a.label(rdone)
+    # sign fix-up
+    sdone = d("sdone")
+    a.xor(T1, AN, SRN)
+    a.bge(T1, "r0", sdone)
+    a.neg(T0, T0)
+    a.label(sdone)
+    a.mov(RES, T0)
+
+
+def build_seq_program(lay: G721Layout, power2_addr: int,
+                      name: str) -> Program:
+    def body(a: Asm) -> None:
+        a.li(ACC, 0)
+        for _ in range(TAPS):
+            a.lw(AN, PA, 0)
+            a.lw(SRN, PS, 0)
+            _emit_fmult_software(a)
+            a.add(ACC, ACC, RES)
+            a.addi(PA, PA, 4)
+            a.addi(PS, PS, 4)
+        a.sw(ACC, POUT, 0)
+        a.addi(POUT, POUT, 4)
+
+    return build_loop_program(name, lay.items, _emit_init(lay, power2_addr),
+                              body)
+
+
+def build_spl_program(lay: G721Layout, name: str) -> Program:
+    """1Th+Comp: one fabric fmult per tap, software-pipelined one deep."""
+    def init(a: Asm) -> None:
+        a.li(PA, lay.an_addr)
+        a.li(PS, lay.srn_addr)
+        a.li(POUT, lay.out)
+
+    def body(a: Asm) -> None:
+        a.li(ACC, 0)
+        # Issue all eight taps back-to-back, then drain: the fabric
+        # pipelines them (II = 1 fabric cycle).
+        for _ in range(TAPS):
+            a.spl_loadm(PA, 0)
+            a.spl_loadm(PS, 4)
+            a.spl_init(COMPUTE_CONFIG)
+            a.addi(PA, PA, 4)
+            a.addi(PS, PS, 4)
+        for _ in range(TAPS):
+            a.spl_recv(RES)
+            a.add(ACC, ACC, RES)
+        a.sw(ACC, POUT, 0)
+        a.addi(POUT, POUT, 4)
+
+    return build_loop_program(name, lay.items, init, body)
+
+
+def _make_image(items: int, seed: int, copies: int = 1):
+    image = MemoryImage()
+    power2_addr = image.alloc_words(POWER2)
+    layouts = [G721Layout(image, items, seed + 31 * i)
+               for i in range(copies)]
+    return image, power2_addr, layouts
+
+
+def seq_spec(bench: str = "g721enc", items: int = 48,
+             wide_core: bool = False) -> RunSpec:
+    seed = 42 if bench == "g721enc" else 77
+    image, power2_addr, layouts = _make_image(items, seed)
+    lay = layouts[0]
+    program = build_seq_program(lay, power2_addr, f"{bench}_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"{bench}/{suffix}", image, program,
+                              lambda memory: lay.check(memory), items,
+                              wide=wide_core)
+
+
+def spl_spec(bench: str = "g721enc", items: int = 48,
+             copies: int = 4) -> RunSpec:
+    seed = 42 if bench == "g721enc" else 77
+    image, _, layouts = _make_image(items, seed, copies)
+    programs = [build_spl_program(lay, f"{bench}_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+    function = fmult_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG, function)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec(f"{bench}/spl", image, programs, setup,
+                               check, items)
+
+
+def variants(bench: str):
+    return {
+        "seq": lambda **kw: seq_spec(bench, **kw),
+        "seq_ooo2": lambda **kw: seq_spec(bench, wide_core=True, **kw),
+        "spl": lambda **kw: spl_spec(bench, **kw),
+    }
+
+
+VARIANTS_ENC = variants("g721enc")
+VARIANTS_DEC = variants("g721dec")

@@ -1,0 +1,445 @@
+"""gsmtoast / gsmuntoast workload variants (computation-only).
+
+gsmtoast's weighting filter is a feed-forward FIR: one ``spl_loadv``
+stages the whole 8-short window and the fabric produces one saturated
+output per cycle.
+
+gsmuntoast's synthesis lattice is a *recurrence*: the ``v[]`` reflection
+state lives in the fabric's flip-flops (DELAY nodes), and the
+configuration is mapped systolically so successive samples enter every
+few rows (``retimed_feedback_ii``).  Because the state belongs to one
+thread, each concurrent copy gets a private fabric partition and its own
+function instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgNode, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm, MemoryImage, Program
+from repro.workloads.base import RunSpec
+from repro.workloads.kernels.gsm import (FIR_ROUND, FIR_SHIFT, H,
+                                         LTP_TAPS, RRP, SHORT_MAX,
+                                         SHORT_MIN, STAGES, ltp_reference,
+                                         make_shorts, synthesis_reference,
+                                         weighting_reference)
+from repro.workloads.pipeline_common import (COMPUTE_CONFIG,
+                                             build_loop_program,
+                                             concurrent_spl_spec,
+                                             single_thread_spec)
+
+PE, POUT, ACC = "r3", "r4", "r5"
+T0, T1, T2, IDX = "r6", "r7", "r8", "r9"
+#: Second gsmtoast configuration: the LTP correlation (COMPUTE_CONFIG
+#: from pipeline_common is 1).
+LTP_CONFIG = 2
+V_BASE = "r10"  # first of four packed v-state registers (r10-r13) — unused
+#: Assumed rows between successive samples after systolic retiming of the
+#: lattice (one stage's multiply-round-subtract path).
+LATTICE_RETIMED_II = 11
+
+
+def weighting_function(name: str = "gsm_weight") -> SplFunction:
+    """8-tap FIR with rounding and saturation (one output per entry)."""
+    g = Dfg(name)
+    taps = [g.input(f"e{i}", 2 * i, width=2) for i in range(len(H))]
+    acc = g.const(FIR_ROUND, 4)
+    for tap, coefficient in zip(taps, H):
+        product = g.op(DfgOp.MUL, tap, g.const(coefficient, 2), width=4)
+        acc = g.add(acc, product)
+    shifted = g.op(DfgOp.SHR, acc, shift=FIR_SHIFT, width=4)
+    g.output("out", g.clamp(shifted, SHORT_MIN, SHORT_MAX))
+    return SplFunction(g)
+
+
+def corr8_function(name: str = "gsm_ltp_corr") -> SplFunction:
+    """LTP cross-correlation step: sum of d[i]*dp[i] over eight shorts.
+
+    Beat 0 stages the residual window d, beat 1 the history window dp.
+    """
+    g = Dfg(name)
+    acc = None
+    for i in range(LTP_TAPS):
+        d = g.input(f"d{i}", 2 * i, width=2)
+        dp = g.input(f"p{i}", 16 + 2 * i, width=2)
+        term = g.op(DfgOp.MUL, d, dp, width=4)
+        acc = term if acc is None else g.add(acc, term)
+    g.output("corr", acc)
+    return SplFunction(g)
+
+
+def synthesis_function(name: str = "gsm_lattice") -> SplFunction:
+    """The stateful 8-stage lattice; v[] lives in delay registers."""
+    g = Dfg(name)
+    wt = g.input("wt", 0, width=2)
+    v_regs = [g.delay(width=2) for _ in range(STAGES)]  # v[0..7]
+
+    def mult_r(coefficient: int, node: DfgNode) -> DfgNode:
+        product = g.op(DfgOp.MUL, node, g.const(coefficient, 2), width=4)
+        return g.op(DfgOp.SHR, g.add(product, g.const(16384, 4)),
+                    shift=15, width=4)
+
+    def sat(node: DfgNode) -> DfgNode:
+        return g.clamp(node, SHORT_MIN, SHORT_MAX)
+
+    sri = wt
+    new_v = {}
+    for i in range(STAGES, 0, -1):
+        sri = sat(g.op(DfgOp.SUB, sri, mult_r(RRP[i - 1], v_regs[i - 1]),
+                       width=4))
+        if i - 1 < STAGES - 1:
+            # v[i] (for i < STAGES) feeds next invocation's v[i] register.
+            new_v[i] = sat(g.add(v_regs[i - 1], mult_r(RRP[i - 1], sri)))
+    for i, node in new_v.items():
+        g.set_delay_source(v_regs[i], node)
+    g.set_delay_source(v_regs[0], sri)
+    g.output("sr", sri)
+    return SplFunction(g, retimed_feedback_ii=LATTICE_RETIMED_II)
+
+
+# ---------------- gsmtoast ---------------------------------------------------------
+
+
+class ToastLayout:
+    """gsmtoast state: the weighting-filter stream plus the LTP search
+    (Table III lists both functions for the 54% region)."""
+
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.items = items
+        self.lags = max(2, items // 2)
+        self.e = make_shorts(2 * items + len(H), seed)
+        data = b"".join(v.to_bytes(2, "little", signed=True)
+                        for v in self.e)
+        self.e_addr = image.alloc(len(data), align=16)
+        image.write_bytes(self.e_addr, data)
+        self.out = image.alloc_zeroed(items)
+        self.d = make_shorts(LTP_TAPS, seed + 5)
+        self.dp = make_shorts(2 * self.lags + LTP_TAPS, seed + 6)
+        d_bytes = b"".join(v.to_bytes(2, "little", signed=True)
+                           for v in self.d)
+        dp_bytes = b"".join(v.to_bytes(2, "little", signed=True)
+                            for v in self.dp)
+        self.d_addr = image.alloc(len(d_bytes), align=16)
+        image.write_bytes(self.d_addr, d_bytes)
+        self.dp_addr = image.alloc(len(dp_bytes), align=16)
+        image.write_bytes(self.dp_addr, dp_bytes)
+        self.ltp_out = image.alloc_zeroed(2)  # best corr, best lag
+
+    def check(self, memory) -> None:
+        expected = weighting_reference(self.e, self.items)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "gsmtoast weighting mismatch"
+        corr, lag = ltp_reference(self.d, self.dp, self.lags)
+        assert memory.read_word_signed(self.ltp_out) == corr, \
+            "gsmtoast LTP corr mismatch"
+        assert memory.read_word_signed(self.ltp_out + 4) == lag, \
+            "gsmtoast LTP lag mismatch"
+
+
+def build_toast_seq(lay: ToastLayout, name: str) -> Program:
+    def init(a: Asm) -> None:
+        a.li(PE, lay.e_addr)
+        a.li(POUT, lay.out)
+
+    def body(a: Asm) -> None:
+        a.li(ACC, FIR_ROUND)
+        for i, coefficient in enumerate(H):
+            a.lh(T0, PE, 2 * i)
+            a.li(T1, coefficient)
+            a.mul(T0, T0, T1)
+            a.add(ACC, ACC, T0)
+        a.srai(ACC, ACC, FIR_SHIFT)
+        lo = a.fresh_label("lo")
+        hi = a.fresh_label("hi")
+        a.li(T0, SHORT_MIN)
+        a.bge(ACC, T0, lo)
+        a.mov(ACC, T0)
+        a.label(lo)
+        a.li(T0, SHORT_MAX)
+        a.ble(ACC, T0, hi)
+        a.mov(ACC, T0)
+        a.label(hi)
+        a.sw(ACC, POUT, 0)
+        a.addi(PE, PE, 4)
+        a.addi(POUT, POUT, 4)
+
+    def fini(a: Asm) -> None:
+        _emit_ltp_software(a, lay)
+
+    return build_loop_program(name, lay.items, init, body, fini)
+
+
+# Registers for the LTP phase (the FIR loop has finished by then).
+BEST, BLAG, LAG, PDP, PD = "r10", "r11", "r12", "r13", "r14"
+LAGS_B = "r15"
+
+
+def _emit_ltp_store(a: Asm, lay: ToastLayout) -> None:
+    a.li(T0, lay.ltp_out)
+    a.sw(BEST, T0, 0)
+    a.sw(BLAG, T0, 4)
+
+
+def _emit_ltp_software(a: Asm, lay: ToastLayout) -> None:
+    """The branchy sliding-window correlation search."""
+    a.li(BEST, -(1 << 30))
+    a.li(BLAG, 0)
+    a.li(LAG, 0)
+    a.li(PD, lay.d_addr)
+    a.li(PDP, lay.dp_addr)
+    a.li(LAGS_B, lay.lags)
+    loop = a.fresh_label("ltp")
+    nomax = a.fresh_label("nomax")
+    a.label(loop)
+    a.li(ACC, 0)
+    for i in range(LTP_TAPS):
+        a.lh(T0, PD, 2 * i)
+        a.lh(T1, PDP, 2 * i)
+        a.mul(T0, T0, T1)
+        a.add(ACC, ACC, T0)
+    a.ble(ACC, BEST, nomax)
+    a.mov(BEST, ACC)
+    a.mov(BLAG, LAG)
+    a.label(nomax)
+    a.addi(PDP, PDP, 4)  # two samples per lag step
+    a.addi(LAG, LAG, 1)
+    a.blt(LAG, LAGS_B, loop)
+    _emit_ltp_store(a, lay)
+
+
+def _emit_ltp_spl(a: Asm, lay: ToastLayout) -> None:
+    """LTP with the correlation computed in the fabric per lag."""
+    depth = min(3, lay.lags)
+    a.li(BEST, -(1 << 30))
+    a.li(BLAG, 0)
+    a.li(LAG, 0)
+    a.li(PD, lay.d_addr)
+    a.li(PDP, lay.dp_addr)
+    a.li(LAGS_B, lay.lags)
+
+    def issue() -> None:
+        a.spl_loadv(PD, 0)       # residual window (constant across lags)
+        a.spl_loadv(PDP, 16)     # history window at this lag
+        a.spl_init(LTP_CONFIG)
+        a.addi(PDP, PDP, 4)
+
+    for _ in range(depth):
+        issue()
+    loop = a.fresh_label("ltp")
+    nomax = a.fresh_label("nomax")
+    noissue = a.fresh_label("noissue")
+    a.label(loop)
+    a.spl_recv(ACC)
+    a.ble(ACC, BEST, nomax)
+    a.mov(BEST, ACC)
+    a.mov(BLAG, LAG)
+    a.label(nomax)
+    a.li(T0, lay.lags - depth)
+    a.bge(LAG, T0, noissue)
+    issue()
+    a.label(noissue)
+    a.addi(LAG, LAG, 1)
+    a.blt(LAG, LAGS_B, loop)
+    _emit_ltp_store(a, lay)
+
+
+def build_toast_spl(lay: ToastLayout, name: str) -> Program:
+    depth = min(3, lay.items)
+
+    def issue(a: Asm) -> None:
+        a.spl_loadv(PE, 0)
+        a.spl_init(COMPUTE_CONFIG)
+        a.addi(PE, PE, 4)
+
+    def init(a: Asm) -> None:
+        a.li(PE, lay.e_addr)
+        a.li(POUT, lay.out)
+        for _ in range(depth):
+            issue(a)
+
+    def body(a: Asm) -> None:
+        a.spl_recv(T0)
+        a.sw(T0, POUT, 0)
+        a.addi(POUT, POUT, 4)
+        skip = a.fresh_label("noissue")
+        a.li(T1, lay.items - depth)
+        a.bge("r1", T1, skip)
+        issue(a)
+        a.label(skip)
+
+    def fini(a: Asm) -> None:
+        _emit_ltp_spl(a, lay)
+
+    return build_loop_program(name, lay.items, init, body, fini)
+
+
+def toast_seq_spec(items: int = 96, wide_core: bool = False) -> RunSpec:
+    image = MemoryImage()
+    lay = ToastLayout(image, items, seed=701)
+    program = build_toast_seq(lay, "gsmtoast_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"gsmtoast/{suffix}", image, program,
+                              lambda memory: lay.check(memory), items,
+                              wide=wide_core)
+
+
+def toast_spl_spec(items: int = 96, copies: int = 4) -> RunSpec:
+    image = MemoryImage()
+    layouts = [ToastLayout(image, items, seed=701 + 13 * i)
+               for i in range(copies)]
+    programs = [build_toast_spl(lay, f"gsmtoast_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+    function = weighting_function()
+    ltp = corr8_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG, function)
+            machine.configure_spl(core, LTP_CONFIG, ltp)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec("gsmtoast/spl", image, programs, setup,
+                               check, items)
+
+
+# ---------------- gsmuntoast -------------------------------------------------------
+
+
+class UntoastLayout:
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.items = items
+        self.wt = make_shorts(items, seed)
+        self.wt_addr = image.alloc_words(self.wt)  # one short per word slot
+        self.out = image.alloc_zeroed(items)
+
+    def check(self, memory) -> None:
+        expected, _ = synthesis_reference(self.wt)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "gsmuntoast synthesis mismatch"
+
+
+def build_untoast_seq(lay: UntoastLayout, name: str) -> Program:
+    """Software lattice; v state in registers r20..r27 (v[0..7])."""
+    v_regs = [f"r{20 + i}" for i in range(STAGES)]
+
+    def init(a: Asm) -> None:
+        a.li(PE, lay.wt_addr)
+        a.li(POUT, lay.out)
+        for reg in v_regs:
+            a.li(reg, 0)
+
+    def sat(a: Asm, reg: str) -> None:
+        lo = a.fresh_label("lo")
+        hi = a.fresh_label("hi")
+        a.li(T1, SHORT_MIN)
+        a.bge(reg, T1, lo)
+        a.mov(reg, T1)
+        a.label(lo)
+        a.li(T1, SHORT_MAX)
+        a.ble(reg, T1, hi)
+        a.mov(reg, T1)
+        a.label(hi)
+
+    def body(a: Asm) -> None:
+        a.lw(ACC, PE, 0)  # sri = wt[k]
+        for i in range(STAGES, 0, -1):
+            # sri = sat(sri - mult_r(rrp, v[i-1]))
+            a.li(T0, RRP[i - 1])
+            a.mul(T2, T0, v_regs[i - 1])
+            a.li(T1, 16384)
+            a.add(T2, T2, T1)
+            a.srai(T2, T2, 15)
+            a.sub(ACC, ACC, T2)
+            sat(a, ACC)
+            if i - 1 < STAGES - 1:
+                # v[i] = sat(v[i-1] + mult_r(rrp, sri))
+                a.mul(T2, T0, ACC)
+                a.li(T1, 16384)
+                a.add(T2, T2, T1)
+                a.srai(T2, T2, 15)
+                a.add(T2, v_regs[i - 1], T2)
+                a.mov(v_regs[i], T2)
+                sat(a, v_regs[i])
+        a.mov(v_regs[0], ACC)
+        a.sw(ACC, POUT, 0)
+        a.addi(PE, PE, 4)
+        a.addi(POUT, POUT, 4)
+
+    return build_loop_program(name, lay.items, init, body)
+
+
+def build_untoast_spl(lay: UntoastLayout, name: str) -> Program:
+    """The lattice runs in the fabric; the core just streams samples."""
+    depth = min(2, lay.items)
+
+    def issue(a: Asm) -> None:
+        a.spl_loadm(PE, 0)
+        a.spl_init(COMPUTE_CONFIG)
+        a.addi(PE, PE, 4)
+
+    def init(a: Asm) -> None:
+        a.li(PE, lay.wt_addr)
+        a.li(POUT, lay.out)
+        for _ in range(depth):
+            issue(a)
+
+    def body(a: Asm) -> None:
+        a.spl_recv(T0)
+        a.sw(T0, POUT, 0)
+        a.addi(POUT, POUT, 4)
+        skip = a.fresh_label("noissue")
+        a.li(T1, lay.items - depth)
+        a.bge("r1", T1, skip)
+        issue(a)
+        a.label(skip)
+
+    return build_loop_program(name, lay.items, init, body)
+
+
+def untoast_seq_spec(items: int = 64, wide_core: bool = False) -> RunSpec:
+    image = MemoryImage()
+    lay = UntoastLayout(image, items, seed=801)
+    program = build_untoast_seq(lay, "gsmuntoast_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"gsmuntoast/{suffix}", image, program,
+                              lambda memory: lay.check(memory), items,
+                              wide=wide_core)
+
+
+def untoast_spl_spec(items: int = 64, copies: int = 4) -> RunSpec:
+    image = MemoryImage()
+    layouts = [UntoastLayout(image, items, seed=801 + 13 * i)
+               for i in range(copies)]
+    programs = [build_untoast_spl(lay, f"gsmuntoast_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+
+    def setup(machine) -> None:
+        # Stateful configuration: one private partition + one function
+        # instance per thread (state cannot be time-multiplexed).
+        machine.set_partitions(0, [6, 6, 6, 6], [0, 1, 2, 3])
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG,
+                                  synthesis_function(f"gsm_lattice_t{core}"))
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec("gsmuntoast/spl", image, programs, setup,
+                               check, items)
+
+
+VARIANTS_TOAST = {
+    "seq": toast_seq_spec,
+    "seq_ooo2": lambda **kw: toast_seq_spec(wide_core=True, **kw),
+    "spl": toast_spl_spec,
+}
+
+VARIANTS_UNTOAST = {
+    "seq": untoast_seq_spec,
+    "seq_ooo2": lambda **kw: untoast_seq_spec(wide_core=True, **kw),
+    "spl": untoast_spl_spec,
+}

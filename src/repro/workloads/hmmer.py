@@ -1,0 +1,569 @@
+"""456.hmmer P7Viterbi workload variants (Figures 5 and 6).
+
+Variants built here:
+
+* ``seq``           — Figure 5(a): the original loop on one core.
+* ``spl``           — Figure 5(b), 1Th+Comp: ``mc`` computed in the fabric
+  (software-pipelined three deep to cover the 10-row latency).  Run as
+  four concurrent copies sharing the fabric, per Section V-A.
+* ``comm``          — Figure 5(c), 2Th+Comm: producer computes ``mc``/``ic``
+  in software and streams ``mc`` through the fabric (identity route).
+* ``compcomm``      — Figure 5(d), 2Th+CompComm: producer loads the ``mc``
+  inputs, the fabric computes ``mc`` in flight, the consumer computes ``dc``.
+* ``ooo2comm``      — the 2Th+Comm program pair on OOO2 cores with the
+  idealized dedicated network.
+* ``swqueue``       — 2Th+Comm over a shared-memory software queue.
+
+Every variant's output arrays are checked against the reference kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.comm_network import attach_comm_network
+from repro.baselines.sw_sync import SwQueue
+from repro.common.errors import WorkloadError
+from repro.core.function import identity_function
+from repro.isa import Asm, MemoryImage, ThreadSpec
+from repro.system.workload import Workload
+from repro.workloads.base import (RunSpec, ooo2_system, remap_machine_system,
+                                  seq_system)
+from repro.workloads.kernels.hmmer import (HmmerData, INFTY, make_data,
+                                           p7viterbi_reference)
+from repro.workloads.spl_lib import hmmer_mc_function
+
+# Register conventions shared by all hmmer programs.
+P_MPP, P_IP, P_DPP = "r1", "r2", "r3"
+P_MC, P_DC, P_IC = "r4", "r5", "r6"
+P_TAB, K, M_BOUND = "r7", "r8", "r9"
+XMB, NINF = "r10", "r11"
+T0, T1, T2, TSW = "r12", "r13", "r14", "r15"
+MC_PREV, DC_PREV = "r16", "r17"
+ROW, R_BOUND, P_XMB = "r18", "r19", "r20"
+B_MA, B_IA, B_DA = "r21", "r22", "r23"
+B_MB, B_IB, B_DB = "r24", "r25", "r26"
+ISSUE_BOUND = "r28"
+
+_TABLE_ORDER = ("tpmm", "tpim", "tpdm", "tpmd", "tpdd", "tpmi", "tpii",
+                "bp", "ms", "is_")
+
+#: Software-pipeline depth of the 1Th+Comp variant (hides fabric latency).
+PIPE_DEPTH = 3
+
+MC_CONFIG = 1
+ROUTE_CONFIG = 2
+
+
+class HmmerLayout:
+    """Memory layout for one thread's hmmer state."""
+
+    def __init__(self, image: MemoryImage, data: HmmerData) -> None:
+        n = data.M + 1
+        self.n = n
+        self.data = data
+        self.m_a = image.alloc_words(data.mpp)
+        self.i_a = image.alloc_words(data.ip)
+        self.d_a = image.alloc_words(data.dpp)
+        self.m_b = image.alloc_zeroed(n)
+        self.i_b = image.alloc_zeroed(n)
+        self.d_b = image.alloc_zeroed(n)
+        table_values: List[int] = []
+        for name in _TABLE_ORDER:
+            table_values.extend(getattr(data, name))
+        self.tab = image.alloc_words(table_values)
+        self.dist: Dict[str, int] = {
+            name: index * n * 4 for index, name in enumerate(_TABLE_ORDER)}
+        self.xmb = image.alloc_words(data.xmb)
+
+    def final_buffers(self):
+        """(mc, dc, ic) buffer addresses holding the last row's results."""
+        if self.data.R % 2 == 1:
+            return self.m_b, self.d_b, self.i_b
+        return self.m_a, self.d_a, self.i_a
+
+
+def _check(memory, layout: HmmerLayout) -> None:
+    mc_ref, dc_ref, ic_ref = p7viterbi_reference(layout.data)
+    mc_addr, dc_addr, ic_addr = layout.final_buffers()
+    n = layout.n
+    assert memory.read_words(mc_addr, n) == mc_ref, "hmmer mc mismatch"
+    assert memory.read_words(dc_addr, n) == dc_ref, "hmmer dc mismatch"
+    got_ic = memory.read_words(ic_addr, n)
+    assert got_ic[:n - 1] == ic_ref[:n - 1], "hmmer ic mismatch"
+
+
+# -- shared emission helpers ------------------------------------------------------
+
+
+def _emit_init(a: Asm, lay: HmmerLayout) -> None:
+    a.li(B_MA, lay.m_a)
+    a.li(B_IA, lay.i_a)
+    a.li(B_DA, lay.d_a)
+    a.li(B_MB, lay.m_b)
+    a.li(B_IB, lay.i_b)
+    a.li(B_DB, lay.d_b)
+    a.li(NINF, -INFTY)
+    a.li(M_BOUND, lay.data.M)
+    a.li(ROW, 0)
+    a.li(R_BOUND, lay.data.R)
+    a.li(P_XMB, lay.xmb)
+
+
+def _emit_swap(a: Asm, pairs) -> None:
+    for reg_a, reg_b in pairs:
+        a.mov(TSW, reg_a)
+        a.mov(reg_a, reg_b)
+        a.mov(reg_b, TSW)
+
+
+def _emit_row_end(a: Asm, row_label: str, swap_pairs) -> None:
+    _emit_swap(a, swap_pairs)
+    a.addi(ROW, ROW, 1)
+    a.blt(ROW, R_BOUND, row_label)
+
+
+def _emit_mc_software(a: Asm, lay: HmmerLayout) -> None:
+    """The branchy mc computation of Figure 5(a); result in T0."""
+    d = lay.dist
+    a.lw(T0, P_MPP, 0)
+    a.lw(T1, P_TAB, d["tpmm"])
+    a.add(T0, T0, T1)
+    a.lw(T1, P_IP, 0)
+    a.lw(T2, P_TAB, d["tpim"])
+    a.add(T1, T1, T2)
+    skip = a.fresh_label("mc1")
+    a.ble(T1, T0, skip)
+    a.mov(T0, T1)
+    a.label(skip)
+    a.lw(T1, P_DPP, 0)
+    a.lw(T2, P_TAB, d["tpdm"])
+    a.add(T1, T1, T2)
+    skip = a.fresh_label("mc2")
+    a.ble(T1, T0, skip)
+    a.mov(T0, T1)
+    a.label(skip)
+    a.lw(T1, P_TAB, d["bp"] + 4)
+    a.add(T1, T1, XMB)
+    skip = a.fresh_label("mc3")
+    a.ble(T1, T0, skip)
+    a.mov(T0, T1)
+    a.label(skip)
+    a.lw(T1, P_TAB, d["ms"] + 4)
+    a.add(T0, T0, T1)
+    skip = a.fresh_label("mc4")
+    a.bge(T0, NINF, skip)
+    a.mov(T0, NINF)
+    a.label(skip)
+
+
+def _emit_dc(a: Asm, lay: HmmerLayout) -> None:
+    """dc[k] from MC_PREV/DC_PREV; stores and updates DC_PREV.
+
+    Callers must set MC_PREV to mc[k-1] before and update it after.
+    """
+    d = lay.dist
+    a.lw(T1, P_TAB, d["tpdd"])
+    a.add(T1, DC_PREV, T1)
+    a.lw(T2, P_TAB, d["tpmd"])
+    a.add(T2, MC_PREV, T2)
+    skip = a.fresh_label("dc1")
+    a.ble(T2, T1, skip)
+    a.mov(T1, T2)
+    a.label(skip)
+    skip = a.fresh_label("dc2")
+    a.bge(T1, NINF, skip)
+    a.mov(T1, NINF)
+    a.label(skip)
+    a.sw(T1, P_DC, 0)
+    a.mov(DC_PREV, T1)
+
+
+def _emit_ic(a: Asm, lay: HmmerLayout) -> None:
+    """ic[k] (guarded by k < M); stores to P_IC."""
+    d = lay.dist
+    skip_ic = a.fresh_label("skip_ic")
+    a.bge(K, M_BOUND, skip_ic)
+    a.lw(T0, P_MPP, 4)
+    a.lw(T1, P_TAB, d["tpmi"] + 4)
+    a.add(T0, T0, T1)
+    a.lw(T1, P_IP, 4)
+    a.lw(T2, P_TAB, d["tpii"] + 4)
+    a.add(T1, T1, T2)
+    skip = a.fresh_label("ic1")
+    a.ble(T1, T0, skip)
+    a.mov(T0, T1)
+    a.label(skip)
+    a.lw(T1, P_TAB, d["is_"] + 4)
+    a.add(T0, T0, T1)
+    skip = a.fresh_label("ic2")
+    a.bge(T0, NINF, skip)
+    a.mov(T0, NINF)
+    a.label(skip)
+    a.sw(T0, P_IC, 0)
+    a.label(skip_ic)
+
+
+def _emit_issue_mc_inputs(a: Asm, lay: HmmerLayout, lookahead: int) -> None:
+    """Stage + issue the fabric mc inputs for iteration k + lookahead."""
+    d = lay.dist
+    off = 4 * lookahead
+    a.spl_loadm(P_MPP, 0, off)
+    a.spl_loadm(P_TAB, 4, d["tpmm"] + off)
+    a.spl_loadm(P_IP, 8, off)
+    a.spl_loadm(P_TAB, 12, d["tpim"] + off)
+    a.spl_loadm(P_DPP, 16, off)
+    a.spl_loadm(P_TAB, 20, d["tpdm"] + off)
+    a.lw(T0, P_TAB, d["bp"] + 4 + off)
+    a.add(T0, T0, XMB)
+    a.spl_load(T0, 24)
+    a.spl_loadm(P_TAB, 28, d["ms"] + 4 + off)
+    a.spl_init(MC_CONFIG)
+
+
+def _advance(a: Asm, pointers) -> None:
+    for reg in pointers:
+        a.addi(reg, reg, 4)
+
+
+def _row_setup_common(a: Asm, lay: HmmerLayout, *, reads: bool,
+                      write_m: bool, write_d: bool, write_i: bool,
+                      xmb: bool) -> None:
+    if reads:
+        a.mov(P_MPP, B_MA)
+        a.mov(P_IP, B_IA)
+        a.mov(P_DPP, B_DA)
+    if write_m:
+        a.mov(P_MC, B_MB)
+        a.sw(NINF, P_MC, 0)
+        a.addi(P_MC, P_MC, 4)
+    if write_d:
+        a.mov(P_DC, B_DB)
+        a.sw(NINF, P_DC, 0)
+        a.addi(P_DC, P_DC, 4)
+    if write_i:
+        a.mov(P_IC, B_IB)
+        a.sw(NINF, P_IC, 0)
+        a.addi(P_IC, P_IC, 4)
+    a.li(P_TAB, lay.tab)
+    if xmb:
+        a.lw(XMB, P_XMB, 0)
+        a.addi(P_XMB, P_XMB, 4)
+    a.mov(MC_PREV, NINF)
+    a.mov(DC_PREV, NINF)
+    a.li(K, 1)
+
+
+_ALL_SWAPS = ((B_MA, B_MB), (B_IA, B_IB), (B_DA, B_DB))
+
+
+# -- program builders ----------------------------------------------------------------
+
+
+def build_seq_program(lay: HmmerLayout, name: str = "hmmer_seq"):
+    """Figure 5(a): everything in software on one core."""
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.label("row")
+    _row_setup_common(a, lay, reads=True, write_m=True, write_d=True,
+                      write_i=True, xmb=True)
+    a.label("inner")
+    _emit_mc_software(a, lay)
+    a.sw(T0, P_MC, 0)
+    a.mov(TSW, T0)         # keep mc[k]; _emit_dc clobbers T1/T2
+    _emit_dc(a, lay)
+    a.mov(MC_PREV, TSW)
+    _emit_ic(a, lay)
+    _advance(a, (P_MPP, P_IP, P_DPP, P_MC, P_DC, P_IC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", _ALL_SWAPS)
+    a.halt()
+    return a.assemble()
+
+
+def build_spl_program(lay: HmmerLayout, name: str = "hmmer_spl"):
+    """Figure 5(b): mc in the fabric, software-pipelined PIPE_DEPTH deep."""
+    if lay.data.M < PIPE_DEPTH + 1:
+        raise WorkloadError("hmmer spl variant needs M > pipeline depth")
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.li(ISSUE_BOUND, lay.data.M - PIPE_DEPTH)
+    a.label("row")
+    _row_setup_common(a, lay, reads=True, write_m=True, write_d=True,
+                      write_i=True, xmb=True)
+    for d in range(PIPE_DEPTH):
+        _emit_issue_mc_inputs(a, lay, d)
+    a.label("inner")
+    a.spl_recv(T0)                    # mc[k]
+    a.sw(T0, P_MC, 0)
+    a.mov(TSW, T0)
+    _emit_dc(a, lay)
+    a.mov(MC_PREV, TSW)
+    _emit_ic(a, lay)
+    skip = a.fresh_label("noissue")
+    a.bgt(K, ISSUE_BOUND, skip)
+    _emit_issue_mc_inputs(a, lay, PIPE_DEPTH)
+    a.label(skip)
+    _advance(a, (P_MPP, P_IP, P_DPP, P_MC, P_DC, P_IC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", _ALL_SWAPS)
+    a.halt()
+    return a.assemble()
+
+
+def build_comm_producer(lay: HmmerLayout, name: str = "hmmer_comm_prod"):
+    """Figure 5(c) producer: software mc + ic; stream mc to the consumer."""
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.label("row")
+    _row_setup_common(a, lay, reads=True, write_m=True, write_d=False,
+                      write_i=True, xmb=True)
+    a.label("inner")
+    _emit_mc_software(a, lay)
+    a.sw(T0, P_MC, 0)
+    a.spl_load(T0, 0)
+    a.spl_init(ROUTE_CONFIG)
+    _emit_ic(a, lay)
+    _advance(a, (P_MPP, P_IP, P_DPP, P_MC, P_IC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", _ALL_SWAPS)
+    a.halt()
+    return a.assemble()
+
+
+def build_consumer(lay: HmmerLayout, store_mc: bool,
+                   name: str = "hmmer_cons"):
+    """Consumer for both 2Th variants: receive mc[k], compute dc[k]."""
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.label("row")
+    _row_setup_common(a, lay, reads=False, write_m=store_mc, write_d=True,
+                      write_i=False, xmb=False)
+    a.label("inner")
+    a.spl_recv(T0)
+    if store_mc:
+        a.sw(T0, P_MC, 0)
+    a.mov(TSW, T0)
+    _emit_dc(a, lay)
+    a.mov(MC_PREV, TSW)
+    pointers = [P_DC, P_TAB] + ([P_MC] if store_mc else [])
+    _advance(a, pointers)
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    swaps = ((B_DA, B_DB),) + (((B_MA, B_MB),) if store_mc else ())
+    _emit_row_end(a, "row", swaps)
+    a.halt()
+    return a.assemble()
+
+
+def build_compcomm_producer(lay: HmmerLayout,
+                            name: str = "hmmer_cc_prod"):
+    """Figure 5(d) producer: issue mc inputs to the fabric + compute ic."""
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.label("row")
+    _row_setup_common(a, lay, reads=True, write_m=False, write_d=False,
+                      write_i=True, xmb=True)
+    a.label("inner")
+    _emit_issue_mc_inputs(a, lay, 0)
+    _emit_ic(a, lay)
+    _advance(a, (P_MPP, P_IP, P_DPP, P_IC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", _ALL_SWAPS)
+    a.halt()
+    return a.assemble()
+
+
+def build_swqueue_producer(lay: HmmerLayout, queue: SwQueue,
+                           name: str = "hmmer_swq_prod"):
+    """2Th+Comm over a software queue instead of the fabric."""
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.li("r27", 0)  # private tail index
+    a.label("row")
+    _row_setup_common(a, lay, reads=True, write_m=True, write_d=False,
+                      write_i=True, xmb=True)
+    a.label("inner")
+    _emit_mc_software(a, lay)
+    a.sw(T0, P_MC, 0)
+    queue.emit_push(a, T0, "r27", "r29", "r30", "r31")
+    _emit_ic(a, lay)
+    _advance(a, (P_MPP, P_IP, P_DPP, P_MC, P_IC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", _ALL_SWAPS)
+    a.halt()
+    return a.assemble()
+
+
+def build_swqueue_consumer(lay: HmmerLayout, queue: SwQueue,
+                           name: str = "hmmer_swq_cons"):
+    a = Asm(name)
+    _emit_init(a, lay)
+    a.li("r27", 0)  # private head index
+    a.label("row")
+    _row_setup_common(a, lay, reads=False, write_m=False, write_d=True,
+                      write_i=False, xmb=False)
+    a.label("inner")
+    queue.emit_pop(a, T0, "r27", "r29", "r31")
+    a.mov(TSW, T0)
+    _emit_dc(a, lay)
+    a.mov(MC_PREV, TSW)
+    _advance(a, (P_DC, P_TAB))
+    a.addi(K, K, 1)
+    a.ble(K, M_BOUND, "inner")
+    _emit_row_end(a, "row", ((B_DA, B_DB),))
+    a.halt()
+    return a.assemble()
+
+
+# -- run specs -------------------------------------------------------------------------
+
+
+DEFAULT_M = 96
+DEFAULT_R = 6
+
+
+def _items(M: int, R: int) -> int:
+    return M * R
+
+
+def seq_spec(M: int = DEFAULT_M, R: int = DEFAULT_R,
+             wide_core: bool = False) -> RunSpec:
+    data = make_data(M, R)
+    image = MemoryImage()
+    lay = HmmerLayout(image, data)
+    program = build_seq_program(lay)
+    workload = Workload(
+        f"hmmer_seq{'_ooo2' if wide_core else ''}", image,
+        [ThreadSpec(program, thread_id=1)], placement=[0],
+        check=lambda memory: _check(memory, lay))
+    if wide_core:
+        return RunSpec("hmmer/seq_ooo2", workload, ooo2_system(),
+                       ooo2_cores=(0,), region_items=_items(M, R))
+    return RunSpec("hmmer/seq", workload, seq_system(),
+                   ooo1_cores=(0,), region_items=_items(M, R))
+
+
+def spl_spec(M: int = DEFAULT_M, R: int = DEFAULT_R,
+             copies: int = 4) -> RunSpec:
+    """1Th+Comp with ``copies`` concurrent instances sharing the fabric."""
+    image = MemoryImage()
+    layouts = [HmmerLayout(image, make_data(M, R, seed=1234 + 77 * i))
+               for i in range(copies)]
+    threads = [ThreadSpec(build_spl_program(lay, f"hmmer_spl_t{i}"),
+                          thread_id=i + 1)
+               for i, lay in enumerate(layouts)]
+    function = hmmer_mc_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, MC_CONFIG, function)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            _check(memory, lay)
+
+    workload = Workload("hmmer_spl", image, threads,
+                        placement=list(range(copies)), setup=setup,
+                        check=check)
+    return RunSpec("hmmer/spl", workload, remap_machine_system(1),
+                   ooo1_cores=tuple(range(copies)),
+                   spl_clusters=((0, 1.0),),
+                   energy_divisor=copies,
+                   region_items=_items(M, R))
+
+
+def _pair_workload(name: str, image: MemoryImage, producer, consumer,
+                   lay: HmmerLayout, setup) -> Workload:
+    return Workload(name, image,
+                    [ThreadSpec(producer, thread_id=1),
+                     ThreadSpec(consumer, thread_id=2)],
+                    placement=[0, 1], setup=setup,
+                    check=lambda memory: _check(memory, lay))
+
+
+def comm_spec(M: int = DEFAULT_M, R: int = DEFAULT_R) -> RunSpec:
+    """2Th+Comm on the SPL (identity route, half fabric)."""
+    data = make_data(M, R)
+    image = MemoryImage()
+    lay = HmmerLayout(image, data)
+    route = identity_function("hmmer_route")
+
+    def setup(machine) -> None:
+        machine.set_partitions(0, [12, 12], [0, 0, 1, 1])
+        machine.configure_spl(0, ROUTE_CONFIG, route, dest_thread=2)
+
+    workload = _pair_workload(
+        "hmmer_comm", image, build_comm_producer(lay),
+        build_consumer(lay, store_mc=False), lay, setup)
+    return RunSpec("hmmer/comm", workload, remap_machine_system(1),
+                   ooo1_cores=(0, 1), spl_clusters=((0, 0.5),),
+                   region_items=_items(M, R))
+
+
+def compcomm_spec(M: int = DEFAULT_M, R: int = DEFAULT_R) -> RunSpec:
+    """2Th+CompComm: mc computed in flight (half fabric)."""
+    if M < 48:
+        raise WorkloadError("compcomm needs M >= 48 so the producer can "
+                            "never overrun the consumer across rows")
+    data = make_data(M, R)
+    image = MemoryImage()
+    lay = HmmerLayout(image, data)
+    function = hmmer_mc_function()
+
+    def setup(machine) -> None:
+        machine.set_partitions(0, [12, 12], [0, 0, 1, 1])
+        machine.configure_spl(0, MC_CONFIG, function, dest_thread=2)
+
+    workload = _pair_workload(
+        "hmmer_compcomm", image, build_compcomm_producer(lay),
+        build_consumer(lay, store_mc=True), lay, setup)
+    return RunSpec("hmmer/compcomm", workload, remap_machine_system(1),
+                   ooo1_cores=(0, 1), spl_clusters=((0, 0.5),),
+                   region_items=_items(M, R))
+
+
+def ooo2comm_spec(M: int = DEFAULT_M, R: int = DEFAULT_R) -> RunSpec:
+    """The 2Th+Comm programs on OOO2 cores + idealized network."""
+    data = make_data(M, R)
+    image = MemoryImage()
+    lay = HmmerLayout(image, data)
+
+    def setup(machine) -> None:
+        controller = attach_comm_network(machine, 0)
+        controller.configure_send(0, ROUTE_CONFIG, dest_thread=2)
+
+    workload = _pair_workload(
+        "hmmer_ooo2comm", image, build_comm_producer(lay),
+        build_consumer(lay, store_mc=False), lay, setup)
+    return RunSpec("hmmer/ooo2comm", workload, ooo2_system(),
+                   ooo2_cores=(0, 1), region_items=_items(M, R))
+
+
+def swqueue_spec(M: int = DEFAULT_M, R: int = DEFAULT_R) -> RunSpec:
+    """2Th+Comm over a software queue (Section V-B comparison)."""
+    data = make_data(M, R)
+    image = MemoryImage()
+    lay = HmmerLayout(image, data)
+    queue = SwQueue(image, 64)
+    workload = _pair_workload(
+        "hmmer_swqueue", image, build_swqueue_producer(lay, queue),
+        build_swqueue_consumer(lay, queue), lay, setup=None)
+    return RunSpec("hmmer/swqueue", workload, seq_system(),
+                   ooo1_cores=(0, 1), region_items=_items(M, R))
+
+
+VARIANTS = {
+    "seq": seq_spec,
+    "seq_ooo2": lambda **kw: seq_spec(wide_core=True, **kw),
+    "spl": spl_spec,
+    "comm": comm_spec,
+    "compcomm": compcomm_spec,
+    "ooo2comm": ooo2comm_spec,
+    "swqueue": swqueue_spec,
+}

@@ -1,0 +1,1 @@
+"""Pure-Python reference implementations (test oracles)."""

@@ -1,0 +1,81 @@
+"""Reference for the 473.astar regwayobj::makebound2 kernel (33% of time).
+
+makebound2 expands a search boundary on a grid: for each cell of the
+current boundary it inspects the four neighbours' fill numbers, and every
+neighbour not yet filled is marked and appended to the next boundary.
+Boundary cells are generated with disjoint neighbourhoods so the
+producer/consumer split (checks ahead of marks) is race-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+GRID_W = 64
+FILLNUM = 7
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+#: Distinct boundary cells; visits cycle over them so the map stays warm
+#: (makebound2 is called repeatedly over the same search region).
+N_DISTINCT = 24
+
+
+def make_grid(n_visits: int, seed: int) -> Tuple[List[int], List[int]]:
+    """Returns (waymap fill numbers, boundary visit sequence).
+
+    The lattice spacing keeps neighbourhoods disjoint (race-free
+    check-ahead-of-mark) and a cache line apart so producer reads and
+    consumer marks never false-share.  The visit list walks the lattice
+    repeatedly: the first sweep expands the boundary, later sweeps find
+    everything filled — the common case in the interior of a search.
+    """
+    gen = _lcg(seed)
+    lattice = []
+    y = 2
+    while len(lattice) < N_DISTINCT:
+        for x in range(2, GRID_W - 2, 8):
+            lattice.append(y * GRID_W + x)
+            if len(lattice) == N_DISTINCT:
+                break
+        y += 3
+    height = y + 3
+    waymap = [0] * (GRID_W * height)
+    for index in range(len(waymap)):
+        # Roughly half the neighbours start already filled.
+        waymap[index] = FILLNUM if next(gen) % 2 else next(gen) % 5
+    for cell in lattice:
+        waymap[cell] = FILLNUM
+    cells = [lattice[i % N_DISTINCT] for i in range(n_visits)]
+    return waymap, cells
+
+
+def neighbours(cell: int) -> List[int]:
+    return [cell + 1, cell - 1, cell + GRID_W, cell - GRID_W]
+
+
+NOWAY = 0
+
+
+def expandable(flag: int) -> bool:
+    """A neighbour is expanded when unfilled AND passable (not NOWAY)."""
+    return flag != FILLNUM and flag != NOWAY
+
+
+def makebound2_reference(waymap: List[int],
+                         cells: List[int]) -> Tuple[List[int], List[int]]:
+    """Returns (final waymap, bound2 list)."""
+    waymap = list(waymap)
+    bound2: List[int] = []
+    for cell in cells:
+        for nbr in neighbours(cell):
+            if expandable(waymap[nbr]):
+                waymap[nbr] = FILLNUM
+                bound2.append(nbr)
+    return waymap, bound2

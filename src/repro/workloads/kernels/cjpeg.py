@@ -1,0 +1,52 @@
+"""Reference for the cjpeg kernels: rgb_ycc_convert + a 1-D fdct stage.
+
+cjpeg is the paper's example of a workload using two ReMAP modes: colour
+conversion is computed in the fabric while the stream is communicated to
+the consumer, which runs the (software) DCT butterflies (50% of time
+combined, Table III).  The DCT here is the first two butterfly stages of
+jpeg_fdct_islow over each 8-sample row — enough to exercise the
+consumer-side dependency structure without the full transform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# libjpeg fixed-point luma coefficients (scaled by 2^16).
+Y_R, Y_G, Y_B = 19595, 38470, 7471
+ROUND = 1 << 15
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_rgb(count: int, seed: int) -> List[Tuple[int, int, int]]:
+    gen = _lcg(seed)
+    return [(next(gen) % 256, next(gen) % 256, next(gen) % 256)
+            for _ in range(count)]
+
+
+def rgb_to_y(r: int, g: int, b: int) -> int:
+    return (Y_R * r + Y_G * g + Y_B * b + ROUND) >> 16
+
+
+def fdct_stage(row: List[int]) -> List[int]:
+    """First two butterfly stages of an 8-point DCT-II."""
+    tmp = [row[i] + row[7 - i] for i in range(4)] + \
+          [row[3 - i] - row[4 + i] for i in range(4)]
+    out = [tmp[0] + tmp[3], tmp[1] + tmp[2], tmp[1] - tmp[2],
+           tmp[0] - tmp[3], tmp[4], tmp[5], tmp[6], tmp[7]]
+    return out
+
+
+def cjpeg_reference(pixels: List[Tuple[int, int, int]]) -> List[int]:
+    """Y conversion then per-8 DCT stage; flat output array."""
+    ys = [rgb_to_y(r, g, b) for r, g, b in pixels]
+    out: List[int] = []
+    for base in range(0, len(ys) - 7, 8):
+        out.extend(fdct_stage(ys[base:base + 8]))
+    return out

@@ -1,0 +1,69 @@
+"""Reference implementation of Dijkstra's shortest-path algorithm.
+
+Matches the parallel decomposition of Figure 7: dense O(V^2) Dijkstra with
+deterministic tie-breaking.  Local/global minima are packed as
+``dist << NODE_BITS | node`` so the minimum is unique even on distance
+ties — the same packing the simulated programs use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+NODE_BITS = 10
+MAX_NODES = 1 << NODE_BITS
+#: Distance of an unreached node; packed values still fit in 31 bits.
+INF_DIST = 1 << 20
+#: Packed sentinel: larger than any real packed (dist, node).
+INF_PACKED = (INF_DIST << NODE_BITS) | (MAX_NODES - 1)
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_graph(n: int, seed: int = 99) -> List[List[int]]:
+    """Dense directed graph with weights in [1, 255]."""
+    if n > MAX_NODES:
+        raise ValueError(f"at most {MAX_NODES} nodes supported")
+    gen = _lcg(seed)
+    weights = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                weights[i][j] = 1 + next(gen) % 255
+    return weights
+
+
+def pack(dist: int, node: int) -> int:
+    return (dist << NODE_BITS) | node
+
+
+def unpack(packed: int):
+    return packed >> NODE_BITS, packed & (MAX_NODES - 1)
+
+
+def dijkstra_reference(weights: List[List[int]], source: int = 0
+                       ) -> List[int]:
+    """Dense Dijkstra with the packed-minimum selection rule."""
+    n = len(weights)
+    dist = [INF_DIST] * n
+    dist[source] = 0
+    visited = [False] * n
+    for _ in range(n):
+        best = INF_PACKED
+        for i in range(n):
+            if not visited[i]:
+                candidate = pack(dist[i], i)
+                if candidate < best:
+                    best = candidate
+        best_dist, best_node = unpack(best)
+        visited[best_node] = True
+        for i in range(n):
+            new_dist = best_dist + weights[best_node][i]
+            if new_dist < dist[i]:
+                dist[i] = new_dist
+    return dist

@@ -1,0 +1,94 @@
+"""Reference kernels for the GSM 06.10 workloads.
+
+* gsmtoast  — the weighting filter (part of the 54% LTP/weighting region):
+  an 8-tap FIR over shorts with rounding and saturation, decimating by two
+  so the input window stays word-aligned.
+* gsmuntoast — short-term synthesis filtering (76% of time): the 8-stage
+  reflection-coefficient lattice with GSM's rounded fixed-point multiply
+  and saturating state updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: FIR taps (GSM weighting-filter-like coefficients, 8 taps).
+H = [-134, -374, 0, 2054, 5741, 8192, 5741, 2054]
+FIR_ROUND = 8192
+FIR_SHIFT = 13
+
+#: Reflection coefficients for the synthesis lattice (Q15-ish).
+RRP = [16384, -12288, 8192, -6144, 4096, -2048, 1024, -512]
+STAGES = len(RRP)
+SHORT_MIN, SHORT_MAX = -32768, 32767
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_shorts(count: int, seed: int, lo: int = -1000,
+                hi: int = 1000) -> List[int]:
+    gen = _lcg(seed)
+    span = hi - lo + 1
+    return [lo + next(gen) % span for _ in range(count)]
+
+
+def _sat(value: int) -> int:
+    return SHORT_MIN if value < SHORT_MIN else \
+        SHORT_MAX if value > SHORT_MAX else value
+
+
+def weighting_reference(e: List[int], outputs: int) -> List[int]:
+    """Decimate-by-two FIR: out[j] = sat((8192 + sum e[2j+i]*H[i]) >> 13)."""
+    result = []
+    for j in range(outputs):
+        acc = FIR_ROUND
+        for i in range(len(H)):
+            acc += e[2 * j + i] * H[i]
+        result.append(_sat(acc >> FIR_SHIFT))
+    return result
+
+
+#: Taps of the long-term-predictor cross-correlation window.
+LTP_TAPS = 8
+
+
+def ltp_reference(d: List[int], dp: List[int],
+                  lags: int) -> Tuple[int, int]:
+    """The LTP parameter search: the lag maximizing the cross-correlation
+    of the short-term residual ``d`` with the reconstructed history ``dp``
+    (Calculation_of_the_LTP_parameters).  Lags step by two samples (the
+    same decimation as the weighting filter, keeping windows word
+    aligned).  Returns (best_corr, best_lag); ties resolve to the
+    smallest lag, as the sequential scan does."""
+    best_corr = None
+    best_lag = 0
+    for lag in range(lags):
+        corr = sum(d[i] * dp[2 * lag + i] for i in range(LTP_TAPS))
+        if best_corr is None or corr > best_corr:
+            best_corr = corr
+            best_lag = lag
+    return best_corr, best_lag
+
+
+def mult_r(a: int, b: int) -> int:
+    """GSM rounded fixed-point multiply: (a*b + 16384) >> 15."""
+    return (a * b + 16384) >> 15
+
+
+def synthesis_reference(wt: List[int]) -> Tuple[List[int], List[int]]:
+    """The lattice filter over all samples; returns (sr, final v state)."""
+    v = [0] * (STAGES + 1)
+    sr = []
+    for sample in wt:
+        sri = sample
+        for i in range(STAGES, 0, -1):
+            sri = _sat(sri - mult_r(RRP[i - 1], v[i - 1]))
+            v[i] = _sat(v[i - 1] + mult_r(RRP[i - 1], sri))
+        sr.append(sri)
+        v[0] = sri
+    return sr, v

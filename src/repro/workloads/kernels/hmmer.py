@@ -1,0 +1,120 @@
+"""Reference implementation of the 456.hmmer P7Viterbi inner loop.
+
+This is the exact integer recurrence of Figure 5(a), iterated over ``R``
+"rows" (sequence positions): after each row the previous-row arrays are
+rotated (``mpp <- mc``, ``ip <- ic``, ``dpp <- dc``) as in the real
+P7Viterbi dynamic program.  All workload variants are checked against this
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+INFTY = 987654321
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_values(seed: int, count: int, lo: int = -1000,
+                hi: int = 1000) -> List[int]:
+    gen = _lcg(seed)
+    span = hi - lo + 1
+    return [lo + next(gen) % span for _ in range(count)]
+
+
+@dataclass
+class HmmerData:
+    """Model parameters and initial state for M match states, R rows."""
+
+    M: int
+    R: int
+    mpp: List[int]
+    ip: List[int]
+    dpp: List[int]
+    tpmm: List[int]
+    tpim: List[int]
+    tpdm: List[int]
+    tpmd: List[int]
+    tpdd: List[int]
+    tpmi: List[int]
+    tpii: List[int]
+    bp: List[int]
+    ms: List[int]
+    is_: List[int]
+    xmb: List[int] = field(default_factory=list)
+
+
+def make_data(M: int, R: int, seed: int = 1234) -> HmmerData:
+    n = M + 1
+    return HmmerData(
+        M=M, R=R,
+        mpp=make_values(seed + 1, n), ip=make_values(seed + 2, n),
+        dpp=make_values(seed + 3, n),
+        tpmm=make_values(seed + 4, n), tpim=make_values(seed + 5, n),
+        tpdm=make_values(seed + 6, n), tpmd=make_values(seed + 7, n),
+        tpdd=make_values(seed + 8, n), tpmi=make_values(seed + 9, n),
+        tpii=make_values(seed + 10, n),
+        bp=make_values(seed + 11, n), ms=make_values(seed + 12, n),
+        is_=make_values(seed + 13, n),
+        xmb=make_values(seed + 14, R),
+    )
+
+
+def p7viterbi_reference(data: HmmerData):
+    """Run the recurrence; returns final (mc, dc, ic) arrays."""
+    M = data.M
+    mpp, ip, dpp = list(data.mpp), list(data.ip), list(data.dpp)
+    mc = [0] * (M + 1)
+    dc = [0] * (M + 1)
+    ic = [0] * (M + 1)
+    for r in range(data.R):
+        xmb = data.xmb[r]
+        mc[0] = -INFTY
+        dc[0] = -INFTY
+        ic[0] = -INFTY
+        for k in range(1, M + 1):
+            mck = mpp[k - 1] + data.tpmm[k - 1]
+            sc = ip[k - 1] + data.tpim[k - 1]
+            if sc > mck:
+                mck = sc
+            sc = dpp[k - 1] + data.tpdm[k - 1]
+            if sc > mck:
+                mck = sc
+            sc = xmb + data.bp[k]
+            if sc > mck:
+                mck = sc
+            mck += data.ms[k]
+            if mck < -INFTY:
+                mck = -INFTY
+            mc[k] = mck
+
+            dck = dc[k - 1] + data.tpdd[k - 1]
+            sc = mc[k - 1] + data.tpmd[k - 1]
+            if sc > dck:
+                dck = sc
+            if dck < -INFTY:
+                dck = -INFTY
+            dc[k] = dck
+
+            if k < M:
+                ick = mpp[k] + data.tpmi[k]
+                sc = ip[k] + data.tpii[k]
+                if sc > ick:
+                    ick = sc
+                ick += data.is_[k]
+                if ick < -INFTY:
+                    ick = -INFTY
+                ic[k] = ick
+        # Rotate rows: current scores become the previous-row inputs.
+        mpp, mc = mc, mpp
+        ip, ic = ic, ip
+        dpp, dc = dc, dpp
+    # After the final swap the results live in mpp/ip/dpp.
+    return mpp, dpp, ip

@@ -1,0 +1,96 @@
+"""Reference implementations of Livermore Loops 2, 3, and 6.
+
+Following Section IV-A the kernels are transformed to operate on integers;
+LL2 and LL6 additionally mask their results to 15 bits so repeated passes
+stay in range (a fixed-point transform applied identically in the
+reference and in the simulated programs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+MASK = 0x7FFF
+LL6_C = 17  # the integer stand-in for the 0.01 seed constant
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def _values(seed: int, count: int, lo: int, hi: int) -> List[int]:
+    gen = _lcg(seed)
+    span = hi - lo + 1
+    return [lo + next(gen) % span for _ in range(count)]
+
+
+# -- LL2: ICCG (incomplete Cholesky conjugate gradient) -------------------------
+
+
+def ll2_data(n: int, seed: int = 7) -> Tuple[List[int], List[int]]:
+    """Returns (x, v) arrays of length 2n."""
+    x = _values(seed, 2 * n, 0, 100)
+    v = _values(seed + 1, 2 * n, -3, 3)
+    return x, v
+
+
+def ll2_levels(n: int) -> List[Tuple[int, int, int]]:
+    """The (ipnt, ipntp, ii) triples of the do-while level structure."""
+    levels = []
+    ii, ipntp = n, 0
+    while ii > 0:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        levels.append((ipnt, ipntp, ii))
+    return levels
+
+
+def ll2_reference(x: List[int], v: List[int], n: int,
+                  passes: int = 1) -> List[int]:
+    x = list(x)
+    for _ in range(passes):
+        for ipnt, ipntp, _ in ll2_levels(n):
+            i = ipntp - 1
+            for k in range(ipnt + 1, ipntp, 2):
+                i += 1
+                x[i] = (x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]) & MASK
+    return x
+
+
+# -- LL3: inner product ------------------------------------------------------------
+
+
+def ll3_data(n: int, seed: int = 11) -> Tuple[List[int], List[int]]:
+    z = _values(seed, n, -50, 50)
+    x = _values(seed + 1, n, -50, 50)
+    return z, x
+
+
+def ll3_reference(z: List[int], x: List[int]) -> int:
+    return sum(zi * xi for zi, xi in zip(z, x))
+
+
+# -- LL6: general linear recurrence ---------------------------------------------------
+
+
+def ll6_data(n: int, seed: int = 13) -> List[List[int]]:
+    """The b matrix (only entries b[k][i] with k < i are used)."""
+    gen = _lcg(seed)
+    return [[next(gen) % 5 - 2 for _ in range(n)] for _ in range(n)]
+
+
+def ll6_reference(b: List[List[int]], n: int, passes: int = 1,
+                  w0: int = 1) -> List[int]:
+    w = [0] * n
+    w[0] = w0
+    for _ in range(passes):
+        for i in range(1, n):
+            acc = LL6_C
+            for k in range(i):
+                acc += b[k][i] * w[i - k - 1]
+            w[i] = acc & MASK
+    return w

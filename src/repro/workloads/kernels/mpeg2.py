@@ -1,0 +1,86 @@
+"""Reference kernels for the mpeg2 workloads (Table III).
+
+* ``dist1`` (mpeg2enc, 70% of time): sum of absolute differences between a
+  reference and a candidate block — the motion-estimation inner loop.
+* ``conv422`` (mpeg2dec, part of the 63% conversion/store time): the
+  chroma upsampling filter, modelled as a 4-tap symmetric interpolation
+  with clipping, producing four packed output bytes per step (the
+  store_ppm_tga byte-packing is folded into the same pass).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+BLOCK = 64  # pixels per dist1 item (an 8x8 block)
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_bytes(count: int, seed: int) -> List[int]:
+    gen = _lcg(seed)
+    return [next(gen) % 256 for _ in range(count)]
+
+
+def dist1_reference(ref: List[int], cand: List[int]) -> List[int]:
+    """Per-block SAD."""
+    items = len(ref) // BLOCK
+    out = []
+    for i in range(items):
+        sad = 0
+        for j in range(BLOCK):
+            diff = ref[i * BLOCK + j] - cand[i * BLOCK + j]
+            sad += diff if diff >= 0 else -diff
+        out.append(sad)
+    return out
+
+
+def _clip(value: int) -> int:
+    return 0 if value < 0 else 255 if value > 255 else value
+
+
+def conv_pixel(a: int, b: int, c: int, d: int) -> int:
+    """One interpolated pixel: clip((5*(b+c) - (a+d) + 4) >> 3)."""
+    return _clip((5 * (b + c) - (a + d) + 4) >> 3)
+
+
+def conv420_pixel(cur: int, adj: int) -> int:
+    """conv420to422 vertical interpolation: clip((3*cur + adj + 2) >> 2)."""
+    return _clip((3 * cur + adj + 2) >> 2)
+
+
+def conv420_reference(cur: List[int], adj: List[int]) -> List[int]:
+    """Vertical chroma upsampling between two rows; 4 packed pixels/word."""
+    items = min(len(cur), len(adj)) // 4
+    out = []
+    for i in range(items):
+        word = 0
+        for lane in range(4):
+            pixel = conv420_pixel(cur[4 * i + lane], adj[4 * i + lane])
+            word |= pixel << (8 * lane)
+        out.append(word)
+    return out
+
+
+def conv422_reference(src: List[int]) -> List[int]:
+    """Filter groups of consecutive bytes; four packed pixels per word.
+
+    Output word i packs conv_pixel over the sliding windows starting at
+    4*i .. 4*i+3 (the source must have 3 bytes of tail padding).
+    """
+    items = (len(src) - 3) // 4
+    out = []
+    for i in range(items):
+        word = 0
+        for lane in range(4):
+            base = 4 * i + lane
+            pixel = conv_pixel(src[base], src[base + 1], src[base + 2],
+                               src[base + 3])
+            word |= pixel << (8 * lane)
+        out.append(word)
+    return out

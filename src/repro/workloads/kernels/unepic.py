@@ -1,0 +1,76 @@
+"""Reference for the unepic kernel: Huffman decode + dequantization.
+
+A canonical prefix code (epic-style) is decoded bit-serially from a packed
+stream — the unpredictable-branch part the paper isolates in its own
+thread — and each symbol is dequantized (sign-magnitude scale) and
+scattered through a permutation index (the pointer-chasing store).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Canonical code: symbol -> (code, length).  Prefix-free by construction.
+HUFF_TABLE = {
+    0: (0b0, 1),
+    1: (0b10, 2),
+    2: (0b110, 3),
+    3: (0b1110, 4),
+    4: (0b11110, 5),
+    5: (0b111110, 6),
+    6: (0b1111110, 7),
+    7: (0b1111111, 7),
+}
+N_SYMBOLS = len(HUFF_TABLE)
+QUANT_SCALE = 12
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_stream(n_symbols: int, seed: int) -> Tuple[List[int], List[int]]:
+    """Returns (symbols, packed bitstream words, MSB-first)."""
+    gen = _lcg(seed)
+    symbols = [next(gen) % N_SYMBOLS for _ in range(n_symbols)]
+    bits: List[int] = []
+    for symbol in symbols:
+        code, length = HUFF_TABLE[symbol]
+        for i in range(length - 1, -1, -1):
+            bits.append((code >> i) & 1)
+    while len(bits) % 32:
+        bits.append(0)
+    words = []
+    for base in range(0, len(bits), 32):
+        word = 0
+        for bit in bits[base:base + 32]:
+            word = (word << 1) | bit
+        words.append(word)
+    return symbols, words
+
+
+def make_perm(count: int, seed: int) -> List[int]:
+    """A scatter permutation (pointer-chasing store targets)."""
+    gen = _lcg(seed)
+    perm = list(range(count))
+    for i in range(count - 1, 0, -1):
+        j = next(gen) % (i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    return perm
+
+
+def dequant(symbol: int) -> int:
+    """Sign-magnitude dequantization: odd symbols negative."""
+    magnitude = (symbol + 1) // 2
+    value = magnitude * QUANT_SCALE
+    return -value if symbol & 1 else value
+
+
+def unepic_reference(symbols: List[int], perm: List[int]) -> List[int]:
+    out = [0] * len(symbols)
+    for i, symbol in enumerate(symbols):
+        out[perm[i]] = dequant(symbol)
+    return out

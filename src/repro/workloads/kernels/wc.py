@@ -1,0 +1,49 @@
+"""Reference for the Unix ``wc`` kernel: line/word/char counting."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+SPACE, NEWLINE, TAB = 32, 10, 9
+_WORDS = [b"lorem", b"ipsum", b"dolor", b"sit", b"amet", b"x",
+          b"consectetur", b"ad", b"minim", b"veniam"]
+
+
+def _lcg(seed: int):
+    state = seed & 0x7FFFFFFF
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+def make_text(n_bytes: int, seed: int) -> bytes:
+    """Pseudo-random text with words, spaces, tabs, and newlines."""
+    gen = _lcg(seed)
+    chunks: List[bytes] = []
+    size = 0
+    while size < n_bytes:
+        word = _WORDS[next(gen) % len(_WORDS)]
+        sep = (b"\n" if next(gen) % 7 == 0
+               else b"\t" if next(gen) % 5 == 0 else b" ")
+        chunks.append(word + sep)
+        size += len(word) + 1
+    return b"".join(chunks)[:n_bytes]
+
+
+def is_space(byte: int) -> bool:
+    return byte in (SPACE, NEWLINE, TAB)
+
+
+def wc_reference(text: bytes) -> Tuple[int, int, int]:
+    """(lines, words, chars), the classic wc state machine."""
+    lines = words = 0
+    in_word = False
+    for byte in text:
+        if byte == NEWLINE:
+            lines += 1
+        if is_space(byte):
+            in_word = False
+        elif not in_word:
+            words += 1
+            in_word = True
+    return lines, words, len(text)

@@ -1,0 +1,168 @@
+"""462.libquantum workload variants (computation-only).
+
+The fabric configuration applies Toffoli + CNOT to eight basis states per
+entry (two row-wide ``spl_loadv`` beats in, eight ``spl_store`` words
+out), turning the branchy gate conditionals into LUT select logic.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm, MemoryImage, Program
+from repro.workloads.base import RunSpec
+from repro.workloads.kernels.libquantum import (CNOT_CONTROL, CNOT_TARGET,
+                                                TOFFOLI_CONTROLS,
+                                                TOFFOLI_TARGET,
+                                                gates_reference, make_states)
+from repro.workloads.pipeline_common import (COMPUTE_CONFIG,
+                                             build_loop_program,
+                                             concurrent_spl_spec,
+                                             single_thread_spec)
+
+PS, POUT, T0, T1, T2 = "r3", "r4", "r5", "r6", "r7"
+LANES = 8  # states per fabric entry
+
+
+def gates8_function(name: str = "quantum_gates8") -> SplFunction:
+    """Toffoli then CNOT on eight state words."""
+    g = Dfg(name)
+    for lane in range(LANES):
+        state = g.input(f"s{lane}", 4 * lane)
+        tc = g.const(TOFFOLI_CONTROLS)
+        hit_t = g.op(DfgOp.CMPEQ, g.op(DfgOp.AND, state, tc), tc, width=1)
+        after_t = g.select(hit_t,
+                           g.op(DfgOp.XOR, state,
+                                g.const(TOFFOLI_TARGET)), state)
+        cc = g.const(CNOT_CONTROL)
+        hit_c = g.op(DfgOp.CMPEQ, g.op(DfgOp.AND, after_t, cc), cc, width=1)
+        after_c = g.select(hit_c,
+                           g.op(DfgOp.XOR, after_t,
+                                g.const(CNOT_TARGET)), after_t)
+        g.output(f"o{lane}", after_c)
+    return SplFunction(g)
+
+
+class QuantumLayout:
+    def __init__(self, image: MemoryImage, items: int, seed: int,
+                 passes: int) -> None:
+        self.items = items  # groups of LANES states
+        self.passes = passes
+        self.states = make_states(items * LANES, seed)
+        self.addr = image.alloc(4 * len(self.states), align=16)
+        for i, state in enumerate(self.states):
+            image.write_word(self.addr + 4 * i, state)
+
+    def check(self, memory) -> None:
+        expected = gates_reference(self.states, self.passes)
+        got = [memory.read_word(self.addr + 4 * i)
+               for i in range(self.items * LANES)]
+        assert got == expected, "libquantum gates mismatch"
+
+
+def build_seq(lay: QuantumLayout, name: str) -> Program:
+    """In-place gate application, ``passes`` sweeps over the register."""
+    a = Asm(name)
+    a.li("r8", 0)
+    a.li("r9", lay.passes)
+    a.label("pass")
+    a.li(PS, lay.addr)
+    a.li("r1", 0)
+    a.li("r2", lay.items)
+    a.label("loop")
+    for lane in range(LANES):
+        a.lw(T0, PS, 4 * lane)
+        skip_t = a.fresh_label("t")
+        skip_c = a.fresh_label("c")
+        a.li(T1, TOFFOLI_CONTROLS)
+        a.and_(T2, T0, T1)
+        a.bne(T2, T1, skip_t)
+        a.xori(T0, T0, TOFFOLI_TARGET)
+        a.label(skip_t)
+        a.andi(T2, T0, CNOT_CONTROL)
+        a.beqz(T2, skip_c)
+        a.xori(T0, T0, CNOT_TARGET)
+        a.label(skip_c)
+        a.sw(T0, PS, 4 * lane)
+    a.addi(PS, PS, 4 * LANES)
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.addi("r8", "r8", 1)
+    a.blt("r8", "r9", "pass")
+    a.halt()
+    return a.assemble()
+
+
+def build_spl(lay: QuantumLayout, name: str) -> Program:
+    """In-place fabric sweep, software-pipelined two deep."""
+    depth = min(2, lay.items)
+    a = Asm(name)
+
+    def issue() -> None:
+        a.spl_loadv(PS, 0)
+        a.spl_loadv(PS, 16, 16)
+        a.spl_init(COMPUTE_CONFIG)
+        a.addi(PS, PS, 4 * LANES)
+
+    a.li("r8", 0)
+    a.li("r9", lay.passes)
+    a.label("pass")
+    a.li(PS, lay.addr)
+    a.li(POUT, lay.addr)
+    for _ in range(depth):
+        issue()
+    a.li("r1", 0)
+    a.li("r2", lay.items)
+    a.label("loop")
+    for lane in range(LANES):
+        a.spl_store(POUT, 4 * lane)
+    a.addi(POUT, POUT, 4 * LANES)
+    skip = a.fresh_label("noissue")
+    a.li(T1, lay.items - depth)
+    a.bge("r1", T1, skip)
+    issue()
+    a.label(skip)
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.addi("r8", "r8", 1)
+    a.blt("r8", "r9", "pass")
+    a.halt()
+    return a.assemble()
+
+
+def seq_spec(items: int = 48, passes: int = 6,
+             wide_core: bool = False) -> RunSpec:
+    image = MemoryImage()
+    lay = QuantumLayout(image, items, seed=901, passes=passes)
+    program = build_seq(lay, "libquantum_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"libquantum/{suffix}", image, program,
+                              lambda memory: lay.check(memory),
+                              items * passes, wide=wide_core)
+
+
+def spl_spec(items: int = 48, passes: int = 6, copies: int = 4) -> RunSpec:
+    image = MemoryImage()
+    layouts = [QuantumLayout(image, items, seed=901 + 13 * i, passes=passes)
+               for i in range(copies)]
+    programs = [build_spl(lay, f"libquantum_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+    function = gates8_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG, function)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec("libquantum/spl", image, programs, setup,
+                               check, items * passes)
+
+
+VARIANTS = {
+    "seq": seq_spec,
+    "seq_ooo2": lambda **kw: seq_spec(wide_core=True, **kw),
+    "spl": spl_spec,
+}

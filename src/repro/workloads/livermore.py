@@ -1,0 +1,585 @@
+"""Livermore Loops 2, 3, 6 workload variants (Figures 12-14).
+
+All three loops run ``passes`` times with barriers between parallel work
+units, exactly the structure the paper evaluates:
+
+* **LL2** (ICCG) — log2(n) reduction levels per pass, one barrier per
+  level (the level structure is emitted unrolled, as a compiler would for
+  a known n).
+* **LL3** (inner product) — per pass each thread accumulates a partial
+  product; ``barrier_comp`` additionally (a) computes the multiply-
+  accumulate groups in the fabric (Figure 1(a)) and (b) reduces the
+  partial sums with an ADD-reduction barrier (Figure 1(c)), eliminating
+  the second barrier.
+* **LL6** (linear recurrence) — two barriers per outer iteration, with
+  runtime-chunked inner sums (extremely fine-grained synchronization).
+
+Variants per loop: ``seq``, ``sw`` (software barriers), ``barrier``
+(ReMAP sync-only), ``hwbar`` (dedicated network, homogeneous cores), and
+for LL3 ``barrier_comp``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import WorkloadError
+from repro.core.dfg import DfgOp
+from repro.core.function import barrier_reduce_function
+from repro.isa import Asm, MemoryImage, ThreadSpec
+from repro.system.workload import Workload
+from repro.workloads.base import (RunSpec, chunk_bounds,
+                                  require_power_of_two_threads, seq_system,
+                                  spl_clusters_for_threads)
+from repro.workloads.kernels.livermore import (LL6_C, MASK, ll2_data,
+                                               ll2_levels, ll2_reference,
+                                               ll3_data, ll3_reference,
+                                               ll6_data, ll6_reference)
+from repro.workloads.spl_lib import mac4_function
+from repro.workloads.sync_backends import make_backend
+
+# Register conventions (r3-r5 and r11 are reserved for barrier sequences).
+PASS, NPASS = "r1", "r2"
+T0, T1, T2 = "r3", "r4", "r5"
+P0, P1, P2 = "r6", "r7", "r8"
+IDX, HI = "r9", "r10"
+ACC, GQ = "r12", "r13"
+GRP, GBND = "r14", "r15"
+PZI, PXI = "r16", "r17"
+LO, HI2, KK = "r18", "r19", "r20"
+
+MAC_CONFIG = 9
+REDUCE_CONFIG = 10
+FINAL_CONFIG = 11
+TOKEN2_CONFIG = 12
+#: Fabric MAC pipeline depth for the LL3 barrier_comp variant.
+MAC_PIPE = 3
+
+
+def _threads(programs) -> List[ThreadSpec]:
+    return [ThreadSpec(program, thread_id=i + 1)
+            for i, program in enumerate(programs)]
+
+
+def _barrier_spec_fields(backend):
+    cores, spl = backend.energy_fields()
+    return dict(ooo1_cores=cores, spl_clusters=spl)
+
+
+# ===================== LL2 =========================================================
+
+
+class Ll2Layout:
+    def __init__(self, image: MemoryImage, n: int, passes: int) -> None:
+        self.n = n
+        self.passes = passes
+        self.x0, self.v = ll2_data(n)
+        self.x = image.alloc_words(self.x0)
+        self.vaddr = image.alloc_words(self.v)
+
+
+def _ll2_check(memory, lay: Ll2Layout) -> None:
+    reference = ll2_reference(lay.x0, lay.v, lay.n, lay.passes)
+    got = memory.read_words(lay.x, 2 * lay.n)
+    assert got == reference, "LL2 x mismatch"
+
+
+def _emit_ll2_level(a: Asm, lay: Ll2Layout, ipnt: int, ipntp: int,
+                    lo_item: int, hi_item: int) -> None:
+    """One reduction level for items [lo_item, hi_item) of the level."""
+    if hi_item <= lo_item:
+        return
+    k0 = ipnt + 1 + 2 * lo_item
+    i0 = ipntp + lo_item
+    a.li(P0, lay.x + 4 * k0)        # &x[k]
+    a.li(P1, lay.vaddr + 4 * k0)    # &v[k]
+    a.li(P2, lay.x + 4 * i0)        # &x[i]
+    a.li(IDX, lo_item)
+    a.li(HI, hi_item)
+    loop = a.fresh_label("ll2")
+    a.label(loop)
+    a.lw(T0, P0, 0)      # x[k]
+    a.lw(T1, P1, 0)      # v[k]
+    a.lw(T2, P0, -4)     # x[k-1]
+    a.mul(T1, T1, T2)
+    a.sub(T0, T0, T1)
+    a.lw(T1, P1, 4)      # v[k+1]
+    a.lw(T2, P0, 4)      # x[k+1]
+    a.mul(T1, T1, T2)
+    a.sub(T0, T0, T1)
+    a.andi(T0, T0, MASK)
+    a.sw(T0, P2, 0)
+    a.addi(P0, P0, 8)
+    a.addi(P1, P1, 8)
+    a.addi(P2, P2, 4)
+    a.addi(IDX, IDX, 1)
+    a.blt(IDX, HI, loop)
+
+
+def _build_ll2_program(lay: Ll2Layout, thread: int, p: int,
+                       backend, name: str):
+    a = Asm(name)
+    if backend is not None:
+        backend.emit_prologue(a)
+    a.li(PASS, 0)
+    a.li(NPASS, lay.passes)
+    a.label("pass")
+    for ipnt, ipntp, _ in ll2_levels(lay.n):
+        items = max(0, (ipntp - ipnt) // 2)
+        if p == 1:
+            _emit_ll2_level(a, lay, ipnt, ipntp, 0, items)
+        elif items < 2:
+            # A single item may read its own write index (old value);
+            # thread 0 runs it alone.
+            if thread == 0:
+                _emit_ll2_level(a, lay, ipnt, ipntp, 0, items)
+        else:
+            # The LAST item of a level reads x[ipntp], which the FIRST
+            # item writes (the level-boundary dependency of the original
+            # loop).  Both run on thread 0 in program order; the
+            # independent middle items are chunked across all threads.
+            if thread == 0:
+                _emit_ll2_level(a, lay, ipnt, ipntp, 0, 1)
+            lo_mid, hi_mid = chunk_bounds(items - 2, p, thread)
+            _emit_ll2_level(a, lay, ipnt, ipntp, 1 + lo_mid, 1 + hi_mid)
+            if thread == 0:
+                _emit_ll2_level(a, lay, ipnt, ipntp, items - 1, items)
+        if backend is not None:
+            backend.emit_barrier(a)
+    a.addi(PASS, PASS, 1)
+    a.blt(PASS, NPASS, "pass")
+    a.halt()
+    return a.assemble()
+
+
+def ll2_seq_spec(n: int = 128, passes: int = 4) -> RunSpec:
+    image = MemoryImage()
+    lay = Ll2Layout(image, n, passes)
+    program = _build_ll2_program(lay, 0, 1, None, "ll2_seq")
+    workload = Workload("ll2_seq", image, _threads([program]),
+                        placement=[0],
+                        check=lambda memory: _ll2_check(memory, lay))
+    return RunSpec("ll2/seq", workload, seq_system(), ooo1_cores=(0,),
+                   region_items=passes)
+
+
+def ll2_parallel_spec(kind: str, n: int = 128, p: int = 8,
+                      passes: int = 4) -> RunSpec:
+    require_power_of_two_threads(p, "ll2")
+    image = MemoryImage()
+    lay = Ll2Layout(image, n, passes)
+    backend = make_backend(kind, p, image)
+    programs = [_build_ll2_program(lay, t, p, backend, f"ll2_{kind}_t{t}")
+                for t in range(p)]
+    workload = Workload(f"ll2_{kind}_p{p}", image, _threads(programs),
+                        placement=list(range(p)), setup=backend.setup,
+                        check=lambda memory: _ll2_check(memory, lay))
+    return RunSpec(f"ll2/{kind}_p{p}", workload, backend.system(),
+                   region_items=passes, **_barrier_spec_fields(backend))
+
+
+# ===================== LL3 =========================================================
+
+
+class Ll3Layout:
+    def __init__(self, image: MemoryImage, n: int, passes: int,
+                 p: int) -> None:
+        self.n = n
+        self.passes = passes
+        self.z, self.xv = ll3_data(n)
+        self.zaddr = image.alloc_words(self.z)
+        self.xaddr = image.alloc_words(self.xv)
+        self.partials = image.alloc_zeroed(max(1, p))
+        self.regionals = image.alloc_zeroed(4)
+        self.q = image.alloc_zeroed(1)
+
+
+def _ll3_check(memory, lay: Ll3Layout) -> None:
+    expected = ll3_reference(lay.z, lay.xv)
+    got = memory.read_word_signed(lay.q)
+    assert got == expected, f"LL3 q mismatch: {got} != {expected}"
+
+
+def _emit_ll3_software_mac(a: Asm, lay: Ll3Layout, lo: int,
+                           hi: int) -> None:
+    """ACC += sum of z[k]*x[k] for k in [lo, hi) — plain software."""
+    if hi <= lo:
+        return
+    a.li(P0, lay.zaddr + 4 * lo)
+    a.li(P1, lay.xaddr + 4 * lo)
+    a.li(IDX, lo)
+    a.li(HI, hi)
+    loop = a.fresh_label("mac")
+    a.label(loop)
+    a.lw(T0, P0, 0)
+    a.lw(T1, P1, 0)
+    a.mul(T0, T0, T1)
+    a.add(ACC, ACC, T0)
+    a.addi(P0, P0, 4)
+    a.addi(P1, P1, 4)
+    a.addi(IDX, IDX, 1)
+    a.blt(IDX, HI, loop)
+
+
+def _emit_ll3_combine(a: Asm, lay: Ll3Layout, p: int) -> None:
+    """Thread 0: q = sum(partials[0..p)); store."""
+    a.li(ACC, 0)
+    a.li(P0, lay.partials)
+    a.li(IDX, 0)
+    a.li(HI, p)
+    loop = a.fresh_label("comb")
+    a.label(loop)
+    a.lw(T0, P0, 0)
+    a.add(ACC, ACC, T0)
+    a.addi(P0, P0, 4)
+    a.addi(IDX, IDX, 1)
+    a.blt(IDX, HI, loop)
+    a.li(T0, lay.q)
+    a.sw(ACC, T0, 0)
+    a.fence()
+
+
+def _build_ll3_program(lay: Ll3Layout, thread: int, p: int, backend,
+                       name: str):
+    """seq / sw / barrier / hwbar variants (software MACs + partials)."""
+    lo, hi = (0, lay.n) if p == 1 else chunk_bounds(lay.n, p, thread)
+    a = Asm(name)
+    if backend is not None:
+        backend.emit_prologue(a)
+    a.li(PASS, 0)
+    a.li(NPASS, lay.passes)
+    a.label("pass")
+    a.li(ACC, 0)
+    _emit_ll3_software_mac(a, lay, lo, hi)
+    if backend is None:
+        a.li(T0, lay.q)
+        a.sw(ACC, T0, 0)
+    else:
+        a.li(T0, lay.partials + 4 * thread)
+        a.sw(ACC, T0, 0)
+        a.fence()
+        backend.emit_barrier(a)
+        if thread == 0:
+            _emit_ll3_combine(a, lay, p)
+        backend.emit_barrier(a)
+    a.addi(PASS, PASS, 1)
+    a.blt(PASS, NPASS, "pass")
+    a.halt()
+    return a.assemble()
+
+
+def _build_ll3_comp_program(lay: Ll3Layout, thread: int, p: int,
+                            name: str):
+    """barrier_comp: fabric MAC groups + ADD-reduction barrier."""
+    lo, hi = chunk_bounds(lay.n, p, thread)
+    chunk = hi - lo
+    groups = chunk // 4
+    tail_lo = lo + groups * 4
+    n_clusters = spl_clusters_for_threads(p)
+    slot = thread % 4
+    a = Asm(name)
+    a.li(PASS, 0)
+    a.li(NPASS, lay.passes)
+    a.label("pass")
+    a.li(ACC, 0)
+    if groups > 0:
+        depth = min(MAC_PIPE, groups)
+        a.li(PZI, lay.zaddr + 4 * lo)
+        a.li(PXI, lay.xaddr + 4 * lo)
+        for _ in range(depth):
+            a.spl_loadv(PZI, 0)   # beat 0: z[k..k+3]
+            a.spl_loadv(PXI, 16)  # beat 1: x[k..k+3]
+            a.spl_init(MAC_CONFIG)
+            a.addi(PZI, PZI, 16)
+            a.addi(PXI, PXI, 16)
+        a.li(GRP, 0)
+        a.li(GBND, groups)
+        loop = a.fresh_label("grp")
+        noissue = a.fresh_label("noissue")
+        a.label(loop)
+        a.spl_recv(T0)
+        a.add(ACC, ACC, T0)
+        a.li(T1, groups - depth)
+        a.bge(GRP, T1, noissue)
+        a.spl_loadv(PZI, 0)
+        a.spl_loadv(PXI, 16)
+        a.spl_init(MAC_CONFIG)
+        a.addi(PZI, PZI, 16)
+        a.addi(PXI, PXI, 16)
+        a.label(noissue)
+        a.addi(GRP, GRP, 1)
+        a.blt(GRP, GBND, loop)
+    _emit_ll3_software_mac(a, lay, tail_lo, hi)
+    # ADD-reduction barrier over partial sums (stage 1: regional).
+    a.spl_load(ACC, 0)
+    a.spl_init(REDUCE_CONFIG)
+    a.spl_recv(GQ)
+    if n_clusters > 1:
+        cluster = thread // 4
+        if slot == 0:
+            a.li(T0, lay.regionals + 4 * cluster)
+            a.sw(GQ, T0, 0)
+            a.fence()
+        # Stage 2: token barrier (reusing the ADD-reduce configuration).
+        a.spl_load("r0", 0)
+        a.spl_init(TOKEN2_CONFIG)
+        a.spl_recv(T0)
+        # Stage 3: final sum of the regional sums.  Only slots < n_clusters
+        # contribute a regional value; the rest stage zero.
+        if slot < n_clusters:
+            a.li(T0, lay.regionals + 4 * slot)
+            a.spl_loadm(T0, 0)
+        else:
+            a.spl_load("r0", 0)
+        a.spl_init(FINAL_CONFIG)
+        a.spl_recv(GQ)
+    if thread == 0:
+        a.li(T0, lay.q)
+        a.sw(GQ, T0, 0)
+        a.fence()
+    a.addi(PASS, PASS, 1)
+    a.blt(PASS, NPASS, "pass")
+    a.halt()
+    return a.assemble()
+
+
+def ll3_seq_spec(n: int = 256, passes: int = 10) -> RunSpec:
+    image = MemoryImage()
+    lay = Ll3Layout(image, n, passes, 1)
+    program = _build_ll3_program(lay, 0, 1, None, "ll3_seq")
+    workload = Workload("ll3_seq", image, _threads([program]),
+                        placement=[0],
+                        check=lambda memory: _ll3_check(memory, lay))
+    return RunSpec("ll3/seq", workload, seq_system(), ooo1_cores=(0,),
+                   region_items=passes)
+
+
+def ll3_parallel_spec(kind: str, n: int = 256, p: int = 8,
+                      passes: int = 10) -> RunSpec:
+    require_power_of_two_threads(p, "ll3")
+    image = MemoryImage()
+    lay = Ll3Layout(image, n, passes, p)
+    backend = make_backend(kind, p, image)
+    programs = [_build_ll3_program(lay, t, p, backend, f"ll3_{kind}_t{t}")
+                for t in range(p)]
+    workload = Workload(f"ll3_{kind}_p{p}", image, _threads(programs),
+                        placement=list(range(p)), setup=backend.setup,
+                        check=lambda memory: _ll3_check(memory, lay))
+    return RunSpec(f"ll3/{kind}_p{p}", workload, backend.system(),
+                   region_items=passes, **_barrier_spec_fields(backend))
+
+
+def ll3_barrier_comp_spec(n: int = 256, p: int = 8,
+                          passes: int = 10) -> RunSpec:
+    require_power_of_two_threads(p, "ll3")
+    image = MemoryImage()
+    lay = Ll3Layout(image, n, passes, p)
+    n_clusters = spl_clusters_for_threads(p)
+    mac = mac4_function()
+    programs = [_build_ll3_comp_program(lay, t, p, f"ll3_bc_t{t}")
+                for t in range(p)]
+
+    def setup(machine) -> None:
+        thread_ids = list(range(1, p + 1))
+        machine.register_barrier(1, 1, thread_ids)
+        if n_clusters > 1:
+            machine.register_barrier(2, 1, thread_ids)
+            machine.register_barrier(3, 1, thread_ids)
+        for cluster in range(n_clusters):
+            local = [t for t in range(p) if t // 4 == cluster]
+            reduce_fn = barrier_reduce_function(len(local), DfgOp.ADD,
+                                                f"ll3_sum_{len(local)}")
+            # Each thread gets a private 6-row partition for its MAC
+            # stream (Section II-A spatial partitioning); barriers execute
+            # on the lowest participant's partition.
+            if len(local) > 1:
+                rows_each = 24 // 4
+                machine.set_partitions(local[0], [rows_each] * 4,
+                                       [0, 1, 2, 3])
+            for t in local:
+                machine.configure_spl(t, MAC_CONFIG, mac)
+                machine.configure_spl(t, REDUCE_CONFIG, reduce_fn,
+                                      barrier_id=1)
+                if n_clusters > 1:
+                    machine.configure_spl(t, TOKEN2_CONFIG, reduce_fn,
+                                          barrier_id=2)
+                    machine.configure_spl(t, FINAL_CONFIG, reduce_fn,
+                                          barrier_id=3)
+
+    workload = Workload(f"ll3_barrier_comp_p{p}", image, _threads(programs),
+                        placement=list(range(p)), setup=setup,
+                        check=lambda memory: _ll3_check(memory, lay))
+    return RunSpec(f"ll3/barrier_comp_p{p}", workload,
+                   make_backend("spl", p, MemoryImage()).system(),
+                   ooo1_cores=tuple(range(p)),
+                   spl_clusters=tuple((c, 1.0) for c in range(n_clusters)),
+                   region_items=passes)
+
+
+# ===================== LL6 =========================================================
+
+
+class Ll6Layout:
+    def __init__(self, image: MemoryImage, n: int, passes: int,
+                 p: int) -> None:
+        self.n = n
+        self.passes = passes
+        self.b = ll6_data(n)
+        flat: List[int] = []
+        for row in self.b:
+            flat.extend(row)
+        self.baddr = image.alloc_words(flat)
+        self.w = image.alloc_zeroed(n)
+        image.write_word(self.w, 1)  # w[0] = 1
+        self.partials = image.alloc_zeroed(max(1, p))
+
+
+def _ll6_check(memory, lay: Ll6Layout) -> None:
+    expected = ll6_reference(lay.b, lay.n, lay.passes)
+    got = memory.read_words(lay.w, lay.n)
+    assert got == expected, "LL6 w mismatch"
+
+
+def _emit_ll6_inner(a: Asm, lay: Ll6Layout, i_reg: str, lo_reg: str,
+                    hi_reg: str) -> None:
+    """ACC = sum b[k][i]*w[i-k-1] for k in [lo, hi) at runtime bounds."""
+    a.li(ACC, 0)
+    done = a.fresh_label("ll6_done")
+    a.bge(lo_reg, hi_reg, done)
+    # P0 = &b[lo][i],  P1 = &w[i-lo-1]
+    a.li(T0, 4 * lay.n)
+    a.mul(T1, lo_reg, T0)
+    a.li(P0, lay.baddr)
+    a.add(P0, P0, T1)
+    a.slli(T1, i_reg, 2)
+    a.add(P0, P0, T1)
+    a.sub(T1, i_reg, lo_reg)
+    a.addi(T1, T1, -1)
+    a.slli(T1, T1, 2)
+    a.li(P1, lay.w)
+    a.add(P1, P1, T1)
+    a.mov(KK, lo_reg)
+    loop = a.fresh_label("ll6")
+    a.label(loop)
+    a.lw(T0, P0, 0)
+    a.lw(T1, P1, 0)
+    a.mul(T0, T0, T1)
+    a.add(ACC, ACC, T0)
+    a.addi(P0, P0, 4 * lay.n)
+    a.addi(P1, P1, -4)
+    a.addi(KK, KK, 1)
+    a.blt(KK, hi_reg, loop)
+    a.label(done)
+
+
+def _build_ll6_program(lay: Ll6Layout, thread: int, p: int, backend,
+                       name: str):
+    if p > 1 and p & (p - 1):
+        raise WorkloadError("ll6 needs a power-of-two thread count")
+    log2p = p.bit_length() - 1
+    a = Asm(name)
+    if backend is not None:
+        backend.emit_prologue(a)
+    a.li(PASS, 0)
+    a.li(NPASS, lay.passes)
+    a.label("pass")
+    a.li(P2, 1)              # i
+    a.li(HI2, lay.n)
+    a.label("iloop")
+    if p == 1:
+        a.li(LO, 0)
+        a.mov(GQ, P2)        # hi = i
+    else:
+        a.li(T0, thread)
+        a.mul(T0, T0, P2)
+        a.srli(LO, T0, log2p)
+        a.li(T0, thread + 1)
+        a.mul(T0, T0, P2)
+        a.srli(GQ, T0, log2p)
+    _emit_ll6_inner(a, lay, P2, LO, GQ)
+    if backend is None:
+        a.addi(ACC, ACC, LL6_C)
+        a.andi(ACC, ACC, MASK)
+        a.li(T0, lay.w)
+        a.slli(T1, P2, 2)
+        a.add(T0, T0, T1)
+        a.sw(ACC, T0, 0)
+    else:
+        a.li(T0, lay.partials + 4 * thread)
+        a.sw(ACC, T0, 0)
+        a.fence()
+        backend.emit_barrier(a)
+        if thread == 0:
+            a.li(ACC, LL6_C)
+            a.li(P0, lay.partials)
+            a.li(IDX, 0)
+            a.li(HI, p)
+            loop = a.fresh_label("comb")
+            a.label(loop)
+            a.lw(T0, P0, 0)
+            a.add(ACC, ACC, T0)
+            a.addi(P0, P0, 4)
+            a.addi(IDX, IDX, 1)
+            a.blt(IDX, HI, loop)
+            a.andi(ACC, ACC, MASK)
+            a.li(T0, lay.w)
+            a.slli(T1, P2, 2)
+            a.add(T0, T0, T1)
+            a.sw(ACC, T0, 0)
+            a.fence()
+        backend.emit_barrier(a)
+    a.addi(P2, P2, 1)
+    a.blt(P2, HI2, "iloop")
+    a.addi(PASS, PASS, 1)
+    a.blt(PASS, NPASS, "pass")
+    a.halt()
+    return a.assemble()
+
+
+def ll6_seq_spec(n: int = 64, passes: int = 2) -> RunSpec:
+    image = MemoryImage()
+    lay = Ll6Layout(image, n, passes, 1)
+    program = _build_ll6_program(lay, 0, 1, None, "ll6_seq")
+    workload = Workload("ll6_seq", image, _threads([program]),
+                        placement=[0],
+                        check=lambda memory: _ll6_check(memory, lay))
+    return RunSpec("ll6/seq", workload, seq_system(), ooo1_cores=(0,),
+                   region_items=passes)
+
+
+def ll6_parallel_spec(kind: str, n: int = 64, p: int = 8,
+                      passes: int = 2) -> RunSpec:
+    require_power_of_two_threads(p, "ll6")
+    image = MemoryImage()
+    lay = Ll6Layout(image, n, passes, p)
+    backend = make_backend(kind, p, image)
+    programs = [_build_ll6_program(lay, t, p, backend, f"ll6_{kind}_t{t}")
+                for t in range(p)]
+    workload = Workload(f"ll6_{kind}_p{p}", image, _threads(programs),
+                        placement=list(range(p)), setup=backend.setup,
+                        check=lambda memory: _ll6_check(memory, lay))
+    return RunSpec(f"ll6/{kind}_p{p}", workload, backend.system(),
+                   region_items=passes, **_barrier_spec_fields(backend))
+
+
+LL2_VARIANTS = {
+    "seq": ll2_seq_spec,
+    "sw": lambda **kw: ll2_parallel_spec("sw", **kw),
+    "barrier": lambda **kw: ll2_parallel_spec("spl", **kw),
+    "hwbar": lambda **kw: ll2_parallel_spec("net", **kw),
+}
+
+LL3_VARIANTS = {
+    "seq": ll3_seq_spec,
+    "sw": lambda **kw: ll3_parallel_spec("sw", **kw),
+    "barrier": lambda **kw: ll3_parallel_spec("spl", **kw),
+    "barrier_comp": ll3_barrier_comp_spec,
+    "hwbar": lambda **kw: ll3_parallel_spec("net", **kw),
+}
+
+LL6_VARIANTS = {
+    "seq": ll6_seq_spec,
+    "sw": lambda **kw: ll6_parallel_spec("sw", **kw),
+    "barrier": lambda **kw: ll6_parallel_spec("spl", **kw),
+    "hwbar": lambda **kw: ll6_parallel_spec("net", **kw),
+}

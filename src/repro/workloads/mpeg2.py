@@ -1,0 +1,395 @@
+"""mpeg2enc (dist1) and mpeg2dec (conversion) workloads (comp-only)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm, MemoryImage, Program
+from repro.workloads.base import RunSpec
+from repro.workloads.kernels.mpeg2 import (BLOCK, conv420_reference,
+                                           conv422_reference,
+                                           dist1_reference, make_bytes)
+from repro.workloads.pipeline_common import (COMPUTE_CONFIG,
+                                             build_loop_program,
+                                             concurrent_spl_spec,
+                                             single_thread_spec)
+from repro.workloads.spl_lib import sad8_function
+
+PR, PC, POUT, ACC = "r3", "r4", "r5", "r6"
+T0, T1, T2, IDX, HI = "r7", "r8", "r9", "r10", "r11"
+#: Second mpeg2dec configuration: the conv420to422 vertical pass.
+V420_CONFIG = 2
+
+
+def conv420_function(name: str = "mpeg2_conv420") -> SplFunction:
+    """conv420to422: four vertically interpolated pixels per entry.
+
+    Bytes 0-3 are the current chroma row, 4-7 the adjacent row.
+    """
+    g = Dfg(name)
+    mask = g.const(0xFF, 2)
+    word = None
+    for lane in range(4):
+        cur = g.op(DfgOp.AND, g.input(f"c{lane}", lane, width=1), mask,
+                   width=2)
+        adj = g.op(DfgOp.AND, g.input(f"a{lane}", 4 + lane, width=1), mask,
+                   width=2)
+        three = g.op(DfgOp.ADD, g.op(DfgOp.SHL, cur, shift=1, width=4),
+                     cur, width=4)
+        t = g.op(DfgOp.SHR,
+                 g.add(g.add(three, adj), g.const(2, 4)), shift=2, width=4)
+        pixel = g.clamp(t, 0, 255)
+        shifted = g.op(DfgOp.SHL, pixel, shift=8 * lane, width=4)
+        word = shifted if word is None else g.op(DfgOp.OR, word, shifted,
+                                                 width=4)
+    g.output("pixels", word)
+    return SplFunction(g)
+
+
+def conv4_function(name: str = "mpeg2_conv4") -> SplFunction:
+    """Four interpolated pixels from eight source bytes, packed per word."""
+    g = Dfg(name)
+    raw = [g.input(f"b{i}", i, width=1) for i in range(8)]
+    mask = g.const(0xFF, 2)
+    wide = [g.op(DfgOp.AND, b, mask, width=2) for b in raw]
+    word = None
+    for lane in range(4):
+        a_, b_, c_, d_ = wide[lane:lane + 4]
+        inner = g.op(DfgOp.ADD, b_, c_, width=2)
+        # 5*x as (x << 2) + x through the shifters + carry chain.
+        five = g.op(DfgOp.ADD, g.op(DfgOp.SHL, inner, shift=2, width=4),
+                    inner, width=4)
+        outer = g.op(DfgOp.ADD, a_, d_, width=2)
+        t = g.op(DfgOp.SHR,
+                 g.add(g.op(DfgOp.SUB, five, outer, width=4),
+                       g.const(4, 4)),
+                 shift=3, width=4)
+        pixel = g.clamp(t, 0, 255)
+        shifted = g.op(DfgOp.SHL, pixel, shift=8 * lane, width=4)
+        word = shifted if word is None else g.op(DfgOp.OR, word, shifted,
+                                                 width=4)
+    g.output("pixels", word)
+    return SplFunction(g)
+
+
+# ---------------- mpeg2enc: dist1 ------------------------------------------------
+
+
+class Dist1Layout:
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.items = items
+        self.ref = make_bytes(items * BLOCK, seed)
+        self.cand = make_bytes(items * BLOCK, seed + 1)
+        self.ref_addr = image.alloc_bytes(bytes(self.ref))
+        self.cand_addr = image.alloc_bytes(bytes(self.cand))
+        self.out = image.alloc_zeroed(items)
+
+    def check(self, memory) -> None:
+        expected = dist1_reference(self.ref, self.cand)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "dist1 SAD mismatch"
+
+
+def build_dist1_seq(lay: Dist1Layout, name: str) -> Program:
+    def init(a: Asm) -> None:
+        a.li(PR, lay.ref_addr)
+        a.li(PC, lay.cand_addr)
+        a.li(POUT, lay.out)
+
+    def body(a: Asm) -> None:
+        a.li(ACC, 0)
+        a.li(IDX, 0)
+        a.li(HI, BLOCK)
+        loop = a.fresh_label("px")
+        pos = a.fresh_label("abs")
+        a.label(loop)
+        a.lbu(T0, PR, 0)
+        a.lbu(T1, PC, 0)
+        a.sub(T0, T0, T1)
+        a.bge(T0, "r0", pos)
+        a.neg(T0, T0)
+        a.label(pos)
+        a.add(ACC, ACC, T0)
+        a.addi(PR, PR, 1)
+        a.addi(PC, PC, 1)
+        a.addi(IDX, IDX, 1)
+        a.blt(IDX, HI, loop)
+        a.sw(ACC, POUT, 0)
+        a.addi(POUT, POUT, 4)
+
+    return build_loop_program(name, lay.items, init, body)
+
+
+def build_dist1_spl(lay: Dist1Layout, name: str) -> Program:
+    groups = BLOCK // 8
+
+    def init(a: Asm) -> None:
+        a.li(PR, lay.ref_addr)
+        a.li(PC, lay.cand_addr)
+        a.li(POUT, lay.out)
+
+    def body(a: Asm) -> None:
+        a.li(ACC, 0)
+        for _ in range(groups):
+            a.spl_loadm(PR, 0)       # ref bytes 0-3
+            a.spl_loadm(PR, 4, 4)    # ref bytes 4-7
+            a.spl_loadm(PC, 8)       # cand bytes 0-3
+            a.spl_loadm(PC, 12, 4)   # cand bytes 4-7
+            a.spl_init(COMPUTE_CONFIG)
+            a.addi(PR, PR, 8)
+            a.addi(PC, PC, 8)
+        for _ in range(groups):
+            a.spl_recv(T0)
+            a.add(ACC, ACC, T0)
+        a.sw(ACC, POUT, 0)
+        a.addi(POUT, POUT, 4)
+
+    return build_loop_program(name, lay.items, init, body)
+
+
+def mpeg2enc_seq_spec(items: int = 24, wide_core: bool = False) -> RunSpec:
+    image = MemoryImage()
+    lay = Dist1Layout(image, items, seed=501)
+    program = build_dist1_seq(lay, "mpeg2enc_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"mpeg2enc/{suffix}", image, program,
+                              lambda memory: lay.check(memory), items,
+                              wide=wide_core)
+
+
+def mpeg2enc_spl_spec(items: int = 24, copies: int = 4) -> RunSpec:
+    image = MemoryImage()
+    layouts = [Dist1Layout(image, items, seed=501 + 13 * i)
+               for i in range(copies)]
+    programs = [build_dist1_spl(lay, f"mpeg2enc_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+    function = sad8_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG, function)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec("mpeg2enc/spl", image, programs, setup,
+                               check, items)
+
+
+# ---------------- mpeg2dec: conversion ---------------------------------------------
+
+
+class ConvLayout:
+    """mpeg2dec state: the horizontal 422->444 stream plus a 420->422
+    vertical pass between two chroma rows (Table III's three functions:
+    both conversions with the byte packing folded in)."""
+
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.items = items
+        self.vitems = max(1, items // 2)
+        self.src = make_bytes(items * 4 + 4, seed)
+        self.src_addr = image.alloc_bytes(bytes(self.src))
+        self.out = image.alloc_zeroed(items)
+        self.cur = make_bytes(self.vitems * 4, seed + 7)
+        self.adj = make_bytes(self.vitems * 4, seed + 8)
+        self.cur_addr = image.alloc_bytes(bytes(self.cur))
+        self.adj_addr = image.alloc_bytes(bytes(self.adj))
+        self.vout = image.alloc_zeroed(self.vitems)
+
+    def check(self, memory) -> None:
+        expected = conv422_reference(self.src)[:self.items]
+        got = [memory.read_word(self.out + 4 * i) for i in range(self.items)]
+        assert got == expected, "mpeg2dec conversion mismatch"
+        vexpected = conv420_reference(self.cur, self.adj)
+        vgot = [memory.read_word(self.vout + 4 * i)
+                for i in range(self.vitems)]
+        assert vgot == vexpected, "mpeg2dec 420->422 mismatch"
+
+
+def build_conv_seq(lay: ConvLayout, name: str) -> Program:
+    def init(a: Asm) -> None:
+        a.li(PR, lay.src_addr)
+        a.li(POUT, lay.out)
+
+    def body(a: Asm) -> None:
+        a.li(ACC, 0)  # packed word
+        for lane in range(4):
+            a.lbu(T0, PR, lane + 1)
+            a.lbu(T1, PR, lane + 2)
+            a.add(T0, T0, T1)        # b + c
+            a.slli(T1, T0, 2)
+            a.add(T0, T1, T0)        # 5*(b+c)
+            a.lbu(T1, PR, lane)
+            a.lbu(T2, PR, lane + 3)
+            a.add(T1, T1, T2)        # a + d
+            a.sub(T0, T0, T1)
+            a.addi(T0, T0, 4)
+            a.srai(T0, T0, 3)
+            lo = a.fresh_label("lo")
+            hi = a.fresh_label("hi")
+            a.bge(T0, "r0", lo)
+            a.li(T0, 0)
+            a.label(lo)
+            a.li(T1, 255)
+            a.ble(T0, T1, hi)
+            a.li(T0, 255)
+            a.label(hi)
+            if lane:
+                a.slli(T0, T0, 8 * lane)
+            a.or_(ACC, ACC, T0)
+        a.sw(ACC, POUT, 0)
+        a.addi(PR, PR, 4)
+        a.addi(POUT, POUT, 4)
+
+    def fini(a: Asm) -> None:
+        _emit_v420_software(a, lay)
+
+    return build_loop_program(name, lay.items, init, body, fini)
+
+
+def _emit_v420_software(a: Asm, lay: ConvLayout) -> None:
+    """The vertical 420->422 pass in software (branchy clipping)."""
+    PCUR, PADJ, PV, VI, VB = "r12", "r13", "r14", "r15", "r16"
+    a.li(PCUR, lay.cur_addr)
+    a.li(PADJ, lay.adj_addr)
+    a.li(PV, lay.vout)
+    a.li(VI, 0)
+    a.li(VB, lay.vitems)
+    loop = a.fresh_label("v420")
+    a.label(loop)
+    a.li(ACC, 0)
+    for lane in range(4):
+        a.lbu(T0, PCUR, lane)
+        a.slli(T1, T0, 1)
+        a.add(T0, T0, T1)        # 3*cur
+        a.lbu(T1, PADJ, lane)
+        a.add(T0, T0, T1)
+        a.addi(T0, T0, 2)
+        a.srai(T0, T0, 2)
+        hi = a.fresh_label("vhi")
+        a.li(T1, 255)
+        a.ble(T0, T1, hi)
+        a.li(T0, 255)
+        a.label(hi)
+        if lane:
+            a.slli(T0, T0, 8 * lane)
+        a.or_(ACC, ACC, T0)
+    a.sw(ACC, PV, 0)
+    a.addi(PCUR, PCUR, 4)
+    a.addi(PADJ, PADJ, 4)
+    a.addi(PV, PV, 4)
+    a.addi(VI, VI, 1)
+    a.blt(VI, VB, loop)
+
+
+def _emit_v420_spl(a: Asm, lay: ConvLayout) -> None:
+    """The vertical pass through the fabric, pipelined two deep."""
+    PCUR, PADJ, PV, VI, VB = "r12", "r13", "r14", "r15", "r16"
+    depth = min(2, lay.vitems)
+    a.li(PCUR, lay.cur_addr)
+    a.li(PADJ, lay.adj_addr)
+    a.li(PV, lay.vout)
+    a.li(VI, 0)
+    a.li(VB, lay.vitems)
+
+    def issue() -> None:
+        a.spl_loadm(PCUR, 0)   # current row bytes 0-3
+        a.spl_loadm(PADJ, 4)   # adjacent row bytes 0-3
+        a.spl_init(V420_CONFIG)
+        a.addi(PCUR, PCUR, 4)
+        a.addi(PADJ, PADJ, 4)
+
+    for _ in range(depth):
+        issue()
+    loop = a.fresh_label("v420")
+    noissue = a.fresh_label("vnoissue")
+    a.label(loop)
+    a.spl_recv(T0)
+    a.sw(T0, PV, 0)
+    a.addi(PV, PV, 4)
+    a.li(T1, lay.vitems - depth)
+    a.bge(VI, T1, noissue)
+    issue()
+    a.label(noissue)
+    a.addi(VI, VI, 1)
+    a.blt(VI, VB, loop)
+
+
+def build_conv_spl(lay: ConvLayout, name: str) -> Program:
+    """Software-pipelined three deep to cover the fabric latency."""
+    depth = min(3, lay.items)
+
+    def issue(a: Asm) -> None:
+        a.spl_loadm(PR, 0)      # bytes 0-3
+        a.spl_loadm(PR, 4, 4)   # bytes 4-7
+        a.spl_init(COMPUTE_CONFIG)
+        a.addi(PR, PR, 4)
+
+    def init(a: Asm) -> None:
+        a.li(PR, lay.src_addr)
+        a.li(POUT, lay.out)
+        for _ in range(depth):
+            issue(a)
+
+    def body(a: Asm) -> None:
+        a.spl_recv(T0)
+        a.sw(T0, POUT, 0)
+        a.addi(POUT, POUT, 4)
+        skip = a.fresh_label("noissue")
+        a.li(T1, lay.items - depth)
+        a.bge("r1", T1, skip)
+        issue(a)
+        a.label(skip)
+
+    def fini(a: Asm) -> None:
+        _emit_v420_spl(a, lay)
+
+    return build_loop_program(name, lay.items, init, body, fini)
+
+
+def mpeg2dec_seq_spec(items: int = 192, wide_core: bool = False) -> RunSpec:
+    image = MemoryImage()
+    lay = ConvLayout(image, items, seed=601)
+    program = build_conv_seq(lay, "mpeg2dec_seq")
+    suffix = "seq_ooo2" if wide_core else "seq"
+    return single_thread_spec(f"mpeg2dec/{suffix}", image, program,
+                              lambda memory: lay.check(memory), items,
+                              wide=wide_core)
+
+
+def mpeg2dec_spl_spec(items: int = 192, copies: int = 4) -> RunSpec:
+    image = MemoryImage()
+    layouts = [ConvLayout(image, items, seed=601 + 13 * i)
+               for i in range(copies)]
+    programs = [build_conv_spl(lay, f"mpeg2dec_spl_t{i}")
+                for i, lay in enumerate(layouts)]
+    function = conv4_function()
+    vertical = conv420_function()
+
+    def setup(machine) -> None:
+        for core in range(copies):
+            machine.configure_spl(core, COMPUTE_CONFIG, function)
+            machine.configure_spl(core, V420_CONFIG, vertical)
+
+    def check(memory) -> None:
+        for lay in layouts:
+            lay.check(memory)
+
+    return concurrent_spl_spec("mpeg2dec/spl", image, programs, setup,
+                               check, items)
+
+
+VARIANTS_ENC = {
+    "seq": mpeg2enc_seq_spec,
+    "seq_ooo2": lambda **kw: mpeg2enc_seq_spec(wide_core=True, **kw),
+    "spl": mpeg2enc_spl_spec,
+}
+
+VARIANTS_DEC = {
+    "seq": mpeg2dec_seq_spec,
+    "seq_ooo2": lambda **kw: mpeg2dec_seq_spec(wide_core=True, **kw),
+    "spl": mpeg2dec_spl_spec,
+}

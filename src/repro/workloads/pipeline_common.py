@@ -1,0 +1,133 @@
+"""Shared spec builders for the computation / communication workloads.
+
+The Table III benchmarks come in two families:
+
+* **Computation-only** (g721, mpeg2, gsm, libquantum): one thread per
+  kernel; the ``spl`` variant runs four concurrent copies sharing the
+  fabric to model contention (Section V-A).
+* **Communication(+computation)** (wc, unepic, cjpeg, adpcm, twolf,
+  hmmer, astar): producer/consumer pairs; communicating variants own half
+  of a spatially partitioned fabric (the other half assumed busy).
+
+These helpers build :class:`repro.workloads.base.RunSpec` objects with the
+energy-accounting conventions of EXPERIMENTS.md, so each benchmark module
+only supplies programs, SPL functions, and a checker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.baselines.comm_network import attach_comm_network
+from repro.isa import Asm, MemoryImage, Program, ThreadSpec
+from repro.system.workload import Workload
+from repro.workloads.base import (RunSpec, ooo2_system, remap_machine_system,
+                                  seq_system)
+
+#: Config ids shared by all pipeline workloads.
+COMPUTE_CONFIG = 1
+ROUTE_CONFIG = 2
+
+
+def build_loop_program(name: str, items: int, emit_init: Callable,
+                       emit_body: Callable,
+                       emit_fini: Optional[Callable] = None) -> Program:
+    """Scaffold ``for r1 in range(items): body`` around kernel hooks.
+
+    ``r1`` (item counter) and ``r2`` (bound) are reserved; hooks own the
+    rest of the register file.
+    """
+    a = Asm(name)
+    emit_init(a)
+    a.li("r1", 0)
+    a.li("r2", items)
+    a.label("loop")
+    emit_body(a)
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    if emit_fini is not None:
+        emit_fini(a)
+    a.halt()
+    return a.assemble()
+
+
+def single_thread_spec(name: str, image: MemoryImage, program: Program,
+                       check, items: int, wide: bool = False) -> RunSpec:
+    """``seq`` (OOO1) or ``seq_ooo2`` baseline."""
+    workload = Workload(name.replace("/", "_"), image,
+                        [ThreadSpec(program, thread_id=1)], placement=[0],
+                        check=check)
+    if wide:
+        return RunSpec(name, workload, ooo2_system(), ooo2_cores=(0,),
+                       region_items=items)
+    return RunSpec(name, workload, seq_system(), ooo1_cores=(0,),
+                   region_items=items)
+
+
+def concurrent_spl_spec(name: str, image: MemoryImage,
+                        programs: List[Program], setup, check,
+                        items: int) -> RunSpec:
+    """1Th+Comp: ``len(programs)`` concurrent copies share the fabric."""
+    copies = len(programs)
+    threads = [ThreadSpec(program, thread_id=i + 1)
+               for i, program in enumerate(programs)]
+    workload = Workload(name.replace("/", "_"), image, threads,
+                        placement=list(range(copies)), setup=setup,
+                        check=check)
+    return RunSpec(name, workload, remap_machine_system(1),
+                   ooo1_cores=tuple(range(copies)),
+                   spl_clusters=((0, 1.0),),
+                   energy_divisor=copies, region_items=items)
+
+
+def remap_pair_spec(name: str, image: MemoryImage, producer: Program,
+                    consumer: Program, configure, check,
+                    items: int) -> RunSpec:
+    """A producer/consumer pair on an SPL cluster with half the fabric.
+
+    ``configure(machine)`` installs the SPL bindings (after the standard
+    half-fabric partitioning has been applied).
+    """
+
+    def setup(machine) -> None:
+        machine.set_partitions(0, [12, 12], [0, 0, 1, 1])
+        configure(machine)
+
+    workload = Workload(
+        name.replace("/", "_"), image,
+        [ThreadSpec(producer, thread_id=1),
+         ThreadSpec(consumer, thread_id=2)],
+        placement=[0, 1], setup=setup, check=check)
+    return RunSpec(name, workload, remap_machine_system(1),
+                   ooo1_cores=(0, 1), spl_clusters=((0, 0.5),),
+                   region_items=items)
+
+
+def ooo2_pair_spec(name: str, image: MemoryImage, producer: Program,
+                   consumer: Program, check, items: int,
+                   route_words: int = 1) -> RunSpec:
+    """The OOO2+Comm baseline pair: idealized network routes the stream."""
+
+    def setup(machine) -> None:
+        controller = attach_comm_network(machine, 0)
+        controller.configure_send(0, ROUTE_CONFIG, dest_thread=2)
+
+    workload = Workload(
+        name.replace("/", "_"), image,
+        [ThreadSpec(producer, thread_id=1),
+         ThreadSpec(consumer, thread_id=2)],
+        placement=[0, 1], setup=setup, check=check)
+    return RunSpec(name, workload, ooo2_system(), ooo2_cores=(0, 1),
+                   region_items=items)
+
+
+def sw_pair_spec(name: str, image: MemoryImage, producer: Program,
+                 consumer: Program, check, items: int) -> RunSpec:
+    """Software-queue pair on OOO1 cores (Section V-B)."""
+    workload = Workload(
+        name.replace("/", "_"), image,
+        [ThreadSpec(producer, thread_id=1),
+         ThreadSpec(consumer, thread_id=2)],
+        placement=[0, 1], check=check)
+    return RunSpec(name, workload, seq_system(), ooo1_cores=(0, 1),
+                   region_items=items)

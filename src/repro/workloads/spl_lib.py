@@ -1,0 +1,97 @@
+"""Library of SPL functions used by the workloads (Section III).
+
+Each function is a dataflow graph mapped onto fabric rows by
+:mod:`repro.core.mapper`.  The hmmer ``mc`` mapping follows Figure 6's
+sequential max chain and occupies 10 rows, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.workloads.kernels.hmmer import INFTY
+
+
+def hmmer_mc_function() -> SplFunction:
+    """Figure 6: the P7Viterbi ``mc`` calculation (10 rows).
+
+    Inputs (32-byte entry, two beats):
+      beat 0: mpp[k-1], tpmm[k-1], ip[k-1], tpim[k-1]
+      beat 1: dpp[k-1], tpdm[k-1], t4 = xmb + bp[k], ms[k]
+    """
+    g = Dfg("hmmer_mc")
+    mpp = g.input("mpp", 0)
+    tpmm = g.input("tpmm", 4)
+    ip = g.input("ip", 8)
+    tpim = g.input("tpim", 12)
+    dpp = g.input("dpp", 16)
+    tpdm = g.input("tpdm", 20)
+    t4 = g.input("t4", 24)
+    ms = g.input("ms", 28)
+    t1 = g.add(mpp, tpmm)          # row 1
+    t2 = g.add(ip, tpim)           # row 1
+    t3 = g.add(dpp, tpdm)          # row 1
+    m1 = g.max_(t1, t2)            # rows 2-3
+    m2 = g.max_(m1, t3)            # rows 4-5
+    m3 = g.max_(m2, t4)            # rows 6-7
+    s = g.add(m3, ms)              # row 8
+    mc = g.clamp_floor(s, -INFTY)  # rows 9-10
+    g.output("mc", mc)
+    return SplFunction(g)
+
+
+def mac2_function(name: str = "ll3_mac2") -> SplFunction:
+    """LL3 inner-product step: z0*x0 + z1*x1 (Figure 1(a) mode)."""
+    g = Dfg(name)
+    z0 = g.input("z0", 0)
+    x0 = g.input("x0", 4)
+    z1 = g.input("z1", 8)
+    x1 = g.input("x1", 12)
+    g.output("s", g.add(g.mul(z0, x0), g.mul(z1, x1)))
+    return SplFunction(g)
+
+
+def mac4_function(name: str = "ll3_mac4") -> SplFunction:
+    """LL3 inner-product step over four element pairs (two-beat entry).
+
+    Beat 0 carries z[k..k+3] and beat 1 carries x[k..k+3], so each beat is
+    one row-wide ``spl_loadv``.
+    """
+    g = Dfg(name)
+    products = []
+    for i in range(4):
+        z = g.input(f"z{i}", 4 * i)
+        x = g.input(f"x{i}", 16 + 4 * i)
+        products.append(g.mul(z, x))
+    s01 = g.add(products[0], products[1])
+    s23 = g.add(products[2], products[3])
+    g.output("s", g.add(s01, s23))
+    return SplFunction(g)
+
+
+def sad8_function(name: str = "mpeg2_sad8") -> SplFunction:
+    """mpeg2enc dist1: sum of absolute byte differences over 8 pixels.
+
+    Inputs: 8 reference bytes at offsets 0-7, 8 candidate bytes at 8-15.
+    Byte differences are computed at 2-byte width (so the subtraction
+    cannot wrap) and reduced with an adder tree.
+    """
+    g = Dfg(name)
+    diffs = []
+    for i in range(8):
+        a = g.input(f"a{i}", i, width=1)
+        b = g.input(f"b{i}", 8 + i, width=1)
+        # |a - b| over unsigned bytes, widened to 16 bits.
+        wa = g.op(DfgOp.AND, a, g.const(0xFF, 2), width=2)
+        wb = g.op(DfgOp.AND, b, g.const(0xFF, 2), width=2)
+        d = g.sub(wa, wb)
+        diffs.append(g.max_(d, g.sub(wb, wa)))
+    while len(diffs) > 1:
+        nxt = []
+        for i in range(0, len(diffs) - 1, 2):
+            nxt.append(g.op(DfgOp.ADD, diffs[i], diffs[i + 1], width=4))
+        if len(diffs) % 2:
+            nxt.append(diffs[-1])
+        diffs = nxt
+    g.output("sad", diffs[0])
+    return SplFunction(g)

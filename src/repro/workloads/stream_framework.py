@@ -1,0 +1,296 @@
+"""Framework for the streaming producer/consumer benchmarks.
+
+The communicating Table III workloads (wc, unepic, cjpeg, adpcm, twolf,
+astar) share one shape: a stream of items flows through stage A (producer
+side), a transform F, and stage B (consumer side).  A benchmark provides
+emission hooks and the framework assembles every evaluated variant:
+
+=============  =====================================================
+``seq``        one thread: A; F in software; B
+``seq_ooo2``   the same program on an OOO2 core
+``spl``        one thread: A + issue to fabric; recv; B (1Th+Comp),
+               software-pipelined; four concurrent copies share the fabric
+``comm``       two threads: producer A + software F + send via fabric
+               route; consumer recv + B (2Th+Comm)
+``compcomm``   producer A + issue (F computed in flight); consumer
+               recv + B (2Th+CompComm)
+``ooo2comm``   the ``comm`` programs on OOO2 cores + idealized network
+``swqueue``    the ``comm`` shape over a shared-memory software queue
+=============  =====================================================
+
+Hook contract (all hooks receive the Asm being built):
+
+* ``emit_init(a, role)`` — set up pointers/constants.  ``role`` is
+  "seq", "producer", or "consumer"; stage-A pointers and stage-B pointers
+  must be disjoint registers so the spl variant can run A ahead of B.
+* ``emit_stage_a(a)`` — load/compute per-item inputs, leaving the F inputs
+  in registers; advances A-side pointers.
+* ``emit_f_software(a)`` — compute F from those registers into RESULT.
+* ``emit_issue(a, config)`` — stage F's inputs (spl_load/spl_loadm using
+  A-side pointers *before* emit_stage_a advanced them is allowed if the
+  hook manages its own offsets) and ``spl_init(config)``.
+* ``emit_stage_b(a, recv)`` — ``recv(reg)`` emits the code that brings the
+  next F result into ``reg`` (spl_recv or software-queue pop); the hook
+  then consumes it and advances B-side pointers.
+
+Registers: r1/r2 are the loop counter/bound; r26-r31 are reserved for the
+software-queue variant; RESULT is r25.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.baselines.sw_sync import SwQueue
+from repro.core.function import SplFunction, identity_function
+from repro.isa import Asm, MemoryImage, Program
+from repro.workloads.base import RunSpec
+from repro.workloads.pipeline_common import (COMPUTE_CONFIG, ROUTE_CONFIG,
+                                             concurrent_spl_spec,
+                                             ooo2_pair_spec, remap_pair_spec,
+                                             single_thread_spec,
+                                             sw_pair_spec)
+
+RESULT = "r25"
+#: Software pipeline depth used by the spl (1Th+Comp) variant.
+SPL_PIPE_DEPTH = 3
+
+
+class StreamKernel:
+    """One benchmark instance: data layout plus emission hooks.
+
+    Subclasses (one per benchmark) implement the hooks and ``check``.
+    A fresh instance is built per run so layouts never alias.
+    """
+
+    #: Name used in spec ids, e.g. "wc".
+    bench_name = "stream"
+    #: Results sent per item through the route (comm variants).
+    route_words = 1
+
+    def __init__(self, image: MemoryImage, items: int, seed: int) -> None:
+        self.image = image
+        self.items = items
+        self.seed = seed
+
+    # -- hooks ------------------------------------------------------------------
+
+    def make_function(self) -> SplFunction:
+        raise NotImplementedError
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        raise NotImplementedError
+
+    def emit_stage_a(self, a: Asm) -> None:
+        raise NotImplementedError
+
+    def emit_f_software(self, a: Asm) -> None:
+        raise NotImplementedError
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        raise NotImplementedError
+
+    def emit_stage_b(self, a: Asm, recv: Callable[[str], None]) -> None:
+        raise NotImplementedError
+
+    def emit_fini(self, a: Asm, role: str) -> None:
+        """Optional epilogue (e.g. store accumulated counters)."""
+
+    def check(self, memory) -> None:
+        raise NotImplementedError
+
+    # -- program assembly ----------------------------------------------------------
+
+    def build_seq(self, name: str) -> Program:
+        a = Asm(name)
+        self.emit_init(a, "seq")
+        a.li("r1", 0)
+        a.li("r2", self.items)
+        a.label("loop")
+        self.emit_stage_a(a)
+        self.emit_f_software(a)
+        self.emit_stage_b(a, lambda reg: a.mov(reg, RESULT))
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", "loop")
+        self.emit_fini(a, "seq")
+        a.halt()
+        return a.assemble()
+
+    def build_spl_single(self, name: str) -> Program:
+        """1Th+Comp: A+issue runs SPL_PIPE_DEPTH items ahead of recv+B."""
+        depth = min(SPL_PIPE_DEPTH, self.items)
+        a = Asm(name)
+        self.emit_init(a, "seq")
+        for _ in range(depth):
+            self.emit_stage_a(a)
+            self.emit_issue(a, COMPUTE_CONFIG)
+        a.li("r1", 0)
+        a.li("r2", self.items)
+        a.label("loop")
+        self.emit_stage_b(a, lambda reg: a.spl_recv(reg))
+        skip = a.fresh_label("noissue")
+        a.li("r24", self.items - depth)
+        a.bge("r1", "r24", skip)
+        self.emit_stage_a(a)
+        self.emit_issue(a, COMPUTE_CONFIG)
+        a.label(skip)
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", "loop")
+        self.emit_fini(a, "seq")
+        a.halt()
+        return a.assemble()
+
+    def build_producer_comm(self, name: str,
+                            queue: Optional[SwQueue] = None) -> Program:
+        """Producer for comm/ooo2comm/swqueue: software F, then send."""
+        a = Asm(name)
+        self.emit_init(a, "producer")
+        if queue is not None:
+            a.li("r26", 0)  # private tail
+        a.li("r1", 0)
+        a.li("r2", self.items)
+        a.label("loop")
+        self.emit_stage_a(a)
+        self.emit_f_software(a)
+        if queue is None:
+            a.spl_load(RESULT, 0)
+            a.spl_init(ROUTE_CONFIG)
+        else:
+            queue.emit_push(a, RESULT, "r26", "r27", "r28", "r29")
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", "loop")
+        self.emit_fini(a, "producer")
+        a.halt()
+        return a.assemble()
+
+    def build_producer_compcomm(self, name: str) -> Program:
+        a = Asm(name)
+        self.emit_init(a, "producer")
+        a.li("r1", 0)
+        a.li("r2", self.items)
+        a.label("loop")
+        self.emit_stage_a(a)
+        self.emit_issue(a, COMPUTE_CONFIG)
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", "loop")
+        self.emit_fini(a, "producer")
+        a.halt()
+        return a.assemble()
+
+    def build_consumer(self, name: str,
+                       queue: Optional[SwQueue] = None) -> Program:
+        a = Asm(name)
+        self.emit_init(a, "consumer")
+        if queue is not None:
+            a.li("r26", 0)  # private head
+        a.li("r1", 0)
+        a.li("r2", self.items)
+        a.label("loop")
+        if queue is None:
+            self.emit_stage_b(a, lambda reg: a.spl_recv(reg))
+        else:
+            self.emit_stage_b(
+                a, lambda reg: queue.emit_pop(a, reg, "r26", "r27", "r29"))
+        a.addi("r1", "r1", 1)
+        a.blt("r1", "r2", "loop")
+        self.emit_fini(a, "consumer")
+        a.halt()
+        return a.assemble()
+
+
+def make_variants(kernel_class, default_items: int,
+                  copies: int = 4) -> Dict[str, Callable[..., RunSpec]]:
+    """Build the variant->spec-factory map for a StreamKernel subclass."""
+    bench = kernel_class.bench_name
+
+    def fresh(items: int, seed_offset: int = 0) -> StreamKernel:
+        return kernel_class(MemoryImage(), items,
+                            seed=1000 + seed_offset)
+
+    def seq(items: int = default_items, wide_core: bool = False) -> RunSpec:
+        kernel = fresh(items)
+        program = kernel.build_seq(f"{bench}_seq")
+        suffix = "seq_ooo2" if wide_core else "seq"
+        return single_thread_spec(f"{bench}/{suffix}", kernel.image, program,
+                                  kernel.check, items, wide=wide_core)
+
+    def spl(items: int = default_items) -> RunSpec:
+        image = MemoryImage()
+        kernels = [kernel_class(image, items, seed=1000 + 17 * i)
+                   for i in range(copies)]
+        programs = [k.build_spl_single(f"{bench}_spl_t{i}")
+                    for i, k in enumerate(kernels)]
+        functions = [k.make_function() for k in kernels]
+
+        def setup(machine) -> None:
+            if functions[0].is_stateful:
+                # Private partition + instance per thread (state cannot be
+                # time-multiplexed across threads).
+                machine.set_partitions(0, [6, 6, 6, 6], [0, 1, 2, 3])
+                for core in range(copies):
+                    machine.configure_spl(core, COMPUTE_CONFIG,
+                                          functions[core])
+            else:
+                for core in range(copies):
+                    machine.configure_spl(core, COMPUTE_CONFIG, functions[0])
+
+        def check(memory) -> None:
+            for k in kernels:
+                k.check(memory)
+
+        return concurrent_spl_spec(f"{bench}/spl", image, programs, setup,
+                                   check, items)
+
+    def comm(items: int = default_items) -> RunSpec:
+        kernel = fresh(items)
+        route = identity_function(f"{bench}_route", kernel.route_words)
+
+        def configure(machine) -> None:
+            machine.configure_spl(0, ROUTE_CONFIG, route, dest_thread=2)
+
+        return remap_pair_spec(
+            f"{bench}/comm", kernel.image,
+            kernel.build_producer_comm(f"{bench}_comm_prod"),
+            kernel.build_consumer(f"{bench}_comm_cons"),
+            configure, kernel.check, items)
+
+    def compcomm(items: int = default_items) -> RunSpec:
+        kernel = fresh(items)
+        function = kernel.make_function()
+
+        def configure(machine) -> None:
+            machine.configure_spl(0, COMPUTE_CONFIG, function,
+                                  dest_thread=2)
+
+        return remap_pair_spec(
+            f"{bench}/compcomm", kernel.image,
+            kernel.build_producer_compcomm(f"{bench}_cc_prod"),
+            kernel.build_consumer(f"{bench}_cc_cons"),
+            configure, kernel.check, items)
+
+    def ooo2comm(items: int = default_items) -> RunSpec:
+        kernel = fresh(items)
+        return ooo2_pair_spec(
+            f"{bench}/ooo2comm", kernel.image,
+            kernel.build_producer_comm(f"{bench}_o2_prod"),
+            kernel.build_consumer(f"{bench}_o2_cons"),
+            kernel.check, items, route_words=kernel.route_words)
+
+    def swqueue(items: int = default_items) -> RunSpec:
+        kernel = fresh(items)
+        queue = SwQueue(kernel.image, 64)
+        return sw_pair_spec(
+            f"{bench}/swqueue", kernel.image,
+            kernel.build_producer_comm(f"{bench}_swq_prod", queue),
+            kernel.build_consumer(f"{bench}_swq_cons", queue),
+            kernel.check, items)
+
+    return {
+        "seq": seq,
+        "seq_ooo2": lambda **kw: seq(wide_core=True, **kw),
+        "spl": spl,
+        "comm": comm,
+        "compcomm": compcomm,
+        "ooo2comm": ooo2comm,
+        "swqueue": swqueue,
+    }

@@ -1,0 +1,102 @@
+"""Synchronization backends shared by the barrier workloads.
+
+A backend bundles what differs between SW / ReMAP / dedicated-network
+barrier variants: the system configuration, the per-thread barrier code,
+the machine setup (barrier registration + config bindings), and the
+energy-accounting footprint.  The barrier instruction sequence is the same
+for ReMAP and the dedicated network (``spl_load; spl_init; spl_recv``);
+only the backing hardware changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.baselines.comm_network import attach_network
+from repro.baselines.sw_sync import SwBarrier
+from repro.common.config import SystemConfig, ooo1_cluster
+from repro.core.function import barrier_token_function
+from repro.isa import Asm, MemoryImage
+from repro.workloads.base import (homogeneous_barrier_system,
+                                  remap_machine_system,
+                                  spl_clusters_for_threads)
+
+TOKEN_CONFIG = 8
+#: Register clobbered by barrier sequences (token receive / SW temps).
+BAR_T0, BAR_T1, BAR_T2, BAR_SENSE = "r3", "r4", "r5", "r11"
+
+
+class SyncBackend:
+    """One way of synchronizing ``p`` threads."""
+
+    def __init__(self, kind: str, p: int, image: MemoryImage) -> None:
+        if kind not in ("sw", "spl", "net"):
+            raise ValueError(f"unknown sync backend {kind!r}")
+        self.kind = kind
+        self.p = p
+        self._sw_barrier = SwBarrier(image, p) if kind == "sw" else None
+
+    # -- program side -----------------------------------------------------------
+
+    def emit_prologue(self, a: Asm) -> None:
+        """Per-thread init (the SW barrier needs a local sense register)."""
+        if self.kind == "sw":
+            a.li(BAR_SENSE, 1)
+
+    def emit_barrier(self, a: Asm) -> None:
+        if self.kind == "sw":
+            self._sw_barrier.emit(a, BAR_SENSE, BAR_T0, BAR_T1, BAR_T2)
+        else:
+            a.spl_load("r0", 0)
+            a.spl_init(TOKEN_CONFIG)
+            a.spl_recv(BAR_T0)
+
+    # -- machine side ------------------------------------------------------------
+
+    def system(self) -> SystemConfig:
+        if self.kind == "spl":
+            return remap_machine_system(spl_clusters_for_threads(self.p))
+        if self.kind == "net":
+            return homogeneous_barrier_system(self.p)
+        n_clusters = max(1, -(-self.p // 4))
+        return SystemConfig(clusters=[ooo1_cluster(4)
+                                      for _ in range(n_clusters)])
+
+    def setup(self, machine) -> None:
+        p = self.p
+        if self.kind == "spl":
+            machine.register_barrier(1, 1, list(range(1, p + 1)))
+            for cluster in range(spl_clusters_for_threads(p)):
+                local = [t for t in range(p) if t // 4 == cluster]
+                token = barrier_token_function(len(local),
+                                               f"token_{len(local)}")
+                for t in local:
+                    machine.configure_spl(t, TOKEN_CONFIG, token,
+                                          barrier_id=1)
+        elif self.kind == "net":
+            controller = attach_network(machine, list(range(p)),
+                                        name="barnet")
+            controller.register_barrier(1, list(range(1, p + 1)))
+            for t in range(p):
+                controller.configure_barrier(t, TOKEN_CONFIG, barrier_id=1)
+
+    # -- energy accounting ----------------------------------------------------------
+
+    def energy_fields(self) -> Tuple[Tuple[int, ...], Tuple]:
+        """(ooo1_cores, spl_clusters) for the RunSpec."""
+        if self.kind == "spl":
+            n_clusters = spl_clusters_for_threads(self.p)
+            return (tuple(range(self.p)),
+                    tuple((c, 1.0) for c in range(n_clusters)))
+        if self.kind == "net":
+            # Area-equivalent homogeneous clusters: six cores each leak.
+            system = homogeneous_barrier_system(self.p)
+            return tuple(range(system.n_cores)), ()
+        return tuple(range(self.p)), ()
+
+
+def make_backend(kind: str, p: int, image: MemoryImage) -> SyncBackend:
+    return SyncBackend(kind, p, image)
+
+
+BackendFactory = Callable[[str, int, MemoryImage], SyncBackend]

@@ -1,0 +1,121 @@
+"""300.twolf new_dbox_a workload (communication+computation)."""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.twolf import dbox_reference, make_terminals
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PA, PB, PC, PD = "r3", "r4", "r5", "r6"
+VA, VB, VC, VD = "r7", "r8", "r9", "r10"
+T0, T1 = "r11", "r12"
+ACC, POUT = "r13", "r14"
+
+
+def dbox_function(name: str = "twolf_dbox") -> SplFunction:
+    """min(|a-c|, |a-d|, |b-c|, |b-d|) over four staged words."""
+    g = Dfg(name)
+    a_ = g.input("a", 0, width=2)
+    b_ = g.input("b", 4, width=2)
+    c_ = g.input("c", 8, width=2)
+    d_ = g.input("d", 12, width=2)
+
+    def absdiff(x, y):
+        return g.max_(g.op(DfgOp.SUB, x, y, width=2),
+                      g.op(DfgOp.SUB, y, x, width=2))
+
+    m1 = g.min_(absdiff(a_, c_), absdiff(a_, d_))
+    m2 = g.min_(absdiff(b_, c_), absdiff(b_, d_))
+    g.output("cost", g.min_(m1, m2))
+    return SplFunction(g)
+
+
+class TwolfKernel(StreamKernel):
+    bench_name = "twolf"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        super().__init__(image, items, seed)
+        self.ax, self.bx, self.cx, self.dx = make_terminals(items, seed)
+        self.a_addr = image.alloc_words(self.ax)
+        self.b_addr = image.alloc_words(self.bx)
+        self.c_addr = image.alloc_words(self.cx)
+        self.d_addr = image.alloc_words(self.dx)
+        self.costs = image.alloc_zeroed(items)
+        self.total = image.alloc_zeroed(1)
+
+    def make_function(self) -> SplFunction:
+        return dbox_function()
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PA, self.a_addr)
+            a.li(PB, self.b_addr)
+            a.li(PC, self.c_addr)
+            a.li(PD, self.d_addr)
+        if role in ("seq", "consumer"):
+            a.li(ACC, 0)
+            a.li(POUT, self.costs)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        a.lw(VA, PA, 0)
+        a.lw(VB, PB, 0)
+        a.lw(VC, PC, 0)
+        a.lw(VD, PD, 0)
+        for reg in (PA, PB, PC, PD):
+            a.addi(reg, reg, 4)
+
+    def emit_f_software(self, a: Asm) -> None:
+        def absdiff(x, y, out):
+            pos = a.fresh_label("ad")
+            a.sub(out, x, y)
+            a.bge(out, "r0", pos)
+            a.neg(out, out)
+            a.label(pos)
+
+        absdiff(VA, VC, RESULT)
+        absdiff(VA, VD, T0)
+        take = a.fresh_label("m1")
+        a.ble(RESULT, T0, take)
+        a.mov(RESULT, T0)
+        a.label(take)
+        absdiff(VB, VC, T0)
+        take = a.fresh_label("m2")
+        a.ble(RESULT, T0, take)
+        a.mov(RESULT, T0)
+        a.label(take)
+        absdiff(VB, VD, T0)
+        take = a.fresh_label("m3")
+        a.ble(RESULT, T0, take)
+        a.mov(RESULT, T0)
+        a.label(take)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        a.spl_load(VA, 0)
+        a.spl_load(VB, 4)
+        a.spl_load(VC, 8)
+        a.spl_load(VD, 12)
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T1)
+        a.sw(T1, POUT, 0)
+        a.addi(POUT, POUT, 4)
+        a.add(ACC, ACC, T1)
+
+    def emit_fini(self, a: Asm, role: str) -> None:
+        if role in ("seq", "consumer"):
+            a.li(T0, self.total)
+            a.sw(ACC, T0, 0)
+
+    def check(self, memory) -> None:
+        costs, total = dbox_reference(self.ax, self.bx, self.cx, self.dx)
+        assert memory.read_words(self.costs, self.items) == costs, \
+            "twolf costs mismatch"
+        assert memory.read_word_signed(self.total) == total, \
+            "twolf total mismatch"
+
+
+VARIANTS = make_variants(TwolfKernel, default_items=256)

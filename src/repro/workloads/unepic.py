@@ -1,0 +1,127 @@
+"""unepic workload: Huffman decode (producer) + dequant + scatter store.
+
+The producer owns the bit-serial prefix decode (branchy, data-dependent),
+the fabric dequantizes symbols in flight, and the consumer performs the
+permutation-indexed stores and the nonzero count — exactly the
+"unpredictable branch + pointer chasing load" split Section V-B1
+describes for unepic.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.unepic import (QUANT_SCALE, make_perm,
+                                            make_stream, unepic_reference)
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PBITS, BITBUF, BITCNT, SYM = "r3", "r4", "r5", "r6"
+T0, T1 = "r7", "r8"
+PPERM, POUT_BASE, NZ, T2 = "r10", "r11", "r12", "r13"
+
+
+def dequant_function(name: str = "unepic_dequant") -> SplFunction:
+    """value = ((sym+1)>>1) * SCALE, negated for odd symbols."""
+    g = Dfg(name)
+    sym = g.input("sym", 0, width=2)
+    mag = g.op(DfgOp.SHR, g.add(sym, g.const(1, 2)), shift=1, width=2)
+    value = g.op(DfgOp.MUL, mag, g.const(QUANT_SCALE, 2), width=4)
+    odd = g.op(DfgOp.AND, sym, g.const(1, 2), width=1)
+    g.output("val", g.select(odd, g.sub(g.const(0, 4), value), value))
+    return SplFunction(g)
+
+
+class UnepicKernel(StreamKernel):
+    bench_name = "unepic"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        super().__init__(image, items, seed)
+        self.symbols, words = make_stream(items, seed)
+        self.perm = make_perm(items, seed + 1)
+        self.bits_addr = image.alloc_words(words)
+        self.perm_addr = image.alloc_words(self.perm)
+        self.out = image.alloc_zeroed(items)
+        self.nz_addr = image.alloc_zeroed(1)
+
+    def make_function(self) -> SplFunction:
+        return dequant_function()
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PBITS, self.bits_addr)
+            a.li(BITCNT, 0)
+            a.li(BITBUF, 0)
+        if role in ("seq", "consumer"):
+            a.li(PPERM, self.perm_addr)
+            a.li(POUT_BASE, self.out)
+            a.li(NZ, 0)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        """Bit-serial prefix decode into SYM (count leading ones)."""
+        refill = a.fresh_label("refill")
+        have = a.fresh_label("have")
+        loop = a.fresh_label("dec")
+        done = a.fresh_label("dec_done")
+        a.li(SYM, 0)
+        a.label(loop)
+        # get one bit (MSB first)
+        a.bnez(BITCNT, have)
+        a.label(refill)
+        a.lw(BITBUF, PBITS, 0)
+        a.addi(PBITS, PBITS, 4)
+        a.li(BITCNT, 32)
+        a.label(have)
+        a.srli(T0, BITBUF, 31)
+        a.slli(BITBUF, BITBUF, 1)
+        a.addi(BITCNT, BITCNT, -1)
+        a.beqz(T0, done)           # a zero bit terminates the code
+        a.addi(SYM, SYM, 1)
+        a.li(T0, 7)
+        a.blt(SYM, T0, loop)       # symbol 7 has no terminating zero
+        a.label(done)
+
+    def emit_f_software(self, a: Asm) -> None:
+        a.addi(T0, SYM, 1)
+        a.srli(T0, T0, 1)
+        a.li(T1, QUANT_SCALE)
+        a.mul(RESULT, T0, T1)
+        even = a.fresh_label("even")
+        a.andi(T0, SYM, 1)
+        a.beqz(T0, even)
+        a.neg(RESULT, RESULT)
+        a.label(even)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        a.spl_load(SYM, 0)
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T2)
+        a.lw(T0, PPERM, 0)         # pointer-chasing scatter index
+        a.addi(PPERM, PPERM, 4)
+        a.slli(T0, T0, 2)
+        a.add(T0, T0, POUT_BASE)
+        a.sw(T2, T0, 0)
+        nz = a.fresh_label("nz")
+        a.beqz(T2, nz)             # unpredictable data-dependent branch
+        a.addi(NZ, NZ, 1)
+        a.label(nz)
+
+    def emit_fini(self, a: Asm, role: str) -> None:
+        if role in ("seq", "consumer"):
+            a.li(T0, self.nz_addr)
+            a.sw(NZ, T0, 0)
+
+    def check(self, memory) -> None:
+        expected = unepic_reference(self.symbols, self.perm)
+        got = memory.read_words(self.out, self.items)
+        assert got == expected, "unepic output mismatch"
+        nz_expected = sum(1 for v in expected if v != 0)
+        # The scatter is a permutation, so counting nonzero inputs and
+        # outputs is equivalent.
+        assert memory.read_word_signed(self.nz_addr) == nz_expected
+
+
+VARIANTS = make_variants(UnepicKernel, default_items=256)

@@ -1,0 +1,151 @@
+"""``wc`` workload (communication+computation, 100% of execution).
+
+The producer streams the text; the fabric classifies four characters per
+entry — newline count and word starts, carrying the in-word state across
+entries in a delay register — and the consumer accumulates the counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import SplFunction
+from repro.isa import Asm
+from repro.workloads.kernels.wc import NEWLINE, SPACE, TAB, make_text, \
+    wc_reference
+from repro.workloads.stream_framework import RESULT, StreamKernel, \
+    make_variants
+
+PT, TW = "r3", "r4"
+T0, T1, T2, CH = "r5", "r6", "r7", "r8"
+PREV_SPACE = "r10"
+LINES, WORDS = "r11", "r12"
+OUT = "r14"
+
+
+def wc4_function(name: str = "wc4") -> SplFunction:
+    """Per 4-byte chunk: packed (newlines | word_starts << 8), stateful."""
+    g = Dfg(name)
+    raw = [g.input(f"b{i}", i, width=1) for i in range(4)]
+    prev = g.delay(width=1, init=1)  # "previous byte was a space"
+    one = g.const(1, 1)
+    newline_flags = []
+    start_flags = []
+    last_space = prev
+    for byte in raw:
+        is_nl = g.op(DfgOp.CMPEQ, byte, g.const(NEWLINE, 1), width=1)
+        space = g.op(DfgOp.OR,
+                     g.op(DfgOp.OR, is_nl,
+                          g.op(DfgOp.CMPEQ, byte, g.const(SPACE, 1),
+                               width=1), width=1),
+                     g.op(DfgOp.CMPEQ, byte, g.const(TAB, 1), width=1),
+                     width=1)
+        not_space = g.op(DfgOp.XOR, space, one, width=1)
+        start_flags.append(g.op(DfgOp.AND, not_space, last_space, width=1))
+        newline_flags.append(is_nl)
+        last_space = space
+    g.set_delay_source(prev, last_space)
+
+    def tree(nodes):
+        while len(nodes) > 1:
+            nxt = []
+            for i in range(0, len(nodes) - 1, 2):
+                nxt.append(g.op(DfgOp.ADD, nodes[i], nodes[i + 1], width=1))
+            if len(nodes) % 2:
+                nxt.append(nodes[-1])
+            nodes = nxt
+        return nodes[0]
+
+    newlines = tree(newline_flags)
+    starts = tree(start_flags)
+    packed = g.op(DfgOp.OR,
+                  g.op(DfgOp.AND, newlines, g.const(0xFF, 2), width=2),
+                  g.op(DfgOp.SHL,
+                       g.op(DfgOp.AND, starts, g.const(0xFF, 2), width=2),
+                       shift=8, width=2),
+                  width=2)
+    g.output("packed", packed)
+    return SplFunction(g)
+
+
+class WcKernel(StreamKernel):
+    bench_name = "wc"
+
+    def __init__(self, image, items: int, seed: int) -> None:
+        super().__init__(image, items, seed)
+        self.text = make_text(items * 4, seed)
+        self.text_addr = image.alloc(len(self.text), align=16)
+        image.write_bytes(self.text_addr, self.text)
+        self.out = image.alloc_zeroed(3)
+
+    def make_function(self) -> SplFunction:
+        return wc4_function(f"wc4_{self.seed}")
+
+    def emit_init(self, a: Asm, role: str) -> None:
+        if role in ("seq", "producer"):
+            a.li(PT, self.text_addr)
+            a.li(PREV_SPACE, 1)
+        if role in ("seq", "consumer"):
+            a.li(LINES, 0)
+            a.li(WORDS, 0)
+            a.li(OUT, self.out)
+
+    def emit_stage_a(self, a: Asm) -> None:
+        a.lw(TW, PT, 0)
+        a.addi(PT, PT, 4)
+
+    def emit_f_software(self, a: Asm) -> None:
+        """The classic per-character state machine; RESULT = packed."""
+        a.li(RESULT, 0)
+        for i in range(4):
+            if i:
+                a.srli(CH, TW, 8 * i)
+                a.andi(CH, CH, 0xFF)
+            else:
+                a.andi(CH, TW, 0xFF)
+            not_nl = a.fresh_label("nnl")
+            space = a.fresh_label("sp")
+            done = a.fresh_label("done")
+            a.li(T0, NEWLINE)
+            a.bne(CH, T0, not_nl)
+            a.addi(RESULT, RESULT, 1)      # newline count (low byte)
+            a.j(space)
+            a.label(not_nl)
+            a.li(T0, SPACE)
+            a.beq(CH, T0, space)
+            a.li(T0, TAB)
+            a.beq(CH, T0, space)
+            # non-space: word start if previous was space
+            a.beqz(PREV_SPACE, done)
+            a.li(T1, 1 << 8)
+            a.add(RESULT, RESULT, T1)      # word-start count (high byte)
+            a.li(PREV_SPACE, 0)
+            a.j(done)
+            a.label(space)
+            a.li(PREV_SPACE, 1)
+            a.label(done)
+
+    def emit_issue(self, a: Asm, config: int) -> None:
+        a.spl_loadm(PT, 0, -4)  # stage the word emit_stage_a just consumed
+        a.spl_init(config)
+
+    def emit_stage_b(self, a: Asm, recv) -> None:
+        recv(T2)
+        a.andi(T0, T2, 0xFF)
+        a.add(LINES, LINES, T0)
+        a.srli(T0, T2, 8)
+        a.add(WORDS, WORDS, T0)
+
+    def emit_fini(self, a: Asm, role: str) -> None:
+        if role in ("seq", "consumer"):
+            a.sw(LINES, OUT, 0)
+            a.sw(WORDS, OUT, 4)
+            a.li(T0, self.items * 4)
+            a.sw(T0, OUT, 8)
+
+    def check(self, memory) -> None:
+        lines, words, chars = wc_reference(self.text)
+        got = memory.read_words(self.out, 3)
+        assert got == [lines, words, chars], f"wc mismatch: {got}"
+
+
+VARIANTS = make_variants(WcKernel, default_items=256)

@@ -1,0 +1,46 @@
+"""Sanity tests of the ablation studies (tiny sizes)."""
+
+from repro.experiments import ablations
+
+
+def test_sharing_degree_monotone():
+    rows = ablations.sharing_degree(items=8)
+    assert [row["sharers"] for row in rows] == [1, 2, 4]
+    # Sharing costs something but not catastrophically (the paper's
+    # amortization argument).
+    assert rows[-1]["slowdown_vs_private"] >= rows[0]["slowdown_vs_private"]
+    assert rows[-1]["slowdown_vs_private"] < 2.0
+
+
+def test_fabric_size_virtualization_cost():
+    rows = ablations.fabric_size(items=8)
+    by_rows = {row["fabric_rows"]: row["cycles_per_item"] for row in rows}
+    # Fewer rows -> deeper virtualization -> slower.
+    assert by_rows[6] > by_rows[24]
+    assert by_rows[48] <= by_rows[24]
+
+
+def test_queue_depth_bounded_effect():
+    rows = ablations.queue_depth(M=48, R=2)
+    values = [row["cycles_per_item"] for row in rows]
+    # Deeper queues never hurt.
+    assert values[-1] <= values[0] + 1e-9
+
+
+def test_barrier_bus_latency_monotone():
+    rows = ablations.barrier_bus_latency(n=16, p=8)
+    values = [row["cycles_per_iteration"] for row in rows]
+    assert values[-1] > values[0]
+
+
+def test_reconfiguration_cost_monotone():
+    rows = ablations.reconfiguration_cost(n=64, p=4, passes=3)
+    values = [row["cycles_per_pass"] for row in rows]
+    assert values[-1] > values[0]
+
+
+def test_spatial_partitioning_private_wins():
+    rows = ablations.spatial_partitioning(n=128, p=4, passes=3)
+    private = rows[0]["cycles_per_pass"]
+    shared = rows[1]["cycles_per_pass"]
+    assert private < shared

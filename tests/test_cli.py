@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_kwargs, build_parser, main
+
+
+class TestParsing:
+    def test_kwargs(self):
+        assert _parse_kwargs(["M=64", "R=3"]) == {"M": 64, "R": 3}
+        with pytest.raises(SystemExit):
+            _parse_kwargs(["M"])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "1"])
+        assert args.number == 1
+        args = parser.parse_args(["figure", "12", "--quick",
+                                  "--bench", "ll3"])
+        assert args.quick and args.benchmarks == ["ll3"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer" in out and "dijkstra" in out
+
+    def test_tables(self, capsys):
+        for number in ("1", "2", "3"):
+            assert main(["table", number]) == 0
+        out = capsys.readouterr().out
+        assert "0.51" in out and "MESI" in out and "P7Viterbi" in out
+
+    def test_bad_table(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+    def test_run_variant(self, capsys):
+        assert main(["run", "wc", "compcomm", "--items", "items=48"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_run_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope", "seq"])
+
+    def test_run_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["run", "wc", "warp"])
+
+    def test_ablation_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "nope"])
+
+    def test_ablation_sharing(self, capsys):
+        assert main(["ablation", "sharing"]) == 0
+        assert "sharers" in capsys.readouterr().out
+
+
+def test_run_json_output(capsys):
+    import json
+    assert main(["run", "twolf", "seq", "--items", "items=16",
+                 "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["name"] == "twolf/seq"
+    assert record["results"]["cycles"] > 0
+    assert "system" in record and record["system"]["clusters"]

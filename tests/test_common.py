@@ -1,0 +1,133 @@
+"""Unit tests for configuration, statistics, and utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import (CacheConfig, ClusterConfig, SystemConfig,
+                                 ooo1_cluster, ooo1_config, ooo2_cluster,
+                                 ooo2_config, remap_cluster, remap_system,
+                                 spl_config, SPL_CLOCK_RATIO)
+from repro.common.errors import ConfigError
+from repro.common.stats import Stats
+from repro.common.utils import (ceil_div, geomean, is_power_of_two,
+                                sign_extend, to_signed, to_unsigned)
+
+
+class TestConfig:
+    def test_table2_ooo1(self):
+        config = ooo1_config()
+        assert (config.fetch_width, config.issue_width,
+                config.retire_width) == (2, 1, 1)
+        assert config.rob_entries == 64
+        assert config.int_regs == config.fp_regs == 64
+        assert (config.int_queue, config.fp_queue) == (32, 16)
+        assert config.int_alus == 1
+
+    def test_table2_ooo2(self):
+        config = ooo2_config()
+        assert (config.fetch_width, config.issue_width,
+                config.retire_width) == (4, 2, 2)
+        assert config.int_alus == 2
+        assert config.branch_units == 2
+
+    def test_cache_geometry(self):
+        l1 = ooo1_config().l1d
+        assert l1.size_bytes == 8 * 1024
+        assert l1.assoc == 2
+        assert l1.n_sets == 128
+        assert l1.hit_latency == 2
+        l2 = ooo1_config().l2
+        assert l2.size_bytes == 1024 * 1024
+        assert l2.hit_latency == 10
+
+    def test_spl_parameters(self):
+        spl = spl_config()
+        assert spl.rows == 24
+        assert spl.cells_per_row == 16
+        assert spl.bits_per_cell == 8
+        assert spl.row_width_bytes == 16
+        assert SPL_CLOCK_RATIO == 4
+
+    def test_spl_output_queue_words(self):
+        assert spl_config().output_queue_words == 64
+
+    def test_bad_cache_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, 3, 32, 1).validate()
+
+    def test_bad_cluster_kind(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(kind="weird", core=ooo1_config()).validate()
+
+    def test_system_core_count(self):
+        system = remap_system(n_spl_clusters=2, n_ooo2_clusters=1)
+        assert system.n_cores == 12
+        system.validate()
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(clusters=[]).validate()
+
+    def test_cluster_presets(self):
+        assert remap_cluster().kind == "spl"
+        assert ooo2_cluster().core.name == "OOO2"
+        assert ooo1_cluster(6).n_cores == 6
+
+
+class TestStats:
+    def test_bump_and_get(self):
+        stats = Stats("top")
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("missing", 7) == 7
+
+    def test_tree_total_and_find(self):
+        top = Stats("top")
+        a = top.child("a")
+        b = top.child("b")
+        a.bump("n", 2)
+        b.bump("n", 3)
+        top.bump("n", 1)
+        assert top.total("n") == 6
+        assert top.find("b") is b
+        assert top.find("zzz") is None
+
+    def test_walk_and_report(self):
+        top = Stats("top")
+        top.child("inner").bump("k", 1)
+        flat = top.as_dict()
+        assert flat["top.inner.k"] == 1
+        assert "inner" in top.report()
+
+
+class TestUtils:
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_unsigned_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_sign_extend(self):
+        assert to_signed(sign_extend(0xFF, 8)) == -1
+        assert to_signed(sign_extend(0x7F, 8)) == 127
+
+    def test_geomean(self):
+        assert math.isclose(geomean([2, 8]), 4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1, -1])
+
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(8)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)

@@ -1,0 +1,89 @@
+"""Coverage for thread contexts, program containers, and workload misc."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.cpu.context import ThreadContext
+from repro.isa import Asm, MemoryImage, ThreadSpec
+from repro.isa.instruction import reg_index
+from repro.system.workload import Workload
+
+
+def _program():
+    a = Asm("p")
+    a.label("entry")
+    a.li("r1", 3)
+    a.j("entry")
+    a.halt()
+    return a.assemble()
+
+
+class TestThreadContext:
+    def test_initial_registers(self):
+        spec = ThreadSpec(_program(), thread_id=3,
+                          int_regs={"r5": -7}, fp_regs={"f2": 1.5})
+        ctx = ThreadContext(spec)
+        assert ctx.read(reg_index("r5")) == -7
+        assert ctx.read(reg_index("f2")) == 1.5
+        assert ctx.thread_id == 3
+
+    def test_r0_write_ignored(self):
+        ctx = ThreadContext(ThreadSpec(_program(), 1))
+        ctx.write(0, 99)
+        assert ctx.read(0) == 0
+
+    def test_fp_and_int_separate(self):
+        ctx = ThreadContext(ThreadSpec(_program(), 1))
+        ctx.write(reg_index("r4"), 10)
+        ctx.write(reg_index("f4"), 2.5)
+        assert ctx.read(reg_index("r4")) == 10
+        assert ctx.read(reg_index("f4")) == 2.5
+
+    def test_wrong_register_class_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadContext(ThreadSpec(_program(), 1, int_regs={"f1": 1}))
+        with pytest.raises(ValueError):
+            ThreadContext(ThreadSpec(_program(), 1, fp_regs={"r1": 1.0}))
+
+
+class TestProgram:
+    def test_listing_shows_labels_and_targets(self):
+        listing = _program().listing()
+        assert "entry:" in listing
+        assert "li" in listing and "j" in listing
+
+    def test_indices_assigned(self):
+        program = _program()
+        for index, inst in enumerate(program.instructions):
+            assert inst.index == index
+
+    def test_jump_target_resolved_to_index(self):
+        program = _program()
+        assert program[1].target == 0
+
+    def test_unresolvable_program(self):
+        a = Asm("bad")
+        a.beq("r1", "r2", "missing")
+        with pytest.raises(AssemblyError):
+            a.assemble()
+
+
+class TestWorkloadContainer:
+    def test_repr(self):
+        workload = Workload("x", MemoryImage(),
+                            [ThreadSpec(_program(), 1)], placement=[2])
+        text = repr(workload)
+        assert "x" in text and "[2]" in text
+
+    def test_default_placement(self):
+        workload = Workload("x", MemoryImage(),
+                            [ThreadSpec(_program(), 1),
+                             ThreadSpec(_program(), 2)])
+        assert workload.placement == [0, 1]
+
+    def test_metadata_copied(self):
+        meta = {"k": 1}
+        workload = Workload("x", MemoryImage(),
+                            [ThreadSpec(_program(), 1)], metadata=meta)
+        meta["k"] = 2
+        assert workload.metadata["k"] == 1

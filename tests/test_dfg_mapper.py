@@ -1,0 +1,362 @@
+"""Unit and property tests for DFGs, the row mapper, and SPL functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import MappingError, SplError
+from repro.core.dfg import Dfg, DfgOp
+from repro.core.function import (SplFunction, barrier_reduce_function,
+                                 barrier_token_function, identity_function)
+from repro.core.mapper import initiation_interval, map_dfg, virtual_latency
+from repro.workloads.spl_lib import hmmer_mc_function
+
+
+class TestDfgBuilder:
+    def test_duplicate_input_rejected(self):
+        g = Dfg("t")
+        g.input("a", 0)
+        with pytest.raises(MappingError):
+            g.input("a", 4)
+
+    def test_overlapping_inputs_rejected(self):
+        g = Dfg("t")
+        g.input("a", 0, width=4)
+        with pytest.raises(MappingError):
+            g.input("b", 2, width=4)
+
+    def test_groups_allow_same_offset(self):
+        g = Dfg("t")
+        g.input("a", 0, group="s0")
+        g.input("b", 0, group="s1")  # no error
+
+    def test_out_of_range_input(self):
+        g = Dfg("t")
+        with pytest.raises(MappingError):
+            g.input("a", 30, width=4)
+
+    def test_no_outputs_rejected(self):
+        g = Dfg("t")
+        g.input("a", 0)
+        with pytest.raises(MappingError):
+            g.validate()
+
+    def test_delay_without_source_rejected(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        d = g.delay()
+        g.output("o", g.add(a, d))
+        with pytest.raises(MappingError):
+            g.validate()
+
+
+class TestDfgEvaluation:
+    def test_basic_ops(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        b = g.input("b", 4)
+        g.output("sum", g.add(a, b))
+        g.output("min", g.min_(a, b))
+        g.output("max", g.max_(a, b))
+        g.output("mul", g.mul(a, b))
+        out = g.evaluate({"a": -3, "b": 10})
+        assert out == {"sum": 7, "min": -3, "max": 10, "mul": -30}
+
+    def test_select_and_compare(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        b = g.input("b", 4)
+        cond = g.op(DfgOp.CMPGT, a, b)
+        g.output("o", g.select(cond, a, b))
+        assert g.evaluate({"a": 5, "b": 2})["o"] == 5
+        assert g.evaluate({"a": 1, "b": 2})["o"] == 2
+
+    def test_width_wrapping(self):
+        g = Dfg("t")
+        a = g.input("a", 0, width=1)
+        g.output("o", g.op(DfgOp.ADD, a, g.const(1, 1), width=1))
+        assert g.evaluate({"a": 127})["o"] == -128  # signed byte wrap
+
+    def test_variable_shifts(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        amount = g.input("n", 4)
+        g.output("left", g.op(DfgOp.SHLV, a, amount))
+        g.output("right", g.op(DfgOp.SHRV, a, amount))
+        out = g.evaluate({"a": 12, "n": 2})
+        assert (out["left"], out["right"]) == (48, 3)
+
+    def test_clamp(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        g.output("o", g.clamp(a, -10, 10))
+        assert g.evaluate({"a": 99})["o"] == 10
+        assert g.evaluate({"a": -99})["o"] == -10
+
+    def test_delay_state_evolution(self):
+        g = Dfg("acc")
+        x = g.input("x", 0)
+        acc = g.delay(init=0)
+        total = g.add(acc, x)
+        g.set_delay_source(acc, total)
+        g.output("o", total)
+        state = {}
+        outs = [g.evaluate({"x": v}, state=state)["o"] for v in (1, 2, 3)]
+        assert outs == [1, 3, 6]
+
+    def test_delay_without_state_uses_init(self):
+        g = Dfg("t")
+        x = g.input("x", 0)
+        d = g.delay(init=7)
+        g.set_delay_source(d, x)
+        g.output("o", g.add(d, x))
+        assert g.evaluate({"x": 1})["o"] == 8  # init value, no state kept
+
+    def test_missing_input_rejected(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        g.output("o", g.op(DfgOp.PASS, a))
+        with pytest.raises(MappingError):
+            g.evaluate({})
+
+    @given(st.lists(st.integers(-(2 ** 31), 2 ** 31 - 1),
+                    min_size=2, max_size=8))
+    @settings(max_examples=25)
+    def test_reduction_trees_match_python(self, values):
+        for op, fn in ((DfgOp.MIN, min), (DfgOp.MAX, max),
+                       (DfgOp.ADD, sum)):
+            g = Dfg("red")
+            nodes = [g.input(f"v{i}", 0, group=f"s{i}")
+                     for i in range(len(values))]
+            level = nodes
+            while len(level) > 1:
+                nxt = []
+                for i in range(0, len(level) - 1, 2):
+                    nxt.append(g.op(op, level[i], level[i + 1]))
+                if len(level) % 2:
+                    nxt.append(level[-1])
+                level = nxt
+            g.output("o", level[0])
+            inputs = {f"v{i}": v for i, v in enumerate(values)}
+            expected = fn(values)
+            from repro.common.utils import to_signed
+            assert g.evaluate(inputs)["o"] == to_signed(expected)
+
+
+class TestMapper:
+    def test_hmmer_mc_is_ten_rows(self):
+        """Figure 6: the sequential-max mc mapping occupies 10 rows."""
+        assert hmmer_mc_function().rows == 10
+
+    def test_single_add_is_one_row(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        b = g.input("b", 4)
+        g.output("o", g.add(a, b))
+        assert map_dfg(g).rows == 1
+
+    def test_minmax_is_two_rows(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        b = g.input("b", 4)
+        g.output("o", g.max_(a, b))
+        assert map_dfg(g).rows == 2
+
+    def test_capacity_spill(self):
+        """Five parallel 32-bit adds need 20 cells: two rows."""
+        g = Dfg("t")
+        nodes = []
+        for i in range(5):
+            a = g.input(f"a{i}", 0, group=f"s{i}")
+            b = g.input(f"b{i}", 4, group=f"s{i}")
+            nodes.append(g.add(a, b))
+        for i, node in enumerate(nodes):
+            g.output(f"o{i}", node)
+        assert map_dfg(g).rows == 2
+
+    def test_cell_cost_overflow_rejected(self):
+        g = Dfg("t")
+        a = g.input("a", 0)
+        node = g.op(DfgOp.PASS, a)
+        node.width = 40  # wider than a row
+        g.output("o", node)
+        with pytest.raises(MappingError):
+            map_dfg(g)
+
+    def test_virtualization_math(self):
+        assert virtual_latency(10, 24) == 10
+        assert initiation_interval(10, 24) == 1
+        assert initiation_interval(30, 24) == 2
+        assert initiation_interval(30, 6) == 5
+        with pytest.raises(MappingError):
+            initiation_interval(10, 0)
+
+    def test_feedback_ii(self):
+        g = Dfg("t")
+        x = g.input("x", 0)
+        d = g.delay()
+        total = g.add(d, x)          # level 1
+        deep = g.mul(total, total)   # levels 2-5
+        g.set_delay_source(d, deep)
+        g.output("o", deep)
+        mapping = map_dfg(g)
+        assert mapping.feedback_ii == 5
+
+
+class TestSplFunction:
+    def test_identity_routes_words(self):
+        fn = identity_function(n_words=2)
+        data = (5).to_bytes(4, "little") + (-9).to_bytes(
+            4, "little", signed=True) + bytes(24)
+        assert fn.evaluate_entry(data, 0xFF) == [5, -9]
+
+    def test_invalid_bytes_rejected(self):
+        fn = identity_function()
+        with pytest.raises(SplError):
+            fn.evaluate_entry(bytes(32), 0x0)  # nothing valid
+
+    def test_barrier_token(self):
+        fn = barrier_token_function(4)
+        assert fn.is_barrier
+        entries = {slot: ((1).to_bytes(4, "little") + bytes(28), 0xF)
+                   for slot in range(4)}
+        assert fn.evaluate_barrier(entries) == [1]
+
+    def test_barrier_reduce_min(self):
+        fn = barrier_reduce_function(4, DfgOp.MIN)
+        entries = {}
+        for slot, value in enumerate([7, -2, 9, 3]):
+            entries[slot] = (value.to_bytes(4, "little", signed=True)
+                             + bytes(28), 0xF)
+        assert fn.evaluate_barrier(entries) == [-2]
+
+    def test_barrier_on_regular_entry_rejected(self):
+        fn = barrier_reduce_function(2, DfgOp.ADD)
+        with pytest.raises(SplError):
+            fn.evaluate_entry(bytes(32), 0xF)
+
+    def test_regular_on_barrier_api_rejected(self):
+        fn = identity_function()
+        with pytest.raises(SplError):
+            fn.evaluate_barrier({0: (bytes(32), 0xF)})
+
+    def test_stateful_flag_and_reset(self):
+        g = Dfg("s")
+        x = g.input("x", 0)
+        d = g.delay(init=0)
+        total = g.add(d, x)
+        g.set_delay_source(d, total)
+        g.output("o", total)
+        fn = SplFunction(g)
+        assert fn.is_stateful
+        data = (2).to_bytes(4, "little") + bytes(28)
+        assert fn.evaluate_entry(data, 0xF) == [2]
+        assert fn.evaluate_entry(data, 0xF) == [4]
+        fn.reset_state()
+        assert fn.evaluate_entry(data, 0xF) == [2]
+
+    def test_retimed_feedback_override(self):
+        g = Dfg("s")
+        x = g.input("x", 0)
+        d = g.delay(init=0)
+        total = g.add(d, g.mul(x, x))
+        g.set_delay_source(d, total)
+        g.output("o", total)
+        assert SplFunction(g).feedback_ii == 5
+        assert SplFunction(g, retimed_feedback_ii=2).feedback_ii == 2
+
+
+class TestMappingStrategies:
+    def _random_graph(self, seed, n_ops=14):
+        import random
+        rng = random.Random(seed)
+        from repro.core.dfg import Dfg, DfgOp
+        g = Dfg(f"rand{seed}")
+        pool = [g.input(f"i{k}", 0, group=f"s{k}") for k in range(4)]
+        ops = [DfgOp.ADD, DfgOp.SUB, DfgOp.MAX, DfgOp.MIN, DfgOp.MUL,
+               DfgOp.AND, DfgOp.XOR]
+        for _ in range(n_ops):
+            a, b = rng.choice(pool), rng.choice(pool)
+            pool.append(g.op(rng.choice(ops), a, b,
+                             width=rng.choice((1, 2, 4))))
+        g.output("o", pool[-1])
+        # keep a couple of extra live outputs to stress capacity
+        g.output("p", pool[len(pool) // 2])
+        return g
+
+    def test_both_strategies_valid_on_random_graphs(self):
+        from repro.core.mapper import map_dfg, verify_mapping
+        for seed in range(12):
+            g = self._random_graph(seed)
+            for strategy in ("asap", "priority"):
+                mapping = map_dfg(g, strategy=strategy)
+                verify_mapping(g, mapping)
+
+    def test_priority_never_much_worse(self):
+        from repro.core.mapper import map_dfg
+        for seed in range(12):
+            g = self._random_graph(seed)
+            asap = map_dfg(g, strategy="asap").rows
+            priority = map_dfg(g, strategy="priority").rows
+            assert priority <= asap + 2
+
+    def test_priority_packs_contended_graph(self):
+        """Many wide parallel chains: priority scheduling should not be
+        worse than construction order."""
+        from repro.core.dfg import Dfg, DfgOp
+        from repro.core.mapper import map_dfg
+        g = Dfg("contended")
+        outs = []
+        # one long chain + several short wide ops competing for cells
+        node = g.input("a", 0)
+        for _ in range(5):
+            node = g.op(DfgOp.MUL, node, g.const(3))
+        outs.append(node)
+        for k in range(6):
+            x = g.input(f"b{k}", 0, group=f"g{k}")
+            outs.append(g.op(DfgOp.ADD, x, g.const(k)))
+        for index, out in enumerate(outs):
+            g.output(f"o{index}", out)
+        assert map_dfg(g, strategy="priority").rows <= \
+            map_dfg(g, strategy="asap").rows
+
+    def test_unknown_strategy_rejected(self):
+        from repro.core.mapper import map_dfg
+        g = self._random_graph(0)
+        with pytest.raises(MappingError):
+            map_dfg(g, strategy="zigzag")
+
+    def test_verify_mapping_catches_corruption(self):
+        from repro.core.mapper import map_dfg, verify_mapping
+        g = Dfg("chain")
+        a = g.input("a", 0)
+        first = g.add(a, g.const(1))
+        second = g.add(first, g.const(2))
+        g.output("o", second)
+        mapping = map_dfg(g)
+        mapping.placement[second.index] = mapping.placement[first.index]
+        with pytest.raises(MappingError):
+            verify_mapping(g, mapping)
+
+    def test_workload_functions_verify(self):
+        from repro.core.mapper import verify_mapping
+        from repro.workloads.spl_lib import (hmmer_mc_function,
+                                             mac4_function, sad8_function)
+        for fn in (hmmer_mc_function(), mac4_function(), sad8_function()):
+            verify_mapping(fn.dfg, fn.mapping)
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        dot = hmmer_mc_function().dfg.to_dot()
+        assert dot.startswith('digraph "hmmer_mc"')
+        assert "in mpp" in dot and "out mc" in dot and "->" in dot
+
+    def test_delay_edges_dashed(self):
+        g = Dfg("s")
+        x = g.input("x", 0)
+        d = g.delay()
+        total = g.add(d, x)
+        g.set_delay_source(d, total)
+        g.output("o", total)
+        dot = g.to_dot()
+        assert "style=dashed" in dot

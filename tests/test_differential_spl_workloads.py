@@ -1,0 +1,82 @@
+"""Golden-model validation of the fabric-accelerated workload programs.
+
+Each computation-only benchmark's ``spl`` variant is executed on the
+sequential interpreter with a functional (zero-latency) SPL model, using
+exactly the bindings the workload's setup would install on a machine.
+The workload's own check then verifies the interpreter's memory — proving
+the *programs and fabric functions* are correct independent of the
+timing simulator.
+"""
+
+import pytest
+
+from repro.isa.interpreter import FunctionalSpl, Interpreter
+from repro.mem.memory import MainMemory
+from repro.workloads import registry
+
+
+class _RecordingMachine:
+    """Stands in for Machine during workload setup; records bindings."""
+
+    def __init__(self, n_cores: int = 16) -> None:
+        self.bindings = {}      # core -> {config_id: (function, dest)}
+        self.partitions = None
+        self.barriers = {}
+
+    def configure_spl(self, core, config_id, function, dest_thread=None,
+                      barrier_id=None):
+        self.bindings.setdefault(core, {})[config_id] = \
+            (function, dest_thread, barrier_id)
+
+    def set_partitions(self, core, rows, assignment=None):
+        self.partitions = (rows, assignment)
+
+    def register_barrier(self, barrier_id, app_id, thread_ids):
+        self.barriers[barrier_id] = tuple(thread_ids)
+
+
+_SIZES = {
+    "g721enc": {"items": 6},
+    "g721dec": {"items": 6},
+    "mpeg2enc": {"items": 4},
+    "mpeg2dec": {"items": 24},
+    "gsmtoast": {"items": 16},
+    "gsmuntoast": {"items": 12},
+    "libquantum": {"items": 4, "passes": 2},
+}
+
+
+@pytest.mark.parametrize("bench", sorted(_SIZES))
+def test_spl_variant_on_interpreter(bench):
+    info = registry.REGISTRY[bench]
+    spec = info.variants["spl"](**_SIZES[bench])
+    workload = spec.workload
+    recorder = _RecordingMachine()
+    workload.setup(recorder)
+
+    memory = MainMemory()
+    memory.load_image(workload.image)
+    for core_index, thread in enumerate(workload.threads):
+        spl = FunctionalSpl()
+        for config_id, (function, dest, barrier) in \
+                recorder.bindings.get(core_index, {}).items():
+            assert barrier is None  # comp-only variants have no barriers
+            assert dest is None     # results return to the issuing core
+            spl.configure(config_id, function)
+        interp = Interpreter(thread.program, memory, spl=spl,
+                             max_steps=30_000_000)
+        interp.run()
+    workload.check(memory)
+
+
+def test_recording_machine_captures_partitions():
+    info = registry.REGISTRY["gsmuntoast"]
+    spec = info.variants["spl"](items=8)
+    recorder = _RecordingMachine()
+    spec.workload.setup(recorder)
+    # The stateful lattice demands private partitions and one function
+    # instance per core.
+    assert recorder.partitions is not None
+    functions = {id(recorder.bindings[core][1][0])
+                 for core in recorder.bindings}
+    assert len(functions) == len(recorder.bindings)

@@ -1,0 +1,40 @@
+"""Every shipped example must run end-to-end (their asserts self-verify)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py",
+    "custom_accelerator.py",
+    "heterogeneous_migration.py",
+])
+def test_example_runs(name, capsys):
+    _run_example(name)
+    out = capsys.readouterr().out
+    assert "✓" in out or "verified" in out
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "hmmer_pipeline.py", "dijkstra_barriers.py",
+            "custom_accelerator.py",
+            "heterogeneous_migration.py"} <= names

@@ -1,0 +1,146 @@
+"""Tests for the workload frameworks: base, sync backends, stream kernels,
+the interpreter's SPL model, and RunSpec plumbing."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.experiments.runner import RunResult, execute
+from repro.isa import MemoryImage
+from repro.workloads.base import (RunSpec, chunk_bounds,
+                                  homogeneous_barrier_system, ooo2_system,
+                                  remap_machine_system,
+                                  require_power_of_two_threads, seq_system,
+                                  spl_clusters_for_threads)
+from repro.workloads.sync_backends import SyncBackend, make_backend
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert chunk_bounds(8, 4, 0) == (0, 2)
+        assert chunk_bounds(8, 4, 3) == (6, 8)
+
+    def test_remainder_goes_first(self):
+        bounds = [chunk_bounds(10, 4, t) for t in range(4)]
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+
+    def test_empty_chunks(self):
+        bounds = [chunk_bounds(2, 8, t) for t in range(8)]
+        assert sum(hi - lo for lo, hi in bounds) == 2
+        assert all(hi >= lo for lo, hi in bounds)
+
+    def test_coverage_no_overlap(self):
+        for total, p in ((17, 4), (3, 8), (100, 16)):
+            covered = []
+            for t in range(p):
+                lo, hi = chunk_bounds(total, p, t)
+                covered.extend(range(lo, hi))
+            assert covered == list(range(total))
+
+
+class TestSystems:
+    def test_presets(self):
+        assert seq_system().n_cores == 4
+        assert ooo2_system().clusters[0].core.name == "OOO2"
+        assert remap_machine_system(3).n_cores == 12
+        assert homogeneous_barrier_system(8).n_cores == 12  # 2 x 6 cores
+
+    def test_cluster_math(self):
+        assert spl_clusters_for_threads(1) == 1
+        assert spl_clusters_for_threads(4) == 1
+        assert spl_clusters_for_threads(5) == 2
+        assert spl_clusters_for_threads(16) == 4
+
+    def test_thread_count_validation(self):
+        require_power_of_two_threads(8, "x")
+        with pytest.raises(WorkloadError):
+            require_power_of_two_threads(6, "x")
+
+    def test_runspec_validation(self):
+        from repro.system.workload import Workload
+        from repro.isa import Asm, ThreadSpec
+        a = Asm("t")
+        a.halt()
+        image = MemoryImage()
+        workload = Workload("w", image,
+                            [ThreadSpec(a.assemble(), 1)], placement=[0])
+        with pytest.raises(WorkloadError):
+            RunSpec("bad", workload, seq_system(), region_items=0)
+
+
+class TestSyncBackends:
+    def test_kinds(self):
+        image = MemoryImage()
+        for kind in ("sw", "spl", "net"):
+            backend = make_backend(kind, 8, image)
+            assert backend.system().n_cores >= 8
+            cores, spl = backend.energy_fields()
+            assert len(cores) >= 8
+            if kind == "spl":
+                assert spl
+            else:
+                assert not spl
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_backend("smoke", 4, MemoryImage())
+
+    def test_net_charges_idle_cores(self):
+        """The homogeneous baseline pays for all six cores per cluster."""
+        backend = make_backend("net", 4, MemoryImage())
+        cores, _ = backend.energy_fields()
+        assert len(cores) == 6
+
+
+class TestRunResultAccounting:
+    def test_summary_fields(self):
+        from repro.workloads import wc
+        spec = wc.VARIANTS["seq"](items=32)
+        result = execute(spec)
+        assert isinstance(result, RunResult)
+        summary = result.summary()
+        assert set(summary) == {"cycles", "cycles_per_item", "energy_j",
+                                "ed"}
+        assert summary["cycles_per_item"] == \
+            pytest.approx(result.cycles / 32)
+        assert result.seconds > 0
+
+    def test_energy_divisor_applies(self):
+        from repro.workloads import g721
+        spec = g721.spl_spec(items=6, copies=4)
+        assert spec.energy_divisor == 4
+        result = execute(spec)
+        assert result.energy_joules == \
+            pytest.approx(result.energy.total / 4)
+
+
+class TestStreamFrameworkVariants:
+    def test_all_variants_present(self):
+        from repro.workloads.wc import VARIANTS
+        assert set(VARIANTS) == {"seq", "seq_ooo2", "spl", "comm",
+                                 "compcomm", "ooo2comm", "swqueue"}
+
+    def test_stateful_kernels_get_private_partitions(self):
+        """adpcm's fabric state forces per-thread function instances."""
+        from repro.workloads import adpcm
+        from repro.system.machine import Machine
+        spec = adpcm.VARIANTS["spl"](items=16)
+        machine = Machine(spec.system)
+        machine.load(spec.workload)
+        controller = machine.clusters[0].controller
+        assert len(controller.partitions) == 4
+        functions = {id(binding.function)
+                     for binding in controller.bindings.values()}
+        assert len(functions) == 4  # one instance per thread
+
+    def test_stateless_kernels_share_one_function(self):
+        from repro.workloads import twolf
+        from repro.system.machine import Machine
+        spec = twolf.VARIANTS["spl"](items=16)
+        machine = Machine(spec.system)
+        machine.load(spec.workload)
+        controller = machine.clusters[0].controller
+        functions = {id(binding.function)
+                     for binding in controller.bindings.values()}
+        assert len(functions) == 1

@@ -1,0 +1,60 @@
+"""Golden-model validation of the workload programs themselves.
+
+Runs each benchmark's sequential program on the *interpreter* (no pipeline
+at all) and applies the workload's own check.  This separates program bugs
+from pipeline bugs: if these pass and the simulator diverges, the pipeline
+is at fault, and vice versa.
+"""
+
+import pytest
+
+from repro.isa.interpreter import Interpreter
+from repro.mem.memory import MainMemory
+from repro.workloads import registry
+
+_SIZES = {
+    "g721enc": {"items": 6}, "g721dec": {"items": 6},
+    "mpeg2enc": {"items": 4}, "mpeg2dec": {"items": 24},
+    "gsmtoast": {"items": 16}, "gsmuntoast": {"items": 12},
+    "libquantum": {"items": 4, "passes": 2},
+    "wc": {"items": 32}, "unepic": {"items": 32}, "cjpeg": {"items": 32},
+    "adpcm": {"items": 48}, "twolf": {"items": 32},
+    "hmmer": {"M": 48, "R": 2}, "astar": {"items": 24},
+    "ll2": {"n": 16, "passes": 2}, "ll3": {"n": 32, "passes": 2},
+    "ll6": {"n": 12, "passes": 2}, "dijkstra": {"n": 12},
+}
+
+
+@pytest.mark.parametrize("bench", sorted(_SIZES))
+def test_seq_program_on_interpreter(bench):
+    info = registry.REGISTRY[bench]
+    spec = info.variants["seq"](**_SIZES[bench])
+    workload = spec.workload
+    memory = MainMemory()
+    memory.load_image(workload.image)
+    for thread in workload.threads:
+        interp = Interpreter(thread.program, memory,
+                             max_steps=30_000_000)
+        for name, value in thread.int_regs.items():
+            from repro.isa.instruction import reg_index
+            interp.int_regs[reg_index(name)] = value
+        steps = interp.run()
+        assert steps > 0
+    workload.check(memory)
+
+
+def test_interpreter_instruction_counts_reasonable():
+    """The interpreter's dynamic instruction count should be within the
+    same order as the pipeline's retired count for the same program."""
+    from repro.experiments.runner import execute
+    info = registry.REGISTRY["wc"]
+    spec = info.variants["seq"](items=32)
+    result = execute(spec)
+    retired = result.stats.find("cpu0").get("retired")
+
+    spec2 = info.variants["seq"](items=32)
+    memory = MainMemory()
+    memory.load_image(spec2.workload.image)
+    interp = Interpreter(spec2.workload.threads[0].program, memory)
+    steps = interp.run()
+    assert steps == retired  # identical architectural instruction stream

@@ -1,0 +1,165 @@
+"""Unit tests for the ISA: opcodes, assembler, programs, memory images."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import AssemblyError, MemoryFault
+from repro.isa import Asm, MemoryImage, Op, info, reg_index, reg_name
+from repro.isa.opcodes import FuClass
+
+
+class TestRegisters:
+    def test_names(self):
+        assert reg_index("r0") == 0
+        assert reg_index("r31") == 31
+        assert reg_index("f0") == 32
+        assert reg_index("f31") == 63
+
+    def test_roundtrip(self):
+        for index in range(64):
+            assert reg_index(reg_name(index)) == index
+
+    def test_bad_names(self):
+        for bad in ("x1", "r32", "f32", "r-1", "rr", ""):
+            with pytest.raises(AssemblyError):
+                reg_index(bad)
+
+
+class TestOpcodes:
+    def test_serialized_ops(self):
+        for op in (Op.SPL_LOAD, Op.SPL_LOADM, Op.SPL_LOADV, Op.SPL_INIT,
+                   Op.SPL_RECV, Op.SPL_STORE, Op.AMO_ADD, Op.FENCE, Op.HALT):
+            assert info(op).serialize, op
+
+    def test_classes(self):
+        assert info(Op.MUL).fu is FuClass.MUL
+        assert info(Op.LW).is_load
+        assert info(Op.SW).is_store and not info(Op.SW).writes_rd
+        assert info(Op.BEQ).is_branch
+        assert info(Op.AMO_ADD).is_load and info(Op.AMO_ADD).is_store
+
+    def test_latencies(self):
+        assert info(Op.ADD).latency == 1
+        assert info(Op.MUL).latency == 3
+        assert info(Op.DIV).latency == 12
+        assert info(Op.FMUL).latency == 4
+
+
+class TestAssembler:
+    def test_label_resolution(self):
+        a = Asm("t")
+        a.label("top")
+        a.addi("r1", "r1", 1)
+        a.j("top")
+        a.halt()
+        program = a.assemble()
+        assert program[1].target == 0
+
+    def test_undefined_label(self):
+        a = Asm("t")
+        a.j("nowhere")
+        with pytest.raises(AssemblyError):
+            a.assemble()
+
+    def test_duplicate_label(self):
+        a = Asm("t")
+        a.label("x")
+        with pytest.raises(AssemblyError):
+            a.label("x")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblyError):
+            Asm("t").assemble()
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AttributeError):
+            Asm("t").frobnicate("r1")
+
+    def test_operand_formats(self):
+        a = Asm("t")
+        a.add("r1", "r2", "r3")
+        a.lw("r4", "r5", 8)
+        a.sw("r6", "r7", -4)
+        a.amo_add("r1", "r2", "r3")
+        a.spl_load("r1", 4)
+        a.spl_loadm("r2", 8, 12)
+        a.spl_init(3)
+        a.spl_recv("r9")
+        a.spl_store("r2", 4)
+        a.halt()
+        program = a.assemble()
+        load = program[1]
+        assert (load.rd, load.rs1, load.imm) == (4, 5, 8)
+        store = program[2]
+        assert (store.rs2, store.rs1, store.imm) == (6, 7, -4)
+        loadm = program[5]
+        assert (loadm.imm, loadm.target) == (12, 8)
+
+    def test_pseudo_ops(self):
+        a = Asm("t")
+        a.mov("r1", "r2")
+        a.neg("r3", "r4")
+        a.bgt("r1", "r2", "end")
+        a.ble("r1", "r2", "end")
+        a.beqz("r1", "end")
+        a.or_("r1", "r2", "r3")
+        a.and_("r1", "r2", "r3")
+        a.label("end")
+        a.halt()
+        program = a.assemble()
+        assert program[0].op is Op.ADD
+        assert program[2].op is Op.BLT  # bgt swaps operands
+        assert program[2].rs1 == 2 and program[2].rs2 == 1
+
+    def test_listing_roundtrippable_text(self):
+        a = Asm("t")
+        a.label("go")
+        a.addi("r1", "r0", 5)
+        a.halt()
+        listing = a.assemble().listing()
+        assert "go:" in listing and "addi" in listing
+
+    def test_fresh_labels_unique(self):
+        a = Asm("t")
+        assert a.fresh_label() != a.fresh_label()
+
+
+class TestMemoryImage:
+    def test_alloc_alignment(self):
+        image = MemoryImage()
+        first = image.alloc(5)
+        second = image.alloc(4)
+        assert first % 4 == 0 and second % 4 == 0
+        assert second >= first + 5
+
+    def test_alloc_words_and_read(self):
+        image = MemoryImage()
+        addr = image.alloc_words([1, -2, 3])
+        assert image.read_word(addr + 4) == 0xFFFFFFFE
+
+    def test_write_bytes_le(self):
+        image = MemoryImage()
+        addr = image.alloc(4)
+        image.write_bytes(addr, b"\x01\x02\x03\x04")
+        assert image.read_word(addr) == 0x04030201
+
+    def test_unaligned_word_rejected(self):
+        image = MemoryImage()
+        with pytest.raises(MemoryFault):
+            image.write_word(2, 1)
+
+    def test_size_limit(self):
+        image = MemoryImage(size_limit=0x2000)
+        with pytest.raises(MemoryFault):
+            image.alloc(0x10000)
+
+    @given(st.lists(st.integers(min_value=-(2 ** 31),
+                                max_value=2 ** 31 - 1),
+                    min_size=1, max_size=16))
+    def test_words_roundtrip(self, values):
+        image = MemoryImage()
+        addr = image.alloc_words(values)
+        from repro.common.utils import to_signed
+        got = [to_signed(image.read_word(addr + 4 * i))
+               for i in range(len(values))]
+        assert got == values

@@ -1,0 +1,103 @@
+"""Power/area model tests: Table I ratios and energy accounting."""
+
+import math
+
+from repro.common.config import CORE_CLOCK_HZ
+from repro.common.stats import Stats
+from repro.power.area import (area_equivalences, homogeneous_barrier_cluster_area,
+                              ooo2_comm_cluster_area, spl_cluster_area,
+                              table1)
+from repro.power.model import EnergyBreakdown, EnergyModel, energy_delay
+from repro.power.presets import DEFAULT_PARAMS
+
+
+class TestTable1:
+    def test_published_ratios(self):
+        data = table1()
+        assert math.isclose(data["spl"]["total_area"], 0.51, rel_tol=1e-6)
+        assert math.isclose(data["spl"]["peak_dynamic"], 0.14, rel_tol=1e-6)
+        assert math.isclose(data["spl"]["total_leakage"], 0.67, rel_tol=1e-6)
+        assert data["spl"]["spl_rows"] == 24
+
+    def test_area_equivalences(self):
+        checks = area_equivalences()
+        assert checks["remap_vs_ooo2comm"].comparable(0.02)
+        assert checks["remap_vs_homogeneous"].comparable(0.02)
+        assert spl_cluster_area() > 4.0
+        assert ooo2_comm_cluster_area() > 4.0
+        assert homogeneous_barrier_cluster_area() == 6.0
+
+
+class TestEnergyModel:
+    def _stats_with_activity(self):
+        stats = Stats("machine")
+        cpu = stats.child("cpu0")
+        for key, value in (("fetched", 1000), ("dispatched", 900),
+                           ("issued", 800), ("retired", 850),
+                           ("int_ops", 600), ("branches_resolved", 100)):
+            cpu.set(key, value)
+        mem = stats.child("mem")
+        port = mem.child("core0")
+        port.set("l1d_hits", 300)
+        port.set("l1d_misses", 10)
+        port.set("l2_hits", 8)
+        port.set("l2_misses", 2)
+        port.set("memory_reads", 0)
+        bus = mem.child("bus")
+        bus.set("transactions", 12)
+        mem.set("memory_reads", 2)
+        spl = stats.child("spl0")
+        spl.set("rows_evaluated", 240)
+        spl.set("stage_loads", 100)
+        spl.set("requests", 10)
+        spl.set("deliveries", 10)
+        return stats
+
+    def test_breakdown_positive_and_additive(self):
+        model = EnergyModel()
+        stats = self._stats_with_activity()
+        breakdown = model.configuration_energy(
+            stats, cycles=10_000, ooo1_cores=(0,), spl_clusters=((0, 1.0),))
+        assert breakdown.core_dynamic > 0
+        assert breakdown.memory_dynamic > 0
+        assert breakdown.spl_dynamic > 0
+        assert breakdown.leakage > 0
+        total = (breakdown.core_dynamic + breakdown.memory_dynamic
+                 + breakdown.spl_dynamic + breakdown.leakage)
+        assert math.isclose(breakdown.total, total)
+
+    def test_ooo2_costs_more_than_ooo1(self):
+        model = EnergyModel()
+        stats = self._stats_with_activity()
+        as_ooo1 = model.configuration_energy(stats, 10_000, ooo1_cores=(0,))
+        as_ooo2 = model.configuration_energy(stats, 10_000, ooo2_cores=(0,))
+        assert as_ooo2.total > as_ooo1.total
+
+    def test_spl_leakage_fraction(self):
+        model = EnergyModel()
+        stats = self._stats_with_activity()
+        full = model.configuration_energy(stats, 10_000,
+                                          spl_clusters=((0, 1.0),))
+        half = model.configuration_energy(stats, 10_000,
+                                          spl_clusters=((0, 0.5),))
+        assert half.leakage < full.leakage
+        assert math.isclose(half.spl_dynamic, full.spl_dynamic)
+
+    def test_leakage_scales_with_time(self):
+        model = EnergyModel()
+        stats = Stats("machine")
+        short = model.configuration_energy(stats, 1_000, ooo1_cores=(0,))
+        long = model.configuration_energy(stats, 2_000, ooo1_cores=(0,))
+        assert math.isclose(long.leakage, 2 * short.leakage)
+        expected = DEFAULT_PARAMS.ooo1_leak_w * 1_000 / CORE_CLOCK_HZ
+        assert math.isclose(short.leakage, expected)
+
+    def test_energy_delay(self):
+        assert math.isclose(energy_delay(2.0, CORE_CLOCK_HZ), 2.0)
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(1, 2, 3, 4)
+        b = EnergyBreakdown(10, 20, 30, 40)
+        c = a + b
+        assert (c.core_dynamic, c.memory_dynamic, c.spl_dynamic,
+                c.leakage) == (11, 22, 33, 44)

@@ -1,0 +1,28 @@
+"""The simulator's bottlenecks must respond believably to parameters."""
+
+from repro.experiments.sensitivity import (l1d_size, memory_latency,
+                                           physical_registers, rob_size)
+
+
+def _values(rows, key="cycles_per_item"):
+    return [row[key] for row in rows]
+
+
+def test_rob_size_monotone():
+    rows = rob_size(values=(16, 64))
+    assert rows[0]["cycles_per_item"] > rows[1]["cycles_per_item"]
+
+
+def test_physical_registers_monotone():
+    rows = physical_registers(values=(40, 96))
+    assert rows[0]["cycles_per_item"] > rows[1]["cycles_per_item"]
+
+
+def test_l1d_capacity_helps():
+    rows = l1d_size(values=(2, 32))
+    assert rows[0]["cycles_per_item"] > rows[1]["cycles_per_item"]
+
+
+def test_memory_latency_hurts():
+    rows = memory_latency(values=(50, 800))
+    assert rows[0]["cycles_per_item"] < rows[1]["cycles_per_item"]

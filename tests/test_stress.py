@@ -1,0 +1,35 @@
+"""Heavier integration stress: long barrier generations, 16 threads."""
+
+from repro.experiments.runner import execute
+from repro.workloads import registry
+from repro.workloads.livermore import LL6_VARIANTS
+
+
+def test_ll6_sixteen_threads_many_barriers():
+    """LL6 at p16 crosses four clusters with two barriers per outer
+    iteration — hundreds of barrier generations on the shared bus."""
+    result = execute(LL6_VARIANTS["barrier"](n=24, p=16, passes=2))
+    spl0 = result.stats.find("spl0")
+    assert spl0.get("barrier_releases") >= 2 * 23 * 2  # gens x barriers
+    assert result.cycles > 0
+
+
+def test_dijkstra_hwbar_sixteen_threads():
+    info = registry.REGISTRY["dijkstra"]
+    result = execute(info.variants["hwbar"](n=20, p=16))
+    assert result.cycles > 0
+
+
+def test_barrier_generations_are_isolated():
+    """Fast threads must never observe a future generation's release: the
+    LL2 check would fail if any level's barrier released early."""
+    from repro.workloads.livermore import LL2_VARIANTS
+    execute(LL2_VARIANTS["barrier"](n=64, p=16, passes=3))
+
+
+def test_mixed_cluster_population():
+    """Threads on two SPL clusters with staggered placement."""
+    from repro.workloads import dijkstra as dijkstra_mod
+    spec = dijkstra_mod.barrier_spec(n=16, p=6)  # 4 + 2 across clusters
+    result = execute(spec)
+    assert result.cycles > 0
