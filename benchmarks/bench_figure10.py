@@ -1,6 +1,6 @@
 """Figure 10: optimized-region % improvement per variant."""
 
-from conftest import REGION_OVERRIDES, get_or_run
+from conftest import ENGINE, REGION_OVERRIDES, get_or_run
 
 from repro.experiments.regions import figure10_rows, run_region_study
 from repro.experiments.report import format_table
@@ -8,7 +8,7 @@ from repro.experiments.report import format_table
 
 def _study():
     return run_region_study(include_swqueue=True,
-                            overrides=REGION_OVERRIDES)
+                            overrides=REGION_OVERRIDES, engine=ENGINE)
 
 
 def bench_figure10(benchmark):

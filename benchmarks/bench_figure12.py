@@ -1,6 +1,6 @@
 """Figure 12: per-iteration execution time for the barrier workloads."""
 
-from conftest import BARRIER_SIZES, get_or_run
+from conftest import BARRIER_SIZES, ENGINE, get_or_run
 
 from repro.experiments.barriers import figure12_series, run_barrier_sweep
 from repro.experiments.report import format_series
@@ -8,7 +8,7 @@ from repro.experiments.report import format_series
 
 def _sweep(bench):
     return run_barrier_sweep(bench, sizes=BARRIER_SIZES[bench],
-                             thread_counts=(2, 4, 8, 16))
+                             thread_counts=(2, 4, 8, 16), engine=ENGINE)
 
 
 def _bench(benchmark, name):

@@ -1,13 +1,13 @@
 """Figure 8: whole-program performance relative to the OOO1 baseline."""
 
-from conftest import REGION_OVERRIDES, get_or_run
+from conftest import ENGINE, REGION_OVERRIDES, get_or_run
 
 from repro.experiments.report import format_table, geomean_row
 from repro.experiments.whole_program import figure8_rows, whole_program_study
 
 
 def _study():
-    return whole_program_study(overrides=REGION_OVERRIDES)
+    return whole_program_study(overrides=REGION_OVERRIDES, engine=ENGINE)
 
 
 def bench_figure8(benchmark):

@@ -2,7 +2,10 @@
 
 Figures that share underlying simulations (8/9, 10/11, 12/13/14) cache
 the study in a session-wide store so each simulation runs once per
-benchmark session regardless of file ordering.
+benchmark session regardless of file ordering.  Every study runs through
+a shared :class:`ExperimentEngine`, so individual simulations fan out
+over ``REPRO_JOBS`` worker processes and persist in the on-disk result
+cache — a repeated benchmark session replays entirely from cache.
 """
 
 from __future__ import annotations
@@ -11,11 +14,21 @@ from typing import Callable, Dict
 
 import pytest
 
+from repro.experiments.engine import ExperimentEngine
+
+#: Session-wide engine (jobs/cache from REPRO_JOBS / REPRO_CACHE_DIR /
+#: REPRO_NO_CACHE); every bench file routes its study through it.
+ENGINE = ExperimentEngine(progress=True)
+
 _STORE: Dict[str, object] = {}
 
 
 def get_or_run(key: str, compute: Callable):
-    """Session-wide memoization of expensive studies."""
+    """Session-wide memoization of expensive studies.
+
+    In-memory within one session; across sessions the engine's
+    content-addressed cache makes ``compute`` replay without simulating.
+    """
     if key not in _STORE:
         _STORE[key] = compute()
     return _STORE[key]

@@ -4,10 +4,15 @@ Usage::
 
     python -m repro list
     python -m repro table 1
-    python -m repro figure 10 --quick
+    python -m repro figure 10 --quick --jobs 4
     python -m repro figure 12 --bench dijkstra
-    python -m repro ablation sharing
+    python -m repro ablation sharing --no-cache
     python -m repro run hmmer compcomm --items M=64 R=3
+
+Simulation commands accept ``--jobs N`` (fan out over N worker
+processes; also ``REPRO_JOBS``), ``--no-cache`` (ignore the persistent
+result cache; also ``REPRO_NO_CACHE``), and ``--cache-dir PATH``
+(default ``~/.cache/repro``; also ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -20,10 +25,10 @@ from repro.experiments import ablations
 from repro.experiments.barriers import (PAPER_SIZES, QUICK_SIZES,
                                         figure12_series, figure13_series,
                                         figure14_series, run_barrier_sweep)
+from repro.experiments.engine import ExperimentEngine, request
 from repro.experiments.regions import (figure10_rows, figure11_rows,
                                        run_region_study, swqueue_rows)
 from repro.experiments.report import format_series, format_table
-from repro.experiments.runner import execute
 from repro.experiments.tables import table1, table2, table3
 from repro.experiments.whole_program import (figure8_rows, figure9_rows,
                                              whole_program_study)
@@ -40,14 +45,36 @@ _ABLATIONS = {
 }
 
 
+def _coerce(value: str):
+    """int, float, bool, or str — whichever the text reads as."""
+    if value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    for parse in (int, float):
+        try:
+            return parse(value)
+        except ValueError:
+            pass
+    return value
+
+
 def _parse_kwargs(pairs: List[str]) -> dict:
     out = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"bad parameter {pair!r} (want name=value)")
+            raise SystemExit(
+                f"bad parameter {pair!r}: expected name=value, e.g. M=64, "
+                f"scale=0.5, wide_core=true, bench=g721dec")
         key, value = pair.split("=", 1)
-        out[key] = int(value)
+        out[key] = _coerce(value)
     return out
+
+
+def _engine_from_args(args) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        progress=True)
 
 
 def cmd_list(_args) -> None:
@@ -75,13 +102,14 @@ def cmd_table(args) -> None:
 
 def cmd_figure(args) -> None:
     number = args.number
+    engine = _engine_from_args(args)
     if number in (8, 9):
-        points = whole_program_study(args.benchmarks or None)
+        points = whole_program_study(args.benchmarks or None, engine=engine)
         rows = figure8_rows(points) if number == 8 else figure9_rows(points)
         print(format_table(rows))
     elif number in (10, 11):
         study = run_region_study(args.benchmarks or None,
-                                 include_swqueue=True)
+                                 include_swqueue=True, engine=engine)
         rows = figure10_rows(study) if number == 10 \
             else figure11_rows(study)
         print(format_table(rows))
@@ -95,7 +123,7 @@ def cmd_figure(args) -> None:
             sizes = (QUICK_SIZES if args.quick else PAPER_SIZES)[bench]
             threads = (2, 4, 8, 16) if number == 13 else (8, 16)
             sweep = run_barrier_sweep(bench, sizes=list(sizes),
-                                      thread_counts=threads)
+                                      thread_counts=threads, engine=engine)
             series = {12: figure12_series, 13: figure13_series,
                       14: figure14_series}[number](sweep,
                                                    thread_counts=threads)
@@ -108,28 +136,43 @@ def cmd_figure(args) -> None:
 def cmd_ablation(args) -> None:
     if args.name not in _ABLATIONS:
         raise SystemExit(f"ablations: {', '.join(_ABLATIONS)}")
-    print(format_table(_ABLATIONS[args.name]()))
+    print(format_table(_ABLATIONS[args.name](
+        engine=_engine_from_args(args))))
 
 
 def cmd_run(args) -> None:
     info = registry.REGISTRY.get(args.benchmark)
     if info is None:
         raise SystemExit(f"unknown benchmark {args.benchmark!r}")
-    factory = info.variants.get(args.variant)
-    if factory is None:
+    if args.variant not in info.variants:
         raise SystemExit(f"{args.benchmark} variants: "
                          f"{', '.join(sorted(info.variants))}")
-    spec = factory(**_parse_kwargs(args.params))
-    result = execute(spec)
+    engine = _engine_from_args(args)
+    result = engine.run(request(args.benchmark, args.variant,
+                                **_parse_kwargs(args.params)))
     if args.json:
         import json
         print(json.dumps(result.to_dict(), indent=2))
         return
-    print(f"{spec.name}: {result.cycles} cycles "
+    print(f"{result.name}: {result.cycles} cycles "
           f"({result.cycles_per_item:.2f} per item), "
           f"energy {result.energy_joules * 1e6:.2f} uJ, "
           f"ED {result.energy_delay:.3e} J*s")
-    print("output verified against the reference kernel")
+    if result.cache_hit:
+        print("result served from the cache (simulated and verified "
+              "in an earlier run)")
+    else:
+        print("output verified against the reference kernel")
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache location "
+                             "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_table = sub.add_parser("table", help="print Table 1/2/3")
     p_table.add_argument("number", type=int)
+    _add_engine_flags(p_table)
     p_table.set_defaults(func=cmd_table)
 
     p_fig = sub.add_parser("figure", help="regenerate Figure 8-14")
@@ -151,10 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use reduced sweep sizes")
     p_fig.add_argument("--bench", dest="benchmarks", action="append",
                        help="restrict to specific benchmarks")
+    _add_engine_flags(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
     p_abl = sub.add_parser("ablation", help="run one ablation study")
     p_abl.add_argument("name")
+    _add_engine_flags(p_abl)
     p_abl.set_defaults(func=cmd_ablation)
 
     p_run = sub.add_parser("run", help="run one benchmark variant")
@@ -164,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spec parameters, e.g. M=64 R=3 or items=128")
     p_run.add_argument("--json", action="store_true",
                        help="emit a JSON record of the run")
+    _add_engine_flags(p_run)
     p_run.set_defaults(func=cmd_run)
     return parser
 

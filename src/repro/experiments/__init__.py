@@ -1,5 +1,15 @@
-"""Experiment harnesses: one module per paper table/figure."""
+"""Experiment harnesses: one module per paper table/figure.
 
+All studies execute through :mod:`repro.experiments.engine` — declare a
+grid of requests and the engine parallelizes, caches, and
+reports per-spec failures.
+"""
+
+from repro.experiments.engine import (ExperimentBatchError,
+                                      ExperimentEngine, SpecError,
+                                      SpecRequest, request)
 from repro.experiments.runner import RunResult, execute, relative_ed, speedup
 
-__all__ = ["RunResult", "execute", "relative_ed", "speedup"]
+__all__ = ["ExperimentBatchError", "ExperimentEngine", "RunResult",
+           "SpecError", "SpecRequest", "execute", "relative_ed", "request",
+           "speedup"]

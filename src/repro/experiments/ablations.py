@@ -14,19 +14,25 @@ Each ablation isolates one mechanism of the ReMAP design and sweeps it:
   inter-cluster broadcast delay (Section II-B2).
 * **Reconfiguration cost** — per-row configuration-load cycles for a
   workload that alternates fabric functions.
+* **Dynamic management** — adaptive fabric partitioning vs static
+  temporal sharing.
+
+Every sweep declares its spec grid and hands it to the experiment engine
+(custom hardware via system-config overrides, behavioural tweaks via
+named spec transforms), so ablations parallelize and cache like every
+other study.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.config import ClusterConfig, SplConfig, SystemConfig, \
     ooo1_config
-from repro.experiments.runner import execute
-from repro.workloads import dijkstra as dijkstra_mod
-from repro.workloads import g721, hmmer
-from repro.workloads.livermore import LL3_VARIANTS
+from repro.experiments.engine import (ExperimentEngine, default_engine,
+                                      request)
+from repro.workloads.base import RunSpec
 
 
 def _spl_system(spl: SplConfig, n_clusters: int = 1) -> SystemConfig:
@@ -35,70 +41,76 @@ def _spl_system(spl: SplConfig, n_clusters: int = 1) -> SystemConfig:
     return SystemConfig(clusters=[cluster] * n_clusters)
 
 
-def sharing_degree(items: int = 24) -> List[Dict]:
+def sharing_degree(items: int = 24,
+                   engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Per-thread region throughput with 1, 2, and 4 fabric sharers."""
-    rows = []
-    for copies in (1, 2, 4):
-        spec = g721.spl_spec(items=items, copies=copies)
-        result = execute(spec)
-        rows.append({
-            "sharers": copies,
-            "cycles_per_item": result.cycles_per_item,
-        })
+    engine = engine or default_engine()
+    sharers = (1, 2, 4)
+    results = engine.run_batch([request("g721enc", "spl", items=items,
+                                        copies=copies)
+                                for copies in sharers])
+    rows = [{"sharers": copies, "cycles_per_item": result.cycles_per_item}
+            for copies, result in zip(sharers, results)]
     base = rows[0]["cycles_per_item"]
     for row in rows:
         row["slowdown_vs_private"] = row["cycles_per_item"] / base
     return rows
 
 
-def fabric_size(items: int = 24) -> List[Dict]:
+def fabric_size(items: int = 24,
+                engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Shrink the fabric: virtualization raises the initiation interval.
 
     The g721 fmult configuration needs 26 rows, so it is virtualized even
     at full size; at 12 and 6 rows the multiplexing deepens.
     """
-    rows = []
-    for fabric_rows in (48, 24, 12, 6):
+    engine = engine or default_engine()
+    sizes = (48, 24, 12, 6)
+    reqs = []
+    for fabric_rows in sizes:
         partitions = 4 if fabric_rows % 4 == 0 else 2
         spl = replace(SplConfig(), rows=fabric_rows,
                       max_partitions=partitions)
-        spec = g721.spl_spec(items=items, copies=4)
-        spec = replace(spec, system=_spl_system(spl),
-                       name=f"g721/spl_rows{fabric_rows}")
-        result = execute(spec)
-        rows.append({
-            "fabric_rows": fabric_rows,
-            "cycles_per_item": result.cycles_per_item,
-        })
-    return rows
+        reqs.append(request("g721enc", "spl", items=items, copies=4,
+                            system=_spl_system(spl),
+                            name=f"g721/spl_rows{fabric_rows}"))
+    return [{"fabric_rows": fabric_rows,
+             "cycles_per_item": result.cycles_per_item}
+            for fabric_rows, result in zip(sizes, engine.run_batch(reqs))]
 
 
-def spatial_partitioning(n: int = 256, p: int = 4,
-                         passes: int = 5) -> List[Dict]:
-    """LL3 MAC streams: private 6-row partitions vs shared 24 rows.
-
-    The shipped barrier_comp variant partitions; this ablation also runs
-    an unpartitioned configuration for comparison.
-    """
-    partitioned = execute(LL3_VARIANTS["barrier_comp"](
-        n=n, p=p, passes=passes))
-
-    # Monkey-path-free unpartitioned run: rebuild the spec and strip the
-    # set_partitions call by wrapping the workload setup.
-    spec = LL3_VARIANTS["barrier_comp"](n=n, p=p, passes=passes)
+def strip_partitions(spec: RunSpec) -> RunSpec:
+    """Spec transform: run the workload without its set_partitions calls."""
     original_setup = spec.workload.setup
 
     def setup_without_partitions(machine) -> None:
-        calls = []
         original = machine.set_partitions
-        machine.set_partitions = lambda *a, **k: calls.append(a)
+        machine.set_partitions = lambda *a, **k: None
         try:
             original_setup(machine)
         finally:
             machine.set_partitions = original
 
     spec.workload.setup = setup_without_partitions
-    shared = execute(spec)
+    return spec
+
+
+def spatial_partitioning(n: int = 256, p: int = 4, passes: int = 5,
+                         engine: Optional[ExperimentEngine] = None
+                         ) -> List[Dict]:
+    """LL3 MAC streams: private 6-row partitions vs shared 24 rows.
+
+    The shipped barrier_comp variant partitions; this ablation also runs
+    an unpartitioned configuration (the :func:`strip_partitions`
+    transform) for comparison.
+    """
+    engine = engine or default_engine()
+    partitioned, shared = engine.run_batch([
+        request("ll3", "barrier_comp", n=n, p=p, passes=passes),
+        request("ll3", "barrier_comp", n=n, p=p, passes=passes,
+                name="ll3/barrier_comp_shared",
+                transform="repro.experiments.ablations:strip_partitions"),
+    ])
     return [
         {"configuration": "private 6-row partitions",
          "cycles_per_pass": partitioned.cycles_per_item},
@@ -107,113 +119,121 @@ def spatial_partitioning(n: int = 256, p: int = 4,
     ]
 
 
-def queue_depth(M: int = 64, R: int = 3) -> List[Dict]:
+def queue_depth(M: int = 64, R: int = 3,
+                engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Producer/consumer decoupling vs SPL queue capacity."""
-    rows = []
-    for entries in (2, 4, 16, 64):
+    engine = engine or default_engine()
+    depths = (2, 4, 16, 64)
+    reqs = []
+    for entries in depths:
         spl = replace(SplConfig(), input_queue_entries=entries,
                       output_queue_entries=entries)
-        spec = hmmer.compcomm_spec(M=M, R=R)
-        spec = replace(spec, system=_spl_system(spl),
-                       name=f"hmmer/compcomm_q{entries}")
-        result = execute(spec)
-        rows.append({
-            "queue_entries": entries,
-            "cycles_per_item": result.cycles_per_item,
-        })
-    return rows
+        reqs.append(request("hmmer", "compcomm", M=M, R=R,
+                            system=_spl_system(spl),
+                            name=f"hmmer/compcomm_q{entries}"))
+    return [{"queue_entries": entries,
+             "cycles_per_item": result.cycles_per_item}
+            for entries, result in zip(depths, engine.run_batch(reqs))]
 
 
-def barrier_bus_latency(n: int = 40, p: int = 8) -> List[Dict]:
+def barrier_bus_latency(n: int = 40, p: int = 8,
+                        engine: Optional[ExperimentEngine] = None
+                        ) -> List[Dict]:
     """Multi-cluster barrier cost vs inter-cluster bus latency."""
-    rows = []
-    for latency in (0, 10, 50, 200):
+    engine = engine or default_engine()
+    latencies = (0, 10, 50, 200)
+    reqs = []
+    for latency in latencies:
         spl = replace(SplConfig(), barrier_bus_latency=latency)
-        spec = dijkstra_mod.barrier_spec(n=n, p=p)
-        spec = replace(spec, system=_spl_system(spl, n_clusters=2),
-                       name=f"dijkstra/barrier_bus{latency}")
-        result = execute(spec)
-        rows.append({
-            "bus_latency": latency,
-            "cycles_per_iteration": result.cycles_per_item,
-        })
-    return rows
+        reqs.append(request("dijkstra", "barrier", n=n, p=p,
+                            system=_spl_system(spl, n_clusters=2),
+                            name=f"dijkstra/barrier_bus{latency}"))
+    return [{"bus_latency": latency,
+             "cycles_per_iteration": result.cycles_per_item}
+            for latency, result in zip(latencies, engine.run_batch(reqs))]
 
 
-def reconfiguration_cost(n: int = 128, p: int = 4,
-                         passes: int = 5) -> List[Dict]:
+def reconfiguration_cost(n: int = 128, p: int = 4, passes: int = 5,
+                         engine: Optional[ExperimentEngine] = None
+                         ) -> List[Dict]:
     """LL3 barrier_comp alternates MAC and reduce configurations every
     pass; sweep the per-row configuration-load cost."""
-    rows = []
-    for cycles_per_row in (0, 1, 4, 16):
+    engine = engine or default_engine()
+    costs = (0, 1, 4, 16)
+    reqs = []
+    for cycles_per_row in costs:
         spl = replace(SplConfig(), config_cycles_per_row=cycles_per_row)
-        spec = LL3_VARIANTS["barrier_comp"](n=n, p=p, passes=passes)
-        spec = replace(spec, system=_spl_system(spl),
-                       name=f"ll3/bc_cfg{cycles_per_row}")
-        result = execute(spec)
-        rows.append({
-            "config_cycles_per_row": cycles_per_row,
-            "cycles_per_pass": result.cycles_per_item,
-        })
-    return rows
+        reqs.append(request("ll3", "barrier_comp", n=n, p=p, passes=passes,
+                            system=_spl_system(spl),
+                            name=f"ll3/bc_cfg{cycles_per_row}"))
+    return [{"config_cycles_per_row": cycles_per_row,
+             "cycles_per_pass": result.cycles_per_item}
+            for cycles_per_row, result in zip(costs,
+                                              engine.run_batch(reqs))]
 
 
-def dynamic_management(n: int = 128) -> List[Dict]:
-    """Adaptive partitioning (core/manager.py) vs static temporal sharing
-    on a four-thread stream with two different fabric functions."""
+def manager_spec(n: int = 128, managed: bool = False) -> RunSpec:
+    """A four-thread stream with two different fabric functions, with or
+    without the adaptive fabric manager (core/manager.py) attached."""
     from repro.common.config import remap_system
     from repro.core.compile import compile_expression
     from repro.core.manager import attach_fabric_manager
     from repro.isa import Asm, MemoryImage, ThreadSpec
-    from repro.system.machine import Machine
     from repro.system.workload import Workload
 
-    def make_workload() -> Workload:
-        image = MemoryImage()
-        fn_a = compile_expression("o = x * 3 + 1;", inputs={"x": 0},
-                                  name="fa")
-        fn_b = compile_expression("o = max(x, -x) - 2;", inputs={"x": 0},
-                                  name="fb")
-        threads = []
-        for tid in range(4):
-            values = [(tid * 11 + i * 7) % 300 - 150 for i in range(n)]
-            src = image.alloc_words(values)
-            dst = image.alloc_zeroed(n)
-            asm = Asm(f"t{tid}")
-            asm.li("r1", src)
-            asm.li("r2", dst)
-            asm.li("r3", 0)
-            asm.li("r4", n)
-            asm.label("loop")
-            asm.spl_loadm("r1", 0)
-            asm.spl_init(1)
-            asm.spl_recv("r5")
-            asm.sw("r5", "r2", 0)
-            asm.addi("r1", "r1", 4)
-            asm.addi("r2", "r2", 4)
-            asm.addi("r3", "r3", 1)
-            asm.blt("r3", "r4", "loop")
-            asm.halt()
-            threads.append(ThreadSpec(asm.assemble(), thread_id=tid + 1))
+    image = MemoryImage()
+    fn_a = compile_expression("o = x * 3 + 1;", inputs={"x": 0}, name="fa")
+    fn_b = compile_expression("o = max(x, -x) - 2;", inputs={"x": 0},
+                              name="fb")
+    threads = []
+    for tid in range(4):
+        values = [(tid * 11 + i * 7) % 300 - 150 for i in range(n)]
+        src = image.alloc_words(values)
+        dst = image.alloc_zeroed(n)
+        asm = Asm(f"t{tid}")
+        asm.li("r1", src)
+        asm.li("r2", dst)
+        asm.li("r3", 0)
+        asm.li("r4", n)
+        asm.label("loop")
+        asm.spl_loadm("r1", 0)
+        asm.spl_init(1)
+        asm.spl_recv("r5")
+        asm.sw("r5", "r2", 0)
+        asm.addi("r1", "r1", 4)
+        asm.addi("r2", "r2", 4)
+        asm.addi("r3", "r3", 1)
+        asm.blt("r3", "r4", "loop")
+        asm.halt()
+        threads.append(ThreadSpec(asm.assemble(), thread_id=tid + 1))
 
-        def setup(machine) -> None:
-            for core in range(4):
-                machine.configure_spl(core, 1,
-                                      fn_a if core % 2 == 0 else fn_b)
-
-        return Workload("mixed", image, threads, placement=[0, 1, 2, 3],
-                        setup=setup)
-
-    rows = []
-    for managed in (False, True):
-        machine = Machine(remap_system())
-        machine.load(make_workload())
+    def setup(machine) -> None:
+        for core in range(4):
+            machine.configure_spl(core, 1,
+                                  fn_a if core % 2 == 0 else fn_b)
         if managed:
             attach_fabric_manager(machine, 0, interval=512)
-        cycles = machine.run(max_cycles=5_000_000)
-        reconfigs = machine.stats.find("spl0").get("reconfigurations")
-        rows.append({"configuration": "managed" if managed
-                     else "static shared",
-                     "cycles": cycles,
-                     "reconfigurations": int(reconfigs)})
-    return rows
+
+    workload = Workload("mixed", image, threads, placement=[0, 1, 2, 3],
+                        setup=setup)
+    suffix = "managed" if managed else "static"
+    return RunSpec(name=f"manager/{suffix}", workload=workload,
+                   system=remap_system(), region_items=n,
+                   max_cycles=5_000_000)
+
+
+def dynamic_management(n: int = 128,
+                       engine: Optional[ExperimentEngine] = None
+                       ) -> List[Dict]:
+    """Adaptive partitioning (core/manager.py) vs static temporal sharing
+    on a four-thread stream with two different fabric functions."""
+    engine = engine or default_engine()
+    results = engine.run_batch([
+        request("repro.experiments.ablations:manager_spec", n=n,
+                managed=managed)
+        for managed in (False, True)])
+    return [{"configuration": "managed" if managed else "static shared",
+             "cycles": result.cycles,
+             "reconfigurations":
+                 int(result.counter("machine.spl0.reconfigurations"))}
+            for managed, result in zip((False, True), results)]

@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import RunResult, execute
+from repro.experiments.engine import (ExperimentEngine, default_engine,
+                                      request)
+from repro.experiments.runner import RunResult
 from repro.workloads import registry
 
 #: Paper sweep ranges (Figure 12); quick runs use subsets.
@@ -52,33 +54,47 @@ class BarrierSweep:
         """ED relative to sequential execution at the same size."""
         seq = self.runs[("seq", 0, size)]
         run = self.runs[(variant, threads, size)]
-        seq_ed = (seq.energy_joules / seq.spec.region_items) * \
-            (seq.seconds / seq.spec.region_items)
-        run_ed = (run.energy_joules / run.spec.region_items) * \
-            (run.seconds / run.spec.region_items)
+        seq_ed = (seq.energy_joules / seq.region_items) * \
+            (seq.seconds / seq.region_items)
+        run_ed = (run.energy_joules / run.region_items) * \
+            (run.seconds / run.region_items)
         return run_ed / seq_ed
+
+
+def sweep_grid(bench: str, sizes: List[int],
+               thread_counts: Tuple[int, ...],
+               include_hwbar: bool) -> List[Tuple[str, int, int]]:
+    """The (variant, threads, size) grid one barrier sweep declares."""
+    grid = []
+    for size in sizes:
+        grid.append(("seq", 0, size))
+        for p in thread_counts:
+            grid.append(("sw", p, size))
+            grid.append(("barrier", p, size))
+            if bench in HAS_COMP:
+                grid.append(("barrier_comp", p, size))
+            if include_hwbar:
+                grid.append(("hwbar", p, size))
+    return grid
 
 
 def run_barrier_sweep(bench: str, sizes: Optional[List[int]] = None,
                       thread_counts: Tuple[int, ...] = (8, 16),
-                      include_hwbar: bool = False) -> BarrierSweep:
-    info = registry.REGISTRY[bench]
+                      include_hwbar: bool = False,
+                      engine: Optional[ExperimentEngine] = None
+                      ) -> BarrierSweep:
+    engine = engine or default_engine()
     sizes = list(sizes or QUICK_SIZES[bench])
+    size_key = _SIZE_KEY[bench]
+    for variant, p, size in sweep_grid(bench, sizes, thread_counts,
+                                       include_hwbar):
+        params = {size_key: size}
+        if p:
+            params["p"] = p
+        engine.submit(request(bench, variant, **params),
+                      key=(variant, p, size))
     sweep = BarrierSweep(bench)
-    key = _SIZE_KEY[bench]
-    for size in sizes:
-        sweep.runs[("seq", 0, size)] = execute(
-            info.variants["seq"](**{key: size}))
-        for p in thread_counts:
-            for variant in ("sw", "barrier"):
-                sweep.runs[(variant, p, size)] = execute(
-                    info.variants[variant](**{key: size, "p": p}))
-            if bench in HAS_COMP:
-                sweep.runs[("barrier_comp", p, size)] = execute(
-                    info.variants["barrier_comp"](**{key: size, "p": p}))
-            if include_hwbar:
-                sweep.runs[("hwbar", p, size)] = execute(
-                    info.variants["hwbar"](**{key: size, "p": p}))
+    sweep.runs.update(engine.gather())
     return sweep
 
 
@@ -132,13 +148,14 @@ def figure14_series(sweep: BarrierSweep,
 
 
 def homogeneous_comparison(bench: str, sizes: Optional[List[int]] = None,
-                           thread_counts: Tuple[int, ...] = (4, 8)
+                           thread_counts: Tuple[int, ...] = (4, 8),
+                           engine: Optional[ExperimentEngine] = None
                            ) -> List[dict]:
     """Section V-C2: ReMAP barrier+comp ED vs the homogeneous baseline."""
     if bench not in HAS_COMP:
         raise ValueError(f"{bench} has no barrier+comp variant")
     sweep = run_barrier_sweep(bench, sizes, thread_counts,
-                              include_hwbar=True)
+                              include_hwbar=True, engine=engine)
     sizes_run = sorted({size for (_, _, size) in sweep.runs})
     rows = []
     for size in sizes_run:

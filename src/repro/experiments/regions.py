@@ -3,7 +3,9 @@
 For every Table III computation/communication benchmark this study runs
 the region variants the paper plots — 1Th+Comp, 2Th+Comm, 2Th+CompComm,
 and OOO2+Comm — against the single-threaded OOO1 baseline, plus the
-software-queue comparison of Section V-B.
+software-queue comparison of Section V-B.  The study *declares* its
+(benchmark x variant) grid and hands it to the experiment engine, which
+parallelizes and caches the individual simulations.
 """
 
 from __future__ import annotations
@@ -11,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import RunResult, execute, relative_ed, speedup
+from repro.experiments.engine import (ExperimentEngine, default_engine,
+                                      request)
+from repro.experiments.runner import RunResult, relative_ed, speedup
 from repro.workloads import registry
 
 #: Variant keys in Figure 10/11 order.
@@ -41,30 +45,38 @@ class RegionResults:
         return relative_ed(self.runs["seq"], self.runs[variant])
 
 
+def region_variants(info, include_swqueue: bool = False) -> List[str]:
+    """The variant keys the study runs for one benchmark."""
+    variants = ["seq", "seq_ooo2"]
+    if info.category == registry.CATEGORY_COMP:
+        variants += list(REGION_VARIANTS_COMP)
+    else:
+        variants += list(REGION_VARIANTS_COMM)
+        if include_swqueue:
+            variants.append("swqueue")
+    return variants
+
+
 def run_region_study(benchmarks: Optional[List[str]] = None,
                      include_swqueue: bool = False,
-                     overrides: Optional[Dict[str, dict]] = None
+                     overrides: Optional[Dict[str, dict]] = None,
+                     engine: Optional[ExperimentEngine] = None
                      ) -> Dict[str, RegionResults]:
     """Execute the region variants; returns {bench: RegionResults}."""
+    engine = engine or default_engine()
     overrides = overrides or {}
     wanted = benchmarks or [info.name for info in
                             registry.computation_only()
                             + registry.communicating()]
-    study: Dict[str, RegionResults] = {}
     for name in wanted:
         info = registry.REGISTRY[name]
         kwargs = overrides.get(name, QUICK_ITEMS.get(name) or {})
-        variants = ["seq", "seq_ooo2"]
-        if info.category == registry.CATEGORY_COMP:
-            variants += list(REGION_VARIANTS_COMP)
-        else:
-            variants += list(REGION_VARIANTS_COMM)
-            if include_swqueue:
-                variants.append("swqueue")
-        results = RegionResults(name)
-        for variant in variants:
-            results.runs[variant] = execute(info.variants[variant](**kwargs))
-        study[name] = results
+        for variant in region_variants(info, include_swqueue):
+            engine.submit(request(name, variant, **kwargs),
+                          key=(name, variant))
+    study: Dict[str, RegionResults] = {}
+    for (name, variant), result in engine.gather().items():
+        study.setdefault(name, RegionResults(name)).runs[variant] = result
     return study
 
 

@@ -1,25 +1,60 @@
-"""Run one RunSpec on a fresh machine and account performance + energy."""
+"""Run one RunSpec on a fresh machine and account performance + energy.
+
+:class:`RunResult` is the engine's unit of exchange, so it round-trips
+through a versioned dict schema (:meth:`RunResult.to_dict` /
+:meth:`RunResult.from_dict`).  A freshly executed result carries the live
+``spec`` and ``stats`` tree; one rebuilt from the cache or a worker
+process carries ``spec=None`` and the flattened ``counters`` instead.
+Every metric consumers touch (cycles, per-item throughput, energy, ED)
+derives only from the serialized fields, so cached, parallel, and
+in-process results are interchangeable.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.config import CORE_CLOCK_HZ
+from repro.common.errors import ConfigError
 from repro.common.stats import Stats
 from repro.power.model import EnergyBreakdown, EnergyModel
 from repro.system.machine import Machine
 from repro.workloads.base import RunSpec
+
+#: Bump when the meaning of any serialized field changes; the result cache
+#: keys on it, so old entries stop being read.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass
 class RunResult:
     """Outcome of one simulated benchmark variant."""
 
-    spec: RunSpec
+    spec: Optional[RunSpec]
     cycles: int
     energy: EnergyBreakdown
-    stats: Stats
+    stats: Optional[Stats] = None
+    #: Serialized identity/accounting fields; filled from ``spec`` when
+    #: one is present, or directly by :meth:`from_dict`.
+    name: str = ""
+    region_items: int = 1
+    energy_divisor: float = 1.0
+    system: Optional[Dict] = None
+    #: Flattened ``Stats`` counters ({"machine.cpu0.retired": ...}).
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: True when the engine served this result from the persistent cache.
+    cache_hit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.spec is not None:
+            from repro.common.serialize import system_to_dict
+            self.name = self.spec.name
+            self.region_items = self.spec.region_items
+            self.energy_divisor = self.spec.energy_divisor
+            self.system = system_to_dict(self.spec.system)
+        if self.stats is not None and not self.counters:
+            self.counters = self.stats.as_dict()
 
     @property
     def seconds(self) -> float:
@@ -27,7 +62,7 @@ class RunResult:
 
     @property
     def energy_joules(self) -> float:
-        return self.energy.total / self.spec.energy_divisor
+        return self.energy.total / self.energy_divisor
 
     @property
     def energy_delay(self) -> float:
@@ -35,7 +70,11 @@ class RunResult:
 
     @property
     def cycles_per_item(self) -> float:
-        return self.cycles / self.spec.region_items
+        return self.cycles / self.region_items
+
+    def counter(self, key: str, default: float = 0.0) -> float:
+        """A flattened stats counter, e.g. ``machine.spl0.spl_issues``."""
+        return self.counters.get(key, default)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -46,12 +85,13 @@ class RunResult:
         }
 
     def to_dict(self) -> Dict:
-        """JSON-serializable record of the run (spec + results)."""
-        from repro.common.serialize import system_to_dict
+        """JSON-serializable record of the run (spec identity + results)."""
         return {
-            "name": self.spec.name,
-            "region_items": self.spec.region_items,
-            "system": system_to_dict(self.spec.system),
+            "schema": RESULT_SCHEMA_VERSION,
+            "name": self.name,
+            "region_items": self.region_items,
+            "energy_divisor": self.energy_divisor,
+            "system": self.system,
             "results": self.summary(),
             "energy_breakdown": {
                 "core_dynamic": self.energy.core_dynamic,
@@ -59,7 +99,30 @@ class RunResult:
                 "spl_dynamic": self.energy.spl_dynamic,
                 "leakage": self.energy.leakage,
             },
+            "counters": self.counters,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (``spec=None``)."""
+        schema = data.get("schema", 1)
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ConfigError(
+                f"RunResult record has schema v{schema}, this code reads "
+                f"v{RESULT_SCHEMA_VERSION}")
+        try:
+            return cls(
+                spec=None,
+                cycles=data["results"]["cycles"],
+                energy=EnergyBreakdown(**data["energy_breakdown"]),
+                stats=None,
+                name=data["name"],
+                region_items=data["region_items"],
+                energy_divisor=data["energy_divisor"],
+                system=data.get("system"),
+                counters=dict(data.get("counters", {})))
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed RunResult record: {exc}") from exc
 
 
 def execute(spec: RunSpec, check: bool = True,
@@ -91,8 +154,8 @@ def relative_ed(baseline: RunResult, candidate: RunResult) -> float:
     Both runs complete the same number of work items per thread-set, so ED
     is compared per item-set: (E/items) x (T/items).
     """
-    base = (baseline.energy_joules / baseline.spec.region_items) * \
-        (baseline.seconds / baseline.spec.region_items)
-    cand = (candidate.energy_joules / candidate.spec.region_items) * \
-        (candidate.seconds / candidate.spec.region_items)
+    base = (baseline.energy_joules / baseline.region_items) * \
+        (baseline.seconds / baseline.region_items)
+    cand = (candidate.energy_joules / candidate.region_items) * \
+        (candidate.seconds / candidate.region_items)
     return cand / base

@@ -3,17 +3,18 @@
 Sweeps one Table II core parameter at a time and measures its effect on a
 representative kernel — the standard methodology for checking that a
 simulator's bottlenecks respond believably (ROB-limited ILP, physical
-registers, cache capacity, memory latency).
+registers, cache capacity, memory latency).  Each sweep declares its
+(system override x kernel) grid to the experiment engine.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.config import CacheConfig, SystemConfig, ooo1_cluster
-from repro.experiments.runner import execute
-from repro.workloads import hmmer
+from repro.experiments.engine import (ExperimentEngine, default_engine,
+                                      request)
 
 
 def _system_with_core(**core_overrides) -> SystemConfig:
@@ -22,43 +23,55 @@ def _system_with_core(**core_overrides) -> SystemConfig:
     return SystemConfig(clusters=[dataclasses.replace(cluster, core=core)])
 
 
-def _run_seq(system: SystemConfig, label: str, value) -> Dict:
-    spec = hmmer.seq_spec(M=64, R=3)
-    spec = dataclasses.replace(spec, system=system,
-                               name=f"hmmer/seq_{label}{value}")
-    result = execute(spec)
-    return {label: value, "cycles_per_item": result.cycles_per_item}
+def _seq_request(system: SystemConfig, label: str, value):
+    return request("hmmer", "seq", M=64, R=3, system=system,
+                   name=f"hmmer/seq_{label}{value}")
 
 
-def rob_size(values=(16, 32, 64, 128)) -> List[Dict]:
+def _sweep(reqs, label: str, values,
+           engine: Optional[ExperimentEngine]) -> List[Dict]:
+    engine = engine or default_engine()
+    return [{label: value, "cycles_per_item": result.cycles_per_item}
+            for value, result in zip(values, engine.run_batch(reqs))]
+
+
+def rob_size(values=(16, 32, 64, 128),
+             engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Window-limited ILP: shrinking the ROB must cost performance."""
-    return [_run_seq(_system_with_core(rob_entries=v), "rob", v)
+    reqs = [_seq_request(_system_with_core(rob_entries=v), "rob", v)
             for v in values]
+    return _sweep(reqs, "rob", values, engine)
 
 
-def physical_registers(values=(40, 48, 64, 96)) -> List[Dict]:
+def physical_registers(values=(40, 48, 64, 96),
+                       engine: Optional[ExperimentEngine] = None
+                       ) -> List[Dict]:
     """Rename-limited ILP (Table II gives 64/64)."""
-    return [_run_seq(_system_with_core(int_regs=v, fp_regs=v), "regs", v)
+    reqs = [_seq_request(_system_with_core(int_regs=v, fp_regs=v),
+                         "regs", v)
             for v in values]
+    return _sweep(reqs, "regs", values, engine)
 
 
-def l1d_size(values=(2, 8, 32)) -> List[Dict]:
+def l1d_size(values=(2, 8, 32),
+             engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Cache capacity in kB; the hmmer tables live or die by this."""
-    rows = []
+    reqs = []
     for kb in values:
         l1 = CacheConfig("L1D", kb * 1024, 2, 32, 2)
-        rows.append(_run_seq(_system_with_core(l1d=l1), "l1d_kb", kb))
-    return rows
+        reqs.append(_seq_request(_system_with_core(l1d=l1), "l1d_kb", kb))
+    return _sweep(reqs, "l1d_kb", values, engine)
 
 
-def memory_latency(values=(50, 200, 800)) -> List[Dict]:
+def memory_latency(values=(50, 200, 800),
+                   engine: Optional[ExperimentEngine] = None) -> List[Dict]:
     """Main-memory access time in cycles (the paper's 100 ns = 200)."""
-    rows = []
+    reqs = []
     for cycles in values:
-        cluster = ooo1_cluster()
-        system = SystemConfig(clusters=[cluster], memory_latency=cycles)
-        rows.append(_run_seq(system, "mem_cycles", cycles))
-    return rows
+        system = SystemConfig(clusters=[ooo1_cluster()],
+                              memory_latency=cycles)
+        reqs.append(_seq_request(system, "mem_cycles", cycles))
+    return _sweep(reqs, "mem_cycles", values, engine)
 
 
 ALL_SENSITIVITIES = {

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.config import MIGRATION_CYCLES
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.regions import RegionResults, run_region_study
 from repro.workloads import registry
 
@@ -81,9 +82,10 @@ def best_remap_variant(info) -> str:
 
 
 def whole_program_study(benchmarks: Optional[List[str]] = None,
-                        overrides: Optional[Dict[str, dict]] = None
+                        overrides: Optional[Dict[str, dict]] = None,
+                        engine: Optional[ExperimentEngine] = None
                         ) -> List[WholeProgramPoint]:
-    study = run_region_study(benchmarks, overrides=overrides)
+    study = run_region_study(benchmarks, overrides=overrides, engine=engine)
     points = []
     for bench, results in study.items():
         info = registry.REGISTRY[bench]

@@ -84,16 +84,20 @@ class Machine:
                 self._controllers.append(controller)
             self.clusters.append(
                 ClusterInstance(cluster_id, cluster.kind, indices, controller))
+        self._cluster_by_core: Dict[int, ClusterInstance] = {
+            index: cluster_instance
+            for cluster_instance in self.clusters
+            for index in cluster_instance.core_indices}
         self.contexts: List[ThreadContext] = []
         self.thread_core: Dict[int, int] = {}
 
     # -- lookup helpers -----------------------------------------------------------
 
     def cluster_of_core(self, core_index: int) -> ClusterInstance:
-        for cluster in self.clusters:
-            if core_index in cluster.core_indices:
-                return cluster
-        raise ConfigError(f"no cluster owns core {core_index}")
+        cluster = self._cluster_by_core.get(core_index)
+        if cluster is None:
+            raise ConfigError(f"no cluster owns core {core_index}")
+        return cluster
 
     def core_slot(self, core_index: int) -> Tuple[ClusterInstance, int]:
         cluster = self.cluster_of_core(core_index)

@@ -11,6 +11,18 @@ class TestParsing:
         with pytest.raises(SystemExit):
             _parse_kwargs(["M"])
 
+    def test_kwargs_typed_values(self):
+        parsed = _parse_kwargs(["scale=0.5", "wide_core=true", "flip=False",
+                                "bench=g721dec", "items=48"])
+        assert parsed == {"scale": 0.5, "wide_core": True, "flip": False,
+                          "bench": "g721dec", "items": 48}
+        assert isinstance(parsed["items"], int)
+        assert isinstance(parsed["scale"], float)
+
+    def test_kwargs_error_names_the_pair(self):
+        with pytest.raises(SystemExit, match="bogus"):
+            _parse_kwargs(["bogus"])
+
     def test_parser_builds(self):
         parser = build_parser()
         args = parser.parse_args(["table", "1"])
@@ -18,6 +30,15 @@ class TestParsing:
         args = parser.parse_args(["figure", "12", "--quick",
                                   "--bench", "ll3"])
         assert args.quick and args.benchmarks == ["ll3"]
+
+    def test_engine_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "10", "--jobs", "4",
+                                  "--no-cache", "--cache-dir", "/tmp/x"])
+        assert args.jobs == 4 and args.no_cache
+        assert args.cache_dir == "/tmp/x"
+        args = parser.parse_args(["run", "wc", "seq", "--jobs", "2"])
+        assert args.jobs == 2 and not args.no_cache
 
 
 class TestCommands:
