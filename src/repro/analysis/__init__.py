@@ -1,0 +1,44 @@
+"""Static verification of ISA programs and SPL functions.
+
+A CFG builder and a small forward-dataflow framework feed rule passes
+that produce structured :class:`~repro.analysis.diagnostics.Diagnostic`
+records: register hygiene (REG*), control-flow structure (CFG*), label
+hygiene (LBL*), the SPL staging/issue/pop protocol by abstract
+interpretation (SPL*), static mappability of SPL functions (MAP*), and
+sweep bookkeeping (SPEC*).  See docs/ANALYSIS.md for the rule catalogue
+and the JSON report schema.
+
+Entry points: ``python -m repro lint`` sweeps the whole benchmark
+registry plus the SPL function library, and the experiment engine lints
+every spec it is about to simulate (pre-flight, ``--no-lint`` to skip).
+"""
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.diagnostics import (DIAGNOSTIC_SCHEMA_VERSION,
+                                        Diagnostic, Severity,
+                                        count_by_severity, has_errors,
+                                        render_json, render_text)
+from repro.analysis.lint import (library_functions, lint_library,
+                                 lint_program, lint_registry, lint_spec)
+from repro.analysis.mapping import lint_dfg, lint_function
+from repro.analysis.spl import SplContext, analyze_spl
+
+__all__ = [
+    "Cfg",
+    "DIAGNOSTIC_SCHEMA_VERSION",
+    "Diagnostic",
+    "Severity",
+    "SplContext",
+    "analyze_spl",
+    "count_by_severity",
+    "has_errors",
+    "library_functions",
+    "lint_dfg",
+    "lint_function",
+    "lint_library",
+    "lint_program",
+    "lint_registry",
+    "lint_spec",
+    "render_json",
+    "render_text",
+]

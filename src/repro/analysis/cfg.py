@@ -1,0 +1,124 @@
+"""Control-flow graphs over assembled :class:`~repro.isa.program.Program`s.
+
+Basic-block leaders are the entry point, every branch/jump target, and
+every instruction following a control transfer.  Successors:
+
+* conditional branches — the target block and the fall-through block;
+* ``j``/``jal`` — the target block only;
+* ``jr`` — statically unknown (the CFG records the program as *indirect*
+  and downstream analyses go conservative);
+* ``halt`` — no successors (thread exit);
+* anything else at a block end — the fall-through block, or *off the end*
+  of the program when the block ends at the last instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+#: Sentinel successor id: execution falls through past the last
+#: instruction (a simulated pc-out-of-range fault).
+OFF_END = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+
+class Cfg:
+    """Basic blocks, successor edges, and reachability for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks: List[BasicBlock] = []
+        self.block_of_pc: Dict[int, int] = {}
+        #: True when the program contains ``jr`` — successor sets are then
+        #: under-approximate and flow analyses must degrade gracefully.
+        self.has_indirect = False
+        self._build()
+        self.reachable: Set[int] = self._reachability()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        insts = self.program.instructions
+        n = len(insts)
+        leaders = {0}
+        for pc, inst in enumerate(insts):
+            if inst.op is Op.JR:
+                self.has_indirect = True
+            if not inst.info.is_branch and inst.op is not Op.HALT:
+                continue
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+            if isinstance(inst.target, int) and 0 <= inst.target < n:
+                leaders.add(inst.target)
+        starts = sorted(leaders)
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else n
+            block = BasicBlock(index=index, start=start, end=end)
+            self.blocks.append(block)
+            for pc in range(start, end):
+                self.block_of_pc[pc] = index
+        for block in self.blocks:
+            block.successors = self._successors(block)
+
+    def _successors(self, block: BasicBlock) -> List[int]:
+        last = self.program.instructions[block.end - 1]
+        n = len(self.program.instructions)
+
+        def block_at(pc: int) -> int:
+            return OFF_END if pc >= n else self.block_of_pc[pc]
+
+        if last.op is Op.HALT:
+            return []
+        if last.op is Op.JR:
+            # Indirect: no static successors; has_indirect marks the loss.
+            return []
+        if last.op in (Op.J, Op.JAL):
+            return [block_at(last.target)]
+        if last.info.is_branch:  # conditional: target + fall-through
+            succs = [block_at(last.target), block_at(block.end)]
+            return sorted(set(succs), key=succs.index)
+        return [block_at(block.end)]
+
+    # -- queries -------------------------------------------------------------
+
+    def _reachability(self) -> Set[int]:
+        if self.has_indirect:
+            # jr could land anywhere a label exists; treat every block as
+            # reachable rather than reporting spurious dead code.
+            return set(range(len(self.blocks)))
+        seen: Set[int] = set()
+        work = [0]
+        while work:
+            index = work.pop()
+            if index in seen or index == OFF_END:
+                continue
+            seen.add(index)
+            work.extend(self.blocks[index].successors)
+        return seen
+
+    def reachable_pcs(self) -> Set[int]:
+        pcs: Set[int] = set()
+        for index in self.reachable:
+            pcs.update(self.blocks[index].pcs())
+        return pcs
+
+    def falls_off_end(self) -> bool:
+        """True when some reachable path runs past the last instruction."""
+        return any(OFF_END in self.blocks[index].successors
+                   for index in self.reachable)

@@ -1,0 +1,87 @@
+"""A small forward-dataflow framework over :class:`~repro.analysis.cfg.Cfg`.
+
+Analyses supply an entry state, a join, a per-instruction transfer, and an
+equality test; :func:`forward` iterates a worklist to the fixed point and
+returns every block's input state.  States are treated as immutable —
+transfer functions must return fresh values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+from repro.analysis.cfg import OFF_END, Cfg
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """One forward dataflow problem.
+
+    ``transfer(state, pc)`` maps the state before the instruction at
+    ``pc`` to the state after it.  ``join`` combines predecessor states;
+    blocks with no incoming state yet are skipped until one arrives.
+    """
+
+    def __init__(self, entry: S, join: Callable[[S, S], S],
+                 transfer: Callable[[S, int], S],
+                 equal: Optional[Callable[[S, S], bool]] = None) -> None:
+        self.entry = entry
+        self.join = join
+        self.transfer = transfer
+        self.equal = equal or (lambda a, b: bool(a == b))
+
+
+def block_out(analysis: ForwardAnalysis[S], cfg: Cfg, block_index: int,
+              state: S) -> S:
+    for pc in cfg.blocks[block_index].pcs():
+        state = analysis.transfer(state, pc)
+    return state
+
+
+def forward(analysis: ForwardAnalysis[S], cfg: Cfg) -> Dict[int, S]:
+    """Run to fixpoint; returns {block index: state at block entry}.
+
+    Only reachable blocks appear in the result.  The framework bounds
+    iteration defensively (each analysis must have a finite-height
+    lattice; the SPL counters widen to TOP to guarantee it).
+    """
+    in_states: Dict[int, S] = {0: analysis.entry}
+    work = deque([0])
+    visits: List[int] = [0] * len(cfg.blocks)
+    limit = 64 * (len(cfg.blocks) + 1)
+    while work:
+        index = work.popleft()
+        visits[index] += 1
+        if visits[index] > limit:  # pragma: no cover - widening backstop
+            break
+        out = block_out(analysis, cfg, index, in_states[index])
+        for succ in cfg.blocks[index].successors:
+            if succ == OFF_END:
+                continue
+            if succ not in in_states:
+                in_states[succ] = out
+                work.append(succ)
+            else:
+                merged = analysis.join(in_states[succ], out)
+                if not analysis.equal(merged, in_states[succ]):
+                    in_states[succ] = merged
+                    work.append(succ)
+    return in_states
+
+
+def exit_states(analysis: ForwardAnalysis[S], cfg: Cfg,
+                in_states: Dict[int, S]) -> List[S]:
+    """States after every reachable ``halt`` (normal thread exits)."""
+    from repro.isa.opcodes import Op
+    exits: List[S] = []
+    for index, state in in_states.items():
+        block = cfg.blocks[index]
+        last = cfg.program.instructions[block.end - 1]
+        if last.op is Op.HALT:
+            out = state
+            for pc in range(block.start, block.end - 1):
+                out = analysis.transfer(out, pc)
+            exits.append(out)
+    return exits

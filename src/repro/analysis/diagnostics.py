@@ -1,0 +1,111 @@
+"""Structured lint diagnostics (rule id, severity, location, reporters).
+
+Every analysis pass reports findings as :class:`Diagnostic` records rather
+than raising, so one sweep can surface all problems at once and callers
+(CLI, engine pre-flight, tests) decide what is fatal.  The rule catalogue
+lives in docs/ANALYSIS.md; severities:
+
+* ``error``   — the program would fault, hang, or silently misbehave when
+  simulated (these fail ``repro lint`` and the engine pre-flight).
+* ``warning`` — suspicious construct that simulates but most likely does
+  not mean what it says (e.g. reading a never-written register).
+* ``note``    — stylistic or informational (never fails anything).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+#: JSON schema version of :meth:`Diagnostic.to_dict` records.
+DIAGNOSTIC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis rule.
+
+    ``program``/``pc`` locate findings in an assembled program;
+    ``dfg``/``node`` locate findings in a dataflow graph; ``unit`` names
+    the enclosing sweep unit (benchmark/variant or library function).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    unit: str = ""
+    program: Optional[str] = None
+    pc: Optional[int] = None
+    dfg: Optional[str] = None
+    node: Optional[int] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        parts: List[str] = []
+        if self.unit:
+            parts.append(self.unit)
+        if self.program is not None:
+            where = self.program
+            if self.pc is not None:
+                where += f"@{self.pc}"
+            parts.append(where)
+        if self.dfg is not None:
+            where = f"dfg:{self.dfg}"
+            if self.node is not None:
+                where += f"#{self.node}"
+            parts.append(where)
+        return " ".join(parts) or "<global>"
+
+    def to_dict(self) -> Dict[str, Union[str, int, None]]:
+        record = asdict(self)
+        record["severity"] = self.severity.value
+        return record
+
+    def render(self) -> str:
+        return (f"{self.severity.value}[{self.rule}] {self.location}: "
+                f"{self.message}")
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(diag.is_error for diag in diagnostics)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for diag in diagnostics:
+        counts[diag.severity.value] += 1
+    return counts
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """Human-readable report, errors first."""
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+    lines = [diag.render() for diag in
+             sorted(diagnostics, key=lambda d: (order[d.severity],
+                                                d.unit, d.rule))]
+    counts = count_by_severity(diagnostics)
+    lines.append(f"{counts['error']} errors, {counts['warning']} warnings, "
+                 f"{counts['note']} notes")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: List[Diagnostic]) -> str:
+    """Machine-readable report (schema in docs/ANALYSIS.md)."""
+    return json.dumps({
+        "schema": DIAGNOSTIC_SCHEMA_VERSION,
+        "counts": count_by_severity(diagnostics),
+        "diagnostics": [diag.to_dict() for diag in diagnostics],
+    }, indent=2, sort_keys=True)

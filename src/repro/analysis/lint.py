@@ -1,0 +1,380 @@
+"""Whole-spec and registry-wide lint orchestration.
+
+:func:`lint_program` checks one assembled program in isolation;
+:func:`lint_spec` builds the spec's machine, runs the workload *setup*
+(no simulation), and checks every thread against the SPL bindings,
+partitions, and barriers actually installed; :func:`lint_registry`
+sweeps every registered benchmark x variant plus the SPL function
+library.  Cross-thread rules computed here from per-thread summaries:
+
+* **SPL004** (error) — a thread's popped-word count provably differs
+  from the words sent to it (or barrier arrivals are unbalanced).
+* **SPL005** (error) — a thread pops words but nothing is ever sent to
+  it; the pop would block forever.
+* **SPL006** (warning) — words are sent to a thread that never pops.
+* **SPEC001** (error) — a registered spec factory raised during the
+  sweep (reported instead of aborting it).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.mapping import (check_shared_state, lint_function)
+from repro.analysis.regs import check_registers
+from repro.analysis.spl import (IntSet, SplContext, SplSummary, ZERO,
+                                analyze_spl, iexact, imul, iplus)
+from repro.analysis.structure import check_structure, label_diagnostics
+from repro.baselines.comm_network import CommPort, DedicatedCommController
+from repro.core.controller import CoreSplPort, SplClusterController
+from repro.core.dfg import DfgOp
+from repro.core.function import (SplFunction, barrier_reduce_function,
+                                 barrier_token_function, identity_function)
+from repro.isa.program import Program, ThreadSpec
+from repro.system.machine import Machine
+from repro.workloads.base import RunSpec
+
+
+def _input_bytes(function: SplFunction,
+                 names: Optional[Sequence[str]] = None) -> frozenset:
+    """Staging-entry byte offsets a function decodes for ``names``."""
+    dfg = function.dfg
+    names = list(dfg.inputs) if names is None else names
+    covered: Set[int] = set()
+    for name in names:
+        offset = dfg.input_offsets[name]
+        covered.update(range(offset, offset + dfg.inputs[name].width))
+    return frozenset(covered)
+
+
+def _slot_groups(function: SplFunction) -> int:
+    """Number of per-participant input groups of a barrier function."""
+    prefixes = {name.split("_", 1)[0] for name in function.dfg.inputs
+                if name.startswith("s") and "_" in name}
+    return len(prefixes)
+
+
+def lint_program(program: Program, spec: Optional[ThreadSpec] = None,
+                 context: Optional[SplContext] = None,
+                 unit: str = "") -> List[Diagnostic]:
+    """Lint one program in isolation (structure, labels, registers, SPL).
+
+    Without a :class:`SplContext` the binding-dependent SPL rules are
+    skipped; cross-thread balance needs :func:`lint_spec`.
+    """
+    cfg = Cfg(program)
+    diagnostics = label_diagnostics(program, unit)
+    diagnostics += check_structure(cfg, unit)
+    diagnostics += check_registers(spec or ThreadSpec(program, 0), cfg, unit)
+    spl_diags, _ = analyze_spl(program, cfg, context, unit)
+    diagnostics += spl_diags
+    return diagnostics
+
+
+# -- spec-level lint ----------------------------------------------------------
+
+
+def _local_participants(controller: SplClusterController,
+                        barrier_id: int) -> List[int]:
+    slots = []
+    for thread_id in controller.barrier_bus.participants(barrier_id):
+        slot = controller.table.lookup(thread_id)
+        if slot is not None:
+            slots.append(slot)
+    return sorted(slots)
+
+
+def _fabric_context(controller: SplClusterController,
+                    slot: int) -> SplContext:
+    required: Dict[int, frozenset] = {}
+    known = []
+    for (bound_slot, config), binding in controller.bindings.items():
+        if bound_slot != slot:
+            continue
+        known.append(config)
+        function = binding.function
+        if binding.barrier_id is not None:
+            local = _local_participants(controller, binding.barrier_id)
+            if slot in local:
+                names = function.slot_input_names(local.index(slot))
+                required[config] = _input_bytes(function, names)
+        else:
+            required[config] = _input_bytes(function)
+    return SplContext(port_kind="fabric", known_configs=frozenset(known),
+                      required_bytes=required)
+
+
+def _comm_context(controller: DedicatedCommController,
+                  slot: int) -> SplContext:
+    known = []
+    sends = []
+    for (bound_slot, config), binding in controller.bindings.items():
+        if bound_slot != slot:
+            continue
+        known.append(config)
+        if binding.dest_thread is not None:
+            sends.append(config)
+    return SplContext(port_kind="comm", known_configs=frozenset(known),
+                      comm_send_configs=frozenset(sends))
+
+
+class _Flows:
+    """Accumulates words-delivered-to-thread counts and barrier arrivals."""
+
+    def __init__(self) -> None:
+        self.incoming: Dict[int, IntSet] = {}
+        self.unknown: Set[int] = set()
+        # key -> {thread: (arrivals, words per release)}
+        self.barriers: Dict[Tuple, Dict[int, Tuple[IntSet, int]]] = {}
+
+    def add(self, thread_id: int, words: IntSet) -> None:
+        if words is None:
+            self.unknown.add(thread_id)
+            return
+        self.incoming[thread_id] = iplus(
+            self.incoming.get(thread_id, ZERO), words)
+
+    def arrive(self, key: Tuple, thread_id: int, count: IntSet,
+               words_per_release: int) -> None:
+        per_thread = self.barriers.setdefault(key, {})
+        previous, _ = per_thread.get(thread_id, (ZERO, words_per_release))
+        per_thread[thread_id] = (iplus(previous, count), words_per_release)
+
+    def settle_barriers(self, unit: str) -> List[Diagnostic]:
+        """Fold arrivals into incoming words; flag unbalanced barriers."""
+        diagnostics = []
+        for key, per_thread in sorted(self.barriers.items(),
+                                      key=lambda kv: str(kv[0])):
+            counts = {thread: iexact(arrivals)
+                      for thread, (arrivals, _) in per_thread.items()}
+            if any(count is None for count in counts.values()):
+                for thread in per_thread:
+                    self.unknown.add(thread)
+                continue
+            if len(set(counts.values())) > 1:
+                detail = ", ".join(
+                    f"thread {thread}: {count}"
+                    for thread, count in sorted(counts.items()))
+                diagnostics.append(Diagnostic(
+                    rule="SPL004", severity=Severity.ERROR,
+                    message=f"barrier {key[-1]} arrivals are unbalanced "
+                            f"({detail}); the barrier would never release",
+                    unit=unit))
+                for thread in per_thread:
+                    self.unknown.add(thread)
+                continue
+            for thread, (arrivals, words_per_release) in per_thread.items():
+                self.add(thread, imul(arrivals,
+                                      frozenset({words_per_release})))
+        return diagnostics
+
+
+def _collect_flows(machine: Machine, summaries: Dict[int, SplSummary],
+                   unit: str) -> Tuple[_Flows, List[Diagnostic]]:
+    flows = _Flows()
+    for thread_id, summary in summaries.items():
+        core = machine.cores[machine.thread_core[thread_id]]
+        port = core.spl_port
+        if isinstance(port, CoreSplPort):
+            controller = port.controller
+            for config, count in summary.issues.items():
+                binding = controller.bindings.get((port.slot, config))
+                if binding is None:
+                    continue  # SPL001 already reported
+                function = binding.function
+                if binding.barrier_id is not None:
+                    flows.arrive(("fabric", binding.barrier_id), thread_id,
+                                 count, function.n_outputs)
+                else:
+                    dest = binding.dest_thread
+                    flows.add(thread_id if dest is None else dest,
+                              imul(count,
+                                   frozenset({function.n_outputs})))
+        elif isinstance(port, CommPort):
+            controller = port.controller
+            for config, count in summary.issues.items():
+                binding = controller.bindings.get((port.slot, config))
+                if binding is None:
+                    continue
+                if binding.barrier_id is not None:
+                    # Each release hands every participant one token word.
+                    flows.arrive(("comm", id(controller),
+                                  binding.barrier_id), thread_id, count, 1)
+                else:
+                    words = summary.init_words.get(config)
+                    flows.add(binding.dest_thread, imul(count, words))
+    return flows, flows.settle_barriers(unit)
+
+
+def _balance_diagnostics(summaries: Dict[int, SplSummary], flows: _Flows,
+                         unit: str) -> List[Diagnostic]:
+    diagnostics = []
+    threads = set(summaries) | set(flows.incoming) | flows.unknown
+    for thread_id in sorted(threads):
+        summary = summaries.get(thread_id, SplSummary())
+        pops = summary.pops
+        if thread_id in flows.unknown:
+            continue
+        incoming = flows.incoming.get(thread_id, ZERO)
+        received = iexact(incoming)
+        popped = iexact(pops)
+        may_pop = pops is None or any(v > 0 for v in pops)
+        if received == 0 and may_pop:
+            diagnostics.append(Diagnostic(
+                rule="SPL005", severity=Severity.ERROR,
+                message=f"thread {thread_id} pops SPL words but no binding "
+                        f"ever delivers to it; the pop would block forever",
+                unit=unit))
+        elif received is not None and received > 0 and popped == 0:
+            diagnostics.append(Diagnostic(
+                rule="SPL006", severity=Severity.WARNING,
+                message=f"{received} words are delivered to thread "
+                        f"{thread_id} but its program never pops them",
+                unit=unit))
+        elif received is not None and popped is not None and \
+                received != popped:
+            diagnostics.append(Diagnostic(
+                rule="SPL004", severity=Severity.ERROR,
+                message=f"thread {thread_id} pops {popped} SPL words but "
+                        f"{received} are delivered to it "
+                        f"({'starves' if popped > received else 'leaks'})",
+                unit=unit))
+    return diagnostics
+
+
+def _mapping_diagnostics(machine: Machine, unit: str) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for cluster in machine.clusters:
+        controller = cluster.controller
+        if controller is None:
+            continue
+        seen: Set[Tuple[int, int]] = set()
+        for (slot, _config), binding in sorted(controller.bindings.items()):
+            function = binding.function
+            if binding.barrier_id is not None:
+                local = _local_participants(controller, binding.barrier_id)
+                partition = controller.core_partition[local[0]] if local \
+                    else 0
+                groups = _slot_groups(function)
+                if local and groups != len(local) and \
+                        ("width", binding.barrier_id) not in seen:
+                    seen.add(("width", binding.barrier_id))
+                    diagnostics.append(Diagnostic(
+                        rule="SPL003", severity=Severity.ERROR,
+                        message=f"barrier function has {groups} slot-input "
+                                f"groups but barrier {binding.barrier_id} "
+                                f"has {len(local)} local participants",
+                        unit=unit, dfg=function.dfg.name))
+            else:
+                partition = controller.core_partition[slot]
+            rows = controller.partitions[partition].rows
+            key = (id(function), rows)
+            if key in seen:
+                continue
+            seen.add(key)
+            diagnostics += lint_function(
+                function, unit, partition_rows=(rows,),
+                cells_per_row=controller.config.cells_per_row)
+        diagnostics += check_shared_state(
+            {key: binding.function
+             for key, binding in controller.bindings.items()}, unit)
+    return diagnostics
+
+
+def lint_spec(spec: RunSpec, unit: str = "") -> List[Diagnostic]:
+    """Statically verify one run spec (no simulation).
+
+    Builds the machine and runs the workload's *setup* hook — exactly
+    what :func:`repro.experiments.runner.execute` does before its run
+    loop — then lints every thread against the installed configuration.
+    """
+    unit = unit or spec.name
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+
+    diagnostics: List[Diagnostic] = []
+    linted_programs: Set[int] = set()
+    cfgs: Dict[int, Cfg] = {}
+    summaries: Dict[int, SplSummary] = {}
+    for thread_spec in spec.workload.threads:
+        program = thread_spec.program
+        cfg = cfgs.get(id(program))
+        if cfg is None:
+            cfg = cfgs[id(program)] = Cfg(program)
+        if id(program) not in linted_programs:
+            linted_programs.add(id(program))
+            diagnostics += label_diagnostics(program, unit)
+            diagnostics += check_structure(cfg, unit)
+        diagnostics += check_registers(thread_spec, cfg, unit)
+        core = machine.cores[machine.thread_core[thread_spec.thread_id]]
+        port = core.spl_port
+        if isinstance(port, CoreSplPort):
+            context = _fabric_context(port.controller, port.slot)
+        elif isinstance(port, CommPort):
+            context = _comm_context(port.controller, port.slot)
+        else:
+            context = SplContext(port_kind=None)
+        spl_diags, summary = analyze_spl(program, cfg, context, unit)
+        diagnostics += spl_diags
+        summaries[thread_spec.thread_id] = summary
+
+    flows, barrier_diags = _collect_flows(machine, summaries, unit)
+    diagnostics += barrier_diags
+    diagnostics += _balance_diagnostics(summaries, flows, unit)
+    diagnostics += _mapping_diagnostics(machine, unit)
+    return diagnostics
+
+
+# -- registry-wide sweep ------------------------------------------------------
+
+
+def library_functions() -> List[Tuple[str, SplFunction]]:
+    """The SPL function library checked by the sweep."""
+    from repro.workloads import spl_lib
+    functions = [
+        ("lib/hmmer_mc", spl_lib.hmmer_mc_function()),
+        ("lib/mac2", spl_lib.mac2_function()),
+        ("lib/mac4", spl_lib.mac4_function()),
+        ("lib/sad8", spl_lib.sad8_function()),
+        ("lib/route", identity_function()),
+        ("lib/barrier_token", barrier_token_function(4)),
+    ]
+    for op in (DfgOp.MIN, DfgOp.MAX, DfgOp.ADD):
+        functions.append((f"lib/reduce_{op.name.lower()}",
+                          barrier_reduce_function(4, op)))
+    return functions
+
+
+def lint_library() -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for unit, function in library_functions():
+        diagnostics += lint_function(function, unit)
+    return diagnostics
+
+
+def lint_registry(benchmarks: Optional[Sequence[str]] = None,
+                  include_library: bool = True) -> List[Diagnostic]:
+    """Sweep every registered benchmark x variant (+ the SPL library)."""
+    from repro.workloads.registry import REGISTRY
+    names = list(benchmarks) if benchmarks else sorted(REGISTRY)
+    diagnostics: List[Diagnostic] = []
+    for name in names:
+        info = REGISTRY[name]
+        for variant in sorted(info.variants):
+            unit = f"{name}/{variant}"
+            try:
+                spec = info.variants[variant]()
+                diagnostics += lint_spec(spec, unit=unit)
+            except Exception as exc:  # noqa: BLE001 - sweep must not abort
+                diagnostics.append(Diagnostic(
+                    rule="SPEC001", severity=Severity.ERROR,
+                    message=f"spec factory raised {type(exc).__name__}: "
+                            f"{exc} "
+                            f"({traceback.format_exc(limit=1).splitlines()[-1]})",
+                    unit=unit))
+    if include_library:
+        diagnostics += lint_library()
+    return diagnostics

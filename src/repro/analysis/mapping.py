@@ -1,0 +1,97 @@
+"""Static mappability rules for SPL functions and their DFGs.
+
+* **MAP001** (error) — the DFG fails validation, cannot be mapped onto
+  SPL rows at all, or the produced mapping violates its own invariants
+  (dependence order / row capacity) under some evaluated partition size.
+* **MAP002** (error) — the function's feedback initiation interval is
+  illegal: a retimed override below 1, or a stateful function whose
+  effective II cannot sustain any issue rate.
+* **MAP003** (error) — a *stateful* non-barrier function instance is
+  bound on more than one slot; its delay-register state would be shared
+  between threads (reported from binding tables in ``repro.analysis.lint``
+  via :func:`check_shared_state`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.common.errors import MappingError
+from repro.core.dfg import Dfg
+from repro.core.function import SplFunction
+from repro.core.mapper import initiation_interval, map_dfg, verify_mapping
+
+#: Partition sizes evaluated for library functions when no system spec
+#: pins the actual layouts: the full 24-row array and the halved and
+#: quartered partitions the experiments sweep.
+DEFAULT_PARTITION_ROWS = (24, 12, 6)
+
+
+def lint_dfg(dfg: Dfg, unit: str,
+             partition_rows: Iterable[int] = DEFAULT_PARTITION_ROWS,
+             cells_per_row: int = 16) -> List[Diagnostic]:
+    """Check that ``dfg`` validates, maps, and virtualizes legally."""
+    diagnostics: List[Diagnostic] = []
+    try:
+        dfg.validate()
+        mapping = map_dfg(dfg, cells_per_row)
+        verify_mapping(dfg, mapping, cells_per_row)
+    except MappingError as exc:
+        diagnostics.append(Diagnostic(
+            rule="MAP001", severity=Severity.ERROR,
+            message=f"dfg does not map: {exc}", unit=unit, dfg=dfg.name))
+        return diagnostics
+    for rows in partition_rows:
+        try:
+            initiation_interval(mapping.rows, rows)
+        except MappingError as exc:
+            diagnostics.append(Diagnostic(
+                rule="MAP001", severity=Severity.ERROR,
+                message=f"illegal under a {rows}-row partition: {exc}",
+                unit=unit, dfg=dfg.name))
+    return diagnostics
+
+
+def lint_function(function: SplFunction, unit: str,
+                  partition_rows: Iterable[int] = DEFAULT_PARTITION_ROWS,
+                  cells_per_row: int = 16) -> List[Diagnostic]:
+    """Check one constructed SPL function (DFG legality + feedback II)."""
+    diagnostics = lint_dfg(function.dfg, unit, partition_rows, cells_per_row)
+    if function.feedback_ii < 1:
+        diagnostics.append(Diagnostic(
+            rule="MAP002", severity=Severity.ERROR,
+            message=f"feedback initiation interval {function.feedback_ii} "
+                    f"< 1 (retimed override below the hardware minimum)",
+            unit=unit, dfg=function.dfg.name))
+    elif function.is_stateful and \
+            function.feedback_ii > function.mapping.rows:
+        diagnostics.append(Diagnostic(
+            rule="MAP002", severity=Severity.WARNING,
+            message=f"feedback initiation interval {function.feedback_ii} "
+                    f"exceeds the function depth ({function.mapping.rows} "
+                    f"rows); issues serialize behind the feedback path",
+            unit=unit, dfg=function.dfg.name))
+    return diagnostics
+
+
+def check_shared_state(bindings: Dict[Tuple[int, int], SplFunction],
+                       unit: str) -> List[Diagnostic]:
+    """MAP003 over a {(slot, config id): function} binding table."""
+    slots_of: Dict[int, set] = {}
+    names: Dict[int, str] = {}
+    for (slot, _config), function in bindings.items():
+        if function.is_stateful and not function.is_barrier:
+            slots_of.setdefault(id(function), set()).add(slot)
+            names[id(function)] = function.dfg.name
+    diagnostics: List[Diagnostic] = []
+    for key, slots in sorted(slots_of.items(), key=lambda kv: names[kv[0]]):
+        if len(slots) > 1:
+            diagnostics.append(Diagnostic(
+                rule="MAP003", severity=Severity.ERROR,
+                message=f"stateful function instance bound on slots "
+                        f"{sorted(slots)}; delay-register state would be "
+                        f"shared between threads (bind one instance per "
+                        f"slot)",
+                unit=unit, dfg=names[key]))
+    return diagnostics

@@ -1,0 +1,71 @@
+"""Register rules.
+
+* **REG001** (warning) — an instruction reads a register on some path
+  before anything wrote it.  Simulated reads of unwritten registers
+  return the architected zero, so this is defined behaviour — but almost
+  always a missing initialization (or a missing ``int_regs`` entry in the
+  thread spec, which the analysis honours as initial definitions).
+* **REG002** (warning) — an instruction with a destination register
+  explicitly names ``r0``; the write is silently discarded.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.dataflow import ForwardAnalysis, forward
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.isa.instruction import ZERO_REG, reg_index, reg_name
+from repro.isa.opcodes import Fmt
+from repro.isa.program import Program, ThreadSpec
+
+Defined = FrozenSet[int]
+
+
+def _entry_defs(spec: ThreadSpec) -> Defined:
+    defined = {ZERO_REG}
+    for name in spec.int_regs:
+        defined.add(reg_index(name))
+    for name in spec.fp_regs:
+        defined.add(reg_index(name))
+    return frozenset(defined)
+
+
+def check_registers(spec: ThreadSpec, cfg: Cfg,
+                    unit: str = "") -> List[Diagnostic]:
+    """Run the must-defined analysis for one thread's program."""
+    program: Program = spec.program
+    insts = program.instructions
+
+    def transfer(state: Defined, pc: int) -> Defined:
+        dest = insts[pc].dest()
+        return state if dest is None else state | {dest}
+
+    analysis: ForwardAnalysis[Defined] = ForwardAnalysis(
+        entry=_entry_defs(spec),
+        join=lambda a, b: a & b,
+        transfer=transfer)
+    in_states = forward(analysis, cfg)
+
+    diagnostics: List[Diagnostic] = []
+    reported = set()
+    for index, state in in_states.items():
+        for pc in cfg.blocks[index].pcs():
+            inst = insts[pc]
+            for reg in inst.sources():
+                if reg not in state and (reg, pc) not in reported:
+                    reported.add((reg, pc))
+                    diagnostics.append(Diagnostic(
+                        rule="REG001", severity=Severity.WARNING,
+                        message=f"{inst!r} reads {reg_name(reg)} before "
+                                f"any write (reads architected zero)",
+                        unit=unit, program=program.name, pc=pc))
+            if inst.rd == ZERO_REG and inst.info.writes_rd and \
+                    inst.info.fmt is not Fmt.SPL_RECV:
+                diagnostics.append(Diagnostic(
+                    rule="REG002", severity=Severity.WARNING,
+                    message=f"{inst!r} writes r0; the result is discarded",
+                    unit=unit, program=program.name, pc=pc))
+            state = transfer(state, pc)
+    return diagnostics

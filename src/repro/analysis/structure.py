@@ -1,0 +1,73 @@
+"""Program-structure rules.
+
+* **CFG001** (warning) — instructions no path can reach (dead code left
+  behind by an edit, or a branch that can never be taken).  Contiguous
+  unreachable runs are collapsed into one diagnostic.
+* **CFG002** (error) — some reachable path runs past the last instruction
+  without a ``halt``; the simulator faults on the out-of-range pc.
+* **LBL001** (note) / **LBL002** (warning) — label hygiene reported by the
+  assembler (placed-but-unreferenced, fresh-but-never-placed) and turned
+  into diagnostics here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.cfg import Cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.isa.program import Program
+
+#: Assembler label findings are (rule, message) pairs on the program; the
+#: severities are fixed per rule.
+_LABEL_SEVERITY = {
+    "LBL001": Severity.NOTE,
+    "LBL002": Severity.WARNING,
+}
+
+
+def _runs(pcs: List[int]) -> List[Tuple[int, int]]:
+    """Collapse a sorted pc list into inclusive (first, last) runs."""
+    runs: List[Tuple[int, int]] = []
+    for pc in pcs:
+        if runs and pc == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], pc)
+        else:
+            runs.append((pc, pc))
+    return runs
+
+
+def check_structure(cfg: Cfg, unit: str = "") -> List[Diagnostic]:
+    program = cfg.program
+    diagnostics: List[Diagnostic] = []
+
+    dead = sorted(set(range(len(program.instructions))) -
+                  cfg.reachable_pcs())
+    for first, last in _runs(dead):
+        span = f"pc {first}" if first == last else f"pc {first}..{last}"
+        count = last - first + 1
+        diagnostics.append(Diagnostic(
+            rule="CFG001", severity=Severity.WARNING,
+            message=f"{count} unreachable instruction"
+                    f"{'s' if count > 1 else ''} ({span})",
+            unit=unit, program=program.name, pc=first))
+
+    if cfg.falls_off_end():
+        diagnostics.append(Diagnostic(
+            rule="CFG002", severity=Severity.ERROR,
+            message="control can fall past the last instruction without "
+                    "a halt (simulator would fault on pc out of range)",
+            unit=unit, program=program.name,
+            pc=len(program.instructions) - 1))
+
+    return diagnostics
+
+
+def label_diagnostics(program: Program, unit: str = "") -> List[Diagnostic]:
+    """Convert assembler label findings into diagnostics (LBL001/LBL002)."""
+    diagnostics: List[Diagnostic] = []
+    for rule, message in getattr(program, "label_diagnostics", []):
+        diagnostics.append(Diagnostic(
+            rule=rule, severity=_LABEL_SEVERITY[rule], message=message,
+            unit=unit, program=program.name))
+    return diagnostics

@@ -11,8 +11,13 @@ Usage::
 
 Simulation commands accept ``--jobs N`` (fan out over N worker
 processes; also ``REPRO_JOBS``), ``--no-cache`` (ignore the persistent
-result cache; also ``REPRO_NO_CACHE``), and ``--cache-dir PATH``
-(default ``~/.cache/repro``; also ``REPRO_CACHE_DIR``).
+result cache; also ``REPRO_NO_CACHE``), ``--cache-dir PATH``
+(default ``~/.cache/repro``; also ``REPRO_CACHE_DIR``), and
+``--no-lint`` (skip the static pre-flight verification of specs; also
+``REPRO_NO_LINT``).  ``python -m repro lint`` runs the static verifier
+over the whole registry and the SPL function library without
+simulating anything; it exits non-zero when any error-severity
+diagnostic is found.
 """
 
 from __future__ import annotations
@@ -74,6 +79,7 @@ def _engine_from_args(args) -> ExperimentEngine:
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        lint=False if args.no_lint else None,
         progress=True)
 
 
@@ -165,6 +171,23 @@ def cmd_run(args) -> None:
         print("output verified against the reference kernel")
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import (has_errors, lint_registry, render_json,
+                                render_text)
+    benchmarks = args.benchmarks or None
+    if benchmarks:
+        unknown = [b for b in benchmarks if b not in registry.REGISTRY]
+        if unknown:
+            raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    diagnostics = lint_registry(benchmarks,
+                                include_library=not benchmarks)
+    if args.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default $REPRO_JOBS or 1)")
@@ -173,6 +196,9 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache location "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the static pre-flight verification "
+                             "of specs before simulating")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,13 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit a JSON record of the run")
     _add_engine_flags(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify benchmarks and SPL functions")
+    p_lint.add_argument("--bench", dest="benchmarks", action="append",
+                        help="restrict to specific benchmarks (also skips "
+                             "the function library)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the diagnostic report as JSON")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":

@@ -39,3 +39,7 @@ class MappingError(SplError):
 
 class WorkloadError(ReproError):
     """A workload builder was given unusable parameters."""
+
+
+class LintError(ReproError):
+    """Static analysis found error-severity diagnostics (pre-flight)."""

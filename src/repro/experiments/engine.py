@@ -22,6 +22,12 @@ path:
   reported as a :class:`SpecError` (request, exception type, message,
   traceback), and strict callers get them all at once in an
   :class:`ExperimentBatchError`.
+* **Pre-flight lint.** Before fanning out, every cache-missing spec is
+  statically verified (``repro.analysis.lint_spec``) in the parent
+  process; error-severity diagnostics turn into ``LintError``-typed
+  :class:`SpecError` records instead of burning a worker on a spec that
+  would fault mid-simulation.  Disable with ``--no-lint`` /
+  ``REPRO_NO_LINT`` or ``ExperimentEngine(lint=False)``.
 """
 
 from __future__ import annotations
@@ -263,12 +269,16 @@ class ExperimentEngine:
         results = engine.run_batch([req_a, req_b])   # input order
 
     ``jobs`` defaults to ``REPRO_JOBS`` (else 1).  ``use_cache`` defaults
-    to on unless ``REPRO_NO_CACHE`` is set.
+    to on unless ``REPRO_NO_CACHE`` is set.  ``lint`` defaults to on
+    unless ``REPRO_NO_LINT`` is set; when on, cache-missing specs are
+    statically verified before dispatch and error-severity findings
+    become ``LintError``-typed :class:`SpecError` records.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  use_cache: Optional[bool] = None,
                  cache_dir: Optional[Path] = None,
+                 lint: Optional[bool] = None,
                  progress: bool = False) -> None:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1"))
@@ -276,10 +286,14 @@ class ExperimentEngine:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if use_cache is None:
             use_cache = not os.environ.get("REPRO_NO_CACHE")
+        if lint is None:
+            lint = not os.environ.get("REPRO_NO_LINT")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self.lint = lint
         self.progress = progress
         self._pending: List[Tuple[Any, SpecRequest]] = []
+        self._lint_passed: set = set()
         #: Session-wide counters, reported in progress lines.
         self.cache_hits = 0
         self.simulated = 0
@@ -376,6 +390,17 @@ class ExperimentEngine:
                 self._note(done, total, hits, simulated, len(errors),
                            f"FAILED {req.label}: {exc_type}: {message}")
 
+        if self.lint:
+            for cache_key in list(todo):
+                if cache_key in self._lint_passed:
+                    continue
+                outcome = self._preflight(todo[cache_key][0][1])
+                if outcome is None:
+                    self._lint_passed.add(cache_key)
+                else:
+                    finish(cache_key, outcome)
+                    del todo[cache_key]
+
         if self.jobs == 1 or len(todo) <= 1:
             for cache_key, keyed in todo.items():
                 finish(cache_key, _run_request(keyed[0][1]))
@@ -396,6 +421,25 @@ class ExperimentEngine:
             self._note(done, total, hits, simulated, len(errors),
                        "batch complete")
         return results, errors
+
+    def _preflight(self, req: SpecRequest) -> Optional[Tuple]:
+        """Lint one spec; an error-outcome tuple when it must not run.
+
+        Spec-construction failures return ``None`` so the normal
+        execution path reports them with their own type and traceback.
+        """
+        from repro.analysis import lint_spec, render_text
+        try:
+            diagnostics = lint_spec(build_spec(req))
+        except Exception:
+            return None
+        errors = [diag for diag in diagnostics if diag.is_error]
+        if not errors:
+            return None
+        return ("error", "LintError",
+                f"static pre-flight found {len(errors)} error-severity "
+                f"diagnostics (--no-lint to bypass)",
+                render_text(errors))
 
     def _note(self, done: int, total: int, hits: int, simulated: int,
               failed: int, event: str) -> None:

@@ -49,6 +49,7 @@ class Asm:
         self._insts: List[Instruction] = []
         self._labels: Dict[str, int] = {}
         self._label_seq = 0
+        self._fresh: List[str] = []
 
     # -- core emission -----------------------------------------------------
 
@@ -65,7 +66,9 @@ class Asm:
     def fresh_label(self, hint: str = "L") -> str:
         """Generate a unique label name (not yet placed)."""
         self._label_seq += 1
-        return f"__{hint}_{self._label_seq}"
+        name = f"__{hint}_{self._label_seq}"
+        self._fresh.append(name)
+        return name
 
     def here(self) -> int:
         return len(self._insts)
@@ -73,7 +76,23 @@ class Asm:
     def assemble(self) -> Program:
         if not self._insts:
             raise AssemblyError(f"{self.name}: empty program")
-        return Program(self.name, self._insts, self._labels)
+        # Collect referenced label names before Program._resolve rewrites
+        # targets to pcs in place.
+        referenced = {inst.target for inst in self._insts
+                      if isinstance(inst.target, str)}
+        findings = []
+        for name in sorted(set(self._labels) - referenced):
+            findings.append(
+                ("LBL001", f"label {name!r} is placed but never "
+                           f"referenced"))
+        for name in self._fresh:
+            if name not in self._labels and name not in referenced:
+                findings.append(
+                    ("LBL002", f"fresh_label {name!r} was created but "
+                               f"never placed or referenced"))
+        program = Program(self.name, self._insts, self._labels)
+        program.label_diagnostics = findings
+        return program
 
     # -- generic opcode dispatch --------------------------------------------
 

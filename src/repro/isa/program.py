@@ -25,9 +25,13 @@ class Program:
         self.name = name
         self.instructions = instructions
         self.labels = dict(labels)
+        #: (rule, message) label-hygiene findings attached by the
+        #: assembler; ``repro.analysis`` turns them into diagnostics.
+        self.label_diagnostics: List[tuple] = []
         self._resolve()
 
     def _resolve(self) -> None:
+        n = len(self.instructions)
         for index, inst in enumerate(self.instructions):
             inst.index = index
             if isinstance(inst.target, str):
@@ -35,6 +39,13 @@ class Program:
                     raise AssemblyError(
                         f"{self.name}: undefined label {inst.target!r}")
                 inst.target = self.labels[inst.target]
+            # Only control transfers carry a pc in ``target``; the SPL
+            # staging loads reuse the field for a staging-entry offset.
+            if inst.info.is_branch and inst.target is not None and \
+                    not 0 <= inst.target < n:
+                raise AssemblyError(
+                    f"{self.name}: {inst!r} at pc {index} targets pc "
+                    f"{inst.target}, outside the program (0..{n - 1})")
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -60,15 +60,13 @@ class UnepicKernel(StreamKernel):
 
     def emit_stage_a(self, a: Asm) -> None:
         """Bit-serial prefix decode into SYM (count leading ones)."""
-        refill = a.fresh_label("refill")
         have = a.fresh_label("have")
         loop = a.fresh_label("dec")
         done = a.fresh_label("dec_done")
         a.li(SYM, 0)
         a.label(loop)
-        # get one bit (MSB first)
+        # get one bit (MSB first); fall through to refill when empty
         a.bnez(BITCNT, have)
-        a.label(refill)
         a.lw(BITBUF, PBITS, 0)
         a.addi(PBITS, PBITS, 4)
         a.li(BITCNT, 32)
