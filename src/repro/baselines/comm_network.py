@@ -71,15 +71,23 @@ class CommPort(SplPort):
                           app_id: int) -> None:
         self.controller.set_thread(self.slot, thread_id)
 
+    def stall_kind(self) -> str:
+        return self.controller.stall_kind(self.slot)
+
 
 class DedicatedCommController:
     """Hardware queues + barrier network shared by one cluster's cores."""
+
+    STAT_KEYS = (
+        "stage_loads", "dest_absent_stalls", "sends", "barrier_arrivals",
+        "barrier_releases", "output_queue_stalls", "deliveries")
 
     def __init__(self, n_cores: int, stats: Stats,
                  send_latency: int = SEND_LATENCY,
                  barrier_latency: int = BARRIER_RELEASE_LATENCY) -> None:
         self.n_cores = n_cores
         self.stats = stats
+        stats.declare(*self.STAT_KEYS)
         self.send_latency = send_latency
         self.barrier_latency = barrier_latency
         self.staging = [StagingEntry() for _ in range(n_cores)]
@@ -165,6 +173,15 @@ class DedicatedCommController:
 
     def can_switch_out(self, slot: int) -> bool:
         return self.in_flight[slot] == 0 and self.staging[slot].empty
+
+    def stall_kind(self, slot: int) -> str:
+        """Barrier-wait when this slot's thread has arrived and waits."""
+        thread_id = self.threads[slot]
+        if thread_id is not None:
+            for _participants, arrived in self.barriers.values():
+                if thread_id in arrived:
+                    return "barrier"
+        return "queue"
 
     def _slot_of(self, thread_id: int) -> Optional[int]:
         for slot, tid in enumerate(self.threads):

@@ -8,6 +8,8 @@ Usage::
     python -m repro figure 12 --bench dijkstra
     python -m repro ablation sharing --no-cache
     python -m repro run hmmer compcomm --items M=64 R=3
+    python -m repro trace dijkstra --out run.json
+    python -m repro profile dijkstra
 
 Simulation commands accept ``--jobs N`` (fan out over N worker
 processes; also ``REPRO_JOBS``), ``--no-cache`` (ignore the persistent
@@ -171,6 +173,76 @@ def cmd_run(args) -> None:
         print("output verified against the reference kernel")
 
 
+_VARIANT_PREFERENCE = ("spl", "compcomm", "barrier", "comm", "sw")
+
+
+def _resolve_observed_spec(args):
+    """RunSpec for the trace/profile commands (default variant if blank)."""
+    from repro.experiments.engine import build_spec
+    bench = args.benchmark_opt or args.benchmark
+    if not bench:
+        raise SystemExit("name a benchmark (positional or --bench)")
+    variant = args.variant
+    if args.benchmark_opt and args.benchmark and not variant:
+        # "trace --bench hmmer compcomm": the positional is the variant.
+        variant = args.benchmark
+    info = registry.REGISTRY.get(bench)
+    if info is None:
+        raise SystemExit(f"unknown benchmark {bench!r}")
+    if not variant:
+        for candidate in _VARIANT_PREFERENCE:
+            if candidate in info.variants:
+                variant = candidate
+                break
+        else:
+            variant = sorted(info.variants)[0]
+    if variant not in info.variants:
+        raise SystemExit(f"{bench} variants: "
+                         f"{', '.join(sorted(info.variants))}")
+    return build_spec(request(bench, variant, **_parse_kwargs(args.params)))
+
+
+def _run_observed(spec, *sinks):
+    """Simulate ``spec`` with sinks attached to the machine's event bus."""
+    from repro.system.machine import Machine
+    machine = Machine(spec.system)
+    for sink, kinds in sinks:
+        machine.obs.attach(sink, kinds=kinds)
+    machine.load(spec.workload)
+    machine.run(max_cycles=spec.max_cycles)
+    machine.finish_observation()
+    return machine
+
+
+def cmd_trace(args) -> None:
+    from repro.obs.perfetto import PERFETTO_KINDS, PerfettoSink
+    spec = _resolve_observed_spec(args)
+    sink = PerfettoSink()
+    machine = _run_observed(spec, (sink, PERFETTO_KINDS))
+    sink.write(args.out)
+    print(f"{spec.name}: {machine.cycle} cycles, "
+          f"{len(sink.trace_events)} trace events -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing "
+          "(1 us shown = 1 core cycle)")
+
+
+def cmd_profile(args) -> None:
+    from repro.obs.profile import ProfilerSink
+    from repro.obs.render import render_profile
+    spec = _resolve_observed_spec(args)
+    sink = ProfilerSink()
+    _run_observed(spec, (sink, ProfilerSink.KINDS))
+    accounting = sink.accounting()
+    if args.json:
+        import json
+        print(json.dumps({"name": spec.name,
+                          "total_cycles": accounting.total_cycles,
+                          "cores": accounting.rows()}, indent=2))
+        return
+    print(f"{spec.name}:")
+    print(render_profile(accounting))
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import (has_errors, lint_registry, render_json,
                                 render_text)
@@ -238,6 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit a JSON record of the run")
     _add_engine_flags(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a Perfetto/Chrome trace of one run")
+    p_trace.add_argument("benchmark", nargs="?", default="")
+    p_trace.add_argument("variant", nargs="?", default="",
+                         help="variant (default: the SPL variant)")
+    p_trace.add_argument("--bench", dest="benchmark_opt", default=None,
+                         help="benchmark (alternative to the positional)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path (default trace.json)")
+    p_trace.add_argument("--items", dest="params", nargs="*", default=[],
+                         help="spec parameters, e.g. n=64 p=4")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile", help="cycle-accounting breakdown of one run")
+    p_prof.add_argument("benchmark", nargs="?", default="")
+    p_prof.add_argument("variant", nargs="?", default="",
+                        help="variant (default: the SPL variant)")
+    p_prof.add_argument("--bench", dest="benchmark_opt", default=None,
+                        help="benchmark (alternative to the positional)")
+    p_prof.add_argument("--items", dest="params", nargs="*", default=[],
+                        help="spec parameters, e.g. n=64 p=4")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the breakdown as JSON")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="statically verify benchmarks and SPL functions")

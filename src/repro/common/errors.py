@@ -41,5 +41,9 @@ class WorkloadError(ReproError):
     """A workload builder was given unusable parameters."""
 
 
+class StatsError(ReproError):
+    """A counter key was used that its declared scope never declared."""
+
+
 class LintError(ReproError):
     """Static analysis found error-severity diagnostics (pre-flight)."""

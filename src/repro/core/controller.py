@@ -34,6 +34,8 @@ from repro.core.queues import (InputQueue, OutputQueue, SplRequest,
                                StagingEntry)
 from repro.core.tables import BarrierBus, BarrierTable, ThreadToCoreTable
 from repro.cpu.ports import SplPort
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
 
 
 class SplBinding:
@@ -94,15 +96,31 @@ class CoreSplPort(SplPort):
                           app_id: int) -> None:
         self.controller.table.set_thread(self.slot, thread_id, app_id)
 
+    def stall_kind(self) -> str:
+        return self.controller.stall_kind(self.slot)
+
 
 class SplClusterController:
     """Controller for one SPL cluster (fabric + queues + tables)."""
 
+    #: Every counter this controller's stats scope may touch.
+    STAT_KEYS = (
+        "stage_loads", "input_queue_full", "barrier_arrivals",
+        "dest_absent_stalls", "inflight_cap_stalls", "requests",
+        "deliveries", "output_queue_stalls", "fabric_full_stalls",
+        "reconfigurations", "reconfig_rows", "issues", "rows_evaluated",
+        "barrier_releases")
+
     def __init__(self, cluster_id: int, config: SplConfig,
-                 barrier_bus: BarrierBus, stats: Stats) -> None:
+                 barrier_bus: BarrierBus, stats: Stats,
+                 obs: Optional[EventBus] = None) -> None:
         self.cluster_id = cluster_id
         self.config = config
         self.stats = stats
+        stats.declare(*self.STAT_KEYS)
+        self.obs = obs if obs is not None else EventBus()
+        self._src = f"spl{cluster_id}"
+        self._now = 0  # last core cycle seen by tick(), for async events
         self.table = ThreadToCoreTable(config.sharers, config.max_ids)
         self.barrier_table = BarrierTable(cluster_id, barrier_bus)
         self.barrier_bus = barrier_bus
@@ -156,6 +174,9 @@ class SplClusterController:
                        [s for s, p in enumerate(assignment) if p == i])
             for i, rows in enumerate(row_counts)
         ]
+        if self.obs.active:
+            self.obs.emit(self._now, self._src, ev.PARTITION_SET,
+                          rows=list(row_counts), assignment=list(assignment))
 
     # -- core-port operations -------------------------------------------------------
 
@@ -163,6 +184,9 @@ class SplClusterController:
                    cycle: int, ready: int = 0) -> bool:
         self.staging[slot].write_word(value, offset, ready)
         self.stats.bump("stage_loads")
+        if self.obs.active:
+            self.obs.emit(cycle, self._src, ev.SPL_STAGE, slot=slot,
+                          offset=offset)
         return True
 
     def init(self, slot: int, config_id: int, cycle: int) -> bool:
@@ -174,6 +198,9 @@ class SplClusterController:
         queue = self.input_queues[slot]
         if queue.full:
             self.stats.bump("input_queue_full")
+            if self.obs.active:
+                self.obs.emit(cycle, self._src, ev.QUEUE_FULL,
+                              queue=f"iq{slot}", depth=len(queue))
             return False
         if binding.barrier_id is not None:
             data, valid, ready = self.staging[slot].seal()
@@ -185,6 +212,12 @@ class SplClusterController:
             self.barrier_table.arrive(binding.barrier_id, thread_id, cycle,
                                       app_id=self.table.app_ids[slot])
             self.stats.bump("barrier_arrivals")
+            if self.obs.active:
+                self.obs.emit(cycle, self._src, ev.QUEUE_PUSH,
+                              queue=f"iq{slot}", depth=len(queue))
+                self.obs.emit(cycle, self._src, ev.BARRIER_ARRIVE,
+                              barrier=binding.barrier_id, thread=thread_id,
+                              slot=slot)
             return True
         if binding.dest_thread is not None:
             dest_slot = self.table.lookup(binding.dest_thread)
@@ -192,21 +225,44 @@ class SplClusterController:
                 # Destination thread not resident: refuse to issue
                 # (Section II-B1) so the producer cannot flood the fabric.
                 self.stats.bump("dest_absent_stalls")
+                if self.obs.active:
+                    self.obs.emit(cycle, self._src, ev.DEST_STALL,
+                                  slot=slot, reason="dest_absent")
                 return False
         else:
             dest_slot = slot
         if not self.table.try_reserve(dest_slot):
             self.stats.bump("inflight_cap_stalls")
+            if self.obs.active:
+                self.obs.emit(cycle, self._src, ev.DEST_STALL, slot=slot,
+                              reason="inflight_cap")
             return False
         data, valid, ready = self.staging[slot].seal()
         request = SplRequest(config_id, data, valid, slot, cycle, ready)
         request.dest_slot = dest_slot
         queue.push(request)
         self.stats.bump("requests")
+        if self.obs.active:
+            self.obs.emit(cycle, self._src, ev.QUEUE_PUSH,
+                          queue=f"iq{slot}", depth=len(queue))
         return True
 
     def recv(self, slot: int, cycle: int) -> Optional[int]:
-        return self.output_queues[slot].pop()
+        value = self.output_queues[slot].pop()
+        if value is not None and self.obs.active:
+            self.obs.emit(cycle, self._src, ev.QUEUE_POP,
+                          queue=f"oq{slot}",
+                          depth=len(self.output_queues[slot]))
+        return value
+
+    def stall_kind(self, slot: int) -> str:
+        """See :meth:`repro.cpu.ports.SplPort.stall_kind`."""
+        head = self.input_queues[slot].head()
+        if head is not None:
+            binding = self.bindings.get((slot, head.config_id))
+            if binding is not None and binding.barrier_id is not None:
+                return "barrier"
+        return "queue"
 
     def can_switch_out(self, slot: int) -> bool:
         return (self.table.can_switch_out(slot)
@@ -216,6 +272,7 @@ class SplClusterController:
     # -- fabric clock ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
+        self._now = cycle
         if cycle % SPL_CLOCK_RATIO:
             return
         fnow = cycle // SPL_CLOCK_RATIO
@@ -267,9 +324,20 @@ class SplClusterController:
                     self.output_queues[slot].push_words(words)
                     if release:
                         self.table.release(slot)
+                    if self.obs.active:
+                        self.obs.emit(self._now, self._src, ev.QUEUE_PUSH,
+                                      queue=f"oq{slot}",
+                                      depth=len(self.output_queues[slot]))
                 self.stats.bump("deliveries")
+                if self.obs.active:
+                    self.obs.emit(self._now, self._src, ev.SPL_DELIVER,
+                                  partition=partition.index,
+                                  slots=[slot for slot, _, _ in deliveries])
             else:
                 self.stats.bump("output_queue_stalls")
+                if self.obs.active:
+                    self.obs.emit(self._now, self._src, ev.QUEUE_STALL,
+                                  partition=partition.index)
                 remaining.append((complete, deliveries))
         partition.events = remaining
 
@@ -310,6 +378,11 @@ class SplClusterController:
         partition.next_issue = partition.reconfig_until
         self.stats.bump("reconfigurations")
         self.stats.bump("reconfig_rows", rows_to_load)
+        if self.obs.active:
+            self.obs.emit(self._now, self._src, ev.SPL_RECONFIG,
+                          partition=partition.index, function=function.name,
+                          rows=rows_to_load,
+                          fcycles=partition.reconfig_until - fnow)
 
     def _issue_regular(self, partition: _Partition, slot: int,
                        function: SplFunction, fnow: int) -> None:
@@ -325,6 +398,14 @@ class SplClusterController:
         partition.next_issue = fnow + interval
         self.stats.bump("issues")
         self.stats.bump("rows_evaluated", function.rows)
+        if self.obs.active:
+            self.obs.emit(self._now, self._src, ev.QUEUE_POP,
+                          queue=f"iq{slot}",
+                          depth=len(self.input_queues[slot]))
+            self.obs.emit(self._now, self._src, ev.SPL_ISSUE,
+                          partition=partition.index, slot=slot,
+                          function=function.name, rows=function.rows,
+                          latency=latency, interval=interval)
 
     def _issue_barrier(self, partition: _Partition, slot: int,
                        binding: SplBinding, fnow: int, cycle: int) -> bool:
@@ -372,6 +453,18 @@ class SplClusterController:
         self.barrier_table.release(barrier_id)
         self.stats.bump("barrier_releases")
         self.stats.bump("rows_evaluated", function.rows)
+        if self.obs.active:
+            for participant in sorted(local_slots):
+                self.obs.emit(self._now, self._src, ev.QUEUE_POP,
+                              queue=f"iq{participant}",
+                              depth=len(self.input_queues[participant]))
+            self.obs.emit(self._now, self._src, ev.SPL_ISSUE,
+                          partition=partition.index, slot=slot,
+                          function=function.name, rows=function.rows,
+                          latency=latency, barrier=barrier_id)
+            self.obs.emit(self._now, self._src, ev.BARRIER_RELEASE,
+                          barrier=barrier_id,
+                          slots=sorted(local_slots))
         return True
 
     def _barrier_partition(self, barrier_id: int) -> int:

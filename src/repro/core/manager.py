@@ -35,6 +35,7 @@ class FabricManager:
                  interval: int = 2048) -> None:
         self.controller = controller
         self.stats = stats
+        stats.declare("repartitions", "repartition_deferred")
         self.interval = interval
         self._next_decision = interval
         self._current_plan: Optional[Tuple] = None

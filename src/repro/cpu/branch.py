@@ -42,6 +42,7 @@ class HybridPredictor:
     def __init__(self, config: BranchPredictorConfig, stats: Stats) -> None:
         self.config = config
         self.stats = stats
+        stats.declare("branches", "btb_hits", "btb_misses")
         self.bimodal = _CounterTable(config.bimodal_bits)
         self.gshare = _CounterTable(config.gshare_bits)
         self.chooser = _CounterTable(config.chooser_bits)

@@ -40,6 +40,8 @@ from repro.isa.instruction import FP_BASE, Instruction
 from repro.isa.opcodes import FuClass, Op
 from repro.mem.hierarchy import CoherentMemorySystem
 from repro.mem.memory import MainMemory
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
 
 DISP, ISSUED, DONE = 0, 1, 2
 
@@ -89,14 +91,26 @@ class RobEntry:
 class OutOfOrderCore:
     """One out-of-order core attached to the coherent memory system."""
 
+    #: Every counter this core's stats scope may touch (typo guard).
+    STAT_KEYS = (
+        "cycles", "fetched", "dispatched", "issued", "retired",
+        "branches_resolved", "mispredicts", "flushes", "load_replays",
+        "loads", "stores", "load_forwards", "atomics", "int_ops",
+        "fp_ops", "rob_full_stalls", "iq_full_stalls", "lsq_full_stalls",
+        "rename_stalls", "store_buffer_stalls", "icache_stall_cycles",
+        "spl_loads", "spl_load_stalls", "spl_inits", "spl_init_stalls",
+        "spl_recvs", "spl_recv_stalls", "spl_stores")
+
     def __init__(self, index: int, config: CoreConfig,
                  mem_system: CoherentMemorySystem, memory: MainMemory,
-                 stats: Stats) -> None:
+                 stats: Stats, obs: Optional[EventBus] = None) -> None:
         self.index = index
         self.config = config
         self.mem_system = mem_system
         self.memory = memory
         self.stats = stats
+        stats.declare(*self.STAT_KEYS)
+        self._c_cycles = stats.counter("cycles")
         self.predictor = HybridPredictor(config.predictor,
                                          stats.child("predictor"))
         self.spl_port: Optional[SplPort] = None
@@ -106,8 +120,18 @@ class OutOfOrderCore:
         self.stall_until = 0  # migration / startup stall
         self._rename_limit_int = config.int_regs - 32
         self._rename_limit_fp = config.fp_regs - 32
-        #: Optional PipelineTracer (see cpu.trace); None = no overhead.
-        self.tracer = None
+        #: Observability bus; inert (``active`` False) unless the owning
+        #: machine attaches a sink, in which case emissions light up.
+        self.obs = obs if obs is not None else EventBus()
+        self._src = f"cpu{index}"
+        # Per-tick cache of ``obs.pipeline_active`` so the per-instruction
+        # emission guards are a single attribute read.
+        self._obs_pipe = False
+        # Run-length state for cycle-accounting spans (only advanced while
+        # a sink is attached; survives migrations so spans stay honest).
+        self._span_class: Optional[str] = None
+        self._span_start = 0
+        self._last_tick = -1
         self._reset_pipeline()
         mem_system.invalidation_listeners.append(self._on_invalidation)
 
@@ -179,12 +203,79 @@ class OutOfOrderCore:
     def tick(self, cycle: int) -> None:
         if self.ctx is None or self.halted or cycle < self.stall_until:
             return
-        self.stats.bump("cycles")
+        self._c_cycles.add()
+        observed = self.obs.active
+        if observed:
+            self._obs_pipe = self.obs.pipeline_active
+        elif self._obs_pipe:
+            self._obs_pipe = False
         self._writeback(cycle)
         self._retire(cycle)
         self._issue(cycle)
         self._dispatch(cycle)
         self._fetch(cycle)
+        if observed:
+            self._observe_cycle(cycle)
+
+    # ------------------------------------------------------- observability
+
+    def _observe_cycle(self, cycle: int) -> None:
+        """Extend or start the run-length cycle-classification span."""
+        cls = self._classify_cycle(cycle)
+        if cls != self._span_class or cycle != self._last_tick + 1:
+            self._close_span()
+            self._span_class = cls
+            self._span_start = cycle
+        self._last_tick = cycle
+
+    def _close_span(self) -> None:
+        if self._span_class is not None:
+            self.obs.emit(self._span_start, self._src, ev.CYCLE_SPAN,
+                          cls=self._span_class,
+                          dur=self._last_tick - self._span_start + 1)
+            self._span_class = None
+
+    def flush_observation(self) -> None:
+        """Emit the open span (end of run / before detaching sinks)."""
+        if self.obs.active:
+            self._close_span()
+
+    def _classify_cycle(self, cycle: int) -> str:
+        """Attribute this ticked cycle to one accounting class.
+
+        The head of the ROB (the oldest instruction) determines what the
+        core is waiting for — the standard top-down attribution: a cycle
+        that retires work is compute; otherwise the oldest unfinished
+        instruction names the bottleneck.
+        """
+        if self.last_retire_cycle == cycle:
+            return ev.CLS_COMPUTE
+        if not self.rob:
+            # Empty window: front-end refill. An icache miss parks
+            # fetch_resume in the future; otherwise it is decode/refill
+            # latency, charged to compute.
+            if self.fetch_resume > cycle:
+                return ev.CLS_MEM
+            return ev.CLS_COMPUTE
+        head = self.rob[0]
+        info = head.inst.info
+        if info.serialize:
+            op = head.inst.op
+            if op in (Op.SPL_RECV, Op.SPL_STORE, Op.SPL_INIT):
+                port = self.spl_port
+                if port is not None and port.stall_kind() == "barrier":
+                    return ev.CLS_BARRIER
+                return ev.CLS_SPL_QUEUE
+            if op in (Op.SPL_LOAD, Op.SPL_LOADM, Op.SPL_LOADV):
+                return ev.CLS_SPL_QUEUE
+            if op in (Op.AMO_ADD, Op.AMO_SWAP, Op.FENCE):
+                return ev.CLS_MEM
+            return ev.CLS_COMPUTE
+        if head.state == DONE:
+            return ev.CLS_MEM  # retirement blocked on the store buffer
+        if head.state == ISSUED and (info.is_load or info.is_store):
+            return ev.CLS_MEM
+        return ev.CLS_COMPUTE
 
     # -------------------------------------------------------------- writeback
 
@@ -200,9 +291,9 @@ class OutOfOrderCore:
 
     def _complete(self, entry: RobEntry, cycle: int) -> None:
         entry.state = DONE
-        if self.tracer is not None:
-            self.tracer.record(cycle, "complete", entry.seq, entry.pc,
-                               repr(entry.inst))
+        if self._obs_pipe:
+            self.obs.emit(cycle, self._src, ev.COMPLETE, seq=entry.seq,
+                          pc=entry.pc, text=repr(entry.inst))
         for consumer, slot in entry.consumers:
             if consumer.flushed:
                 continue
@@ -235,9 +326,9 @@ class OutOfOrderCore:
 
     def _flush_from_seq(self, first_seq: int, cycle: int, new_pc: int) -> None:
         self.stats.bump("flushes")
-        if self.tracer is not None:
-            self.tracer.record(cycle, "flush", first_seq, new_pc,
-                               f"redirect -> {new_pc}")
+        if self._obs_pipe:
+            self.obs.emit(cycle, self._src, ev.FLUSH, seq=first_seq,
+                          pc=new_pc, text=f"redirect -> {new_pc}")
         keep: List[RobEntry] = []
         for candidate in self.rob:
             if candidate.seq >= first_seq:
@@ -324,9 +415,9 @@ class OutOfOrderCore:
                 if self.rat.get(dest) is head:
                     del self.rat[dest]
             self.rob.pop(0)
-            if self.tracer is not None:
-                self.tracer.record(cycle, "retire", head.seq, head.pc,
-                                   repr(head.inst))
+            if self._obs_pipe:
+                self.obs.emit(cycle, self._src, ev.RETIRE, seq=head.seq,
+                              pc=head.pc, text=repr(head.inst))
             if head.inst.info.is_store:
                 if head in self.store_entries:
                     self.store_entries.remove(head)
@@ -518,9 +609,9 @@ class OutOfOrderCore:
                 self._execute(entry, cycle)
             fu_used[pool] = fu_used.get(pool, 0) + 1
             budget -= 1
-            if self.tracer is not None:
-                self.tracer.record(cycle, "issue", entry.seq, entry.pc,
-                                   repr(entry.inst))
+            if self._obs_pipe:
+                self.obs.emit(cycle, self._src, ev.ISSUE, seq=entry.seq,
+                              pc=entry.pc, text=repr(entry.inst))
             if entry.in_int_iq:
                 self.int_iq_used -= 1
                 entry.in_int_iq = False
@@ -701,9 +792,9 @@ class OutOfOrderCore:
                     self.rename_int_used += 1
                 self.rat[dest] = entry
             self.rob.append(entry)
-            if self.tracer is not None:
-                self.tracer.record(cycle, "dispatch", entry.seq, entry.pc,
-                                   repr(inst))
+            if self._obs_pipe:
+                self.obs.emit(cycle, self._src, ev.DISPATCH, seq=entry.seq,
+                              pc=entry.pc, text=repr(inst))
             if entry.remaining == 0 and not info.serialize:
                 heappush(self.ready, (entry.seq, entry))
             dispatched += 1
@@ -749,6 +840,9 @@ class OutOfOrderCore:
             inst = program[pc]
             pred_next = self._predict_next(inst, pc)
             self.fetch_queue.append((inst, pc, pred_next, cycle))
+            if self._obs_pipe:
+                self.obs.emit(cycle, self._src, ev.FETCH, seq=self.seq,
+                              pc=pc, text=repr(inst))
             self.stats.bump("fetched")
             fetched += 1
             if inst.op is Op.HALT:

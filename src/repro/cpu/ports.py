@@ -38,5 +38,15 @@ class SplPort:
         """True when no in-flight fabric results still target this core."""
         return True
 
+    def stall_kind(self) -> str:
+        """Why a blocked ``spl_*`` op at the ROB head is waiting.
+
+        ``"barrier"`` when the unit is gathering a barrier (the thread
+        arrived and awaits the release), ``"queue"`` for ordinary
+        queue/fabric occupancy.  Used by the cycle-accounting profiler to
+        split barrier-wait from SPL-queue-stall cycles.
+        """
+        return "queue"
+
     def on_context_change(self, thread_id: Optional[int], app_id: int) -> None:
         """Notify the unit that the core now runs a different thread."""

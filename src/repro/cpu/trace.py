@@ -1,19 +1,35 @@
-"""Pipeline tracing: a per-cycle event log for debugging programs.
+"""Pipeline tracing: a pipe-trace sink over the observability bus.
 
-Attach a :class:`PipelineTracer` to a core and every fetch / dispatch /
-issue / complete / retire / flush event is recorded (optionally bounded).
+:class:`PipelineTracer` subscribes to a core's per-instruction events
+(fetch / dispatch / issue / complete / retire / flush) on the machine's
+:class:`~repro.obs.bus.EventBus` and records them (optionally bounded).
 The textual rendering is a classic pipe-trace::
 
     cycle    12 retire   seq=007 pc=004  addi r1, r1, 1
     cycle    13 flush    seq=009 pc=006  blt r1, r2, ...  (redirect -> 2)
 
-Tracing is opt-in and costs nothing when no tracer is attached.
+Tracing is opt-in and costs nothing when no sink is attached: cores only
+construct trace payloads while the bus reports a pipeline-kind listener.
+
+Attach through the bus::
+
+    tracer = PipelineTracer(stages=["retire"])
+    machine.obs.attach(tracer, kinds=tracer.kinds,
+                       sources={f"cpu{core.index}"})
+
+:func:`attach_tracer` keeps the historical one-call form (it now routes
+through the bus) and is deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.obs import events as ev
+from repro.obs.bus import Sink
+from repro.obs.events import Event
 
 
 @dataclass(frozen=True)
@@ -29,8 +45,8 @@ class TraceEvent:
                 f"seq={self.seq:04d} pc={self.pc:04d}  {self.text}")
 
 
-class PipelineTracer:
-    """Bounded in-memory event recorder for one core."""
+class PipelineTracer(Sink):
+    """Bounded in-memory pipe-trace recorder (an event-bus sink)."""
 
     def __init__(self, limit: int = 100_000,
                  stages: Optional[List[str]] = None) -> None:
@@ -38,6 +54,19 @@ class PipelineTracer:
         self.stages = set(stages) if stages else None
         self.events: List[TraceEvent] = []
         self.dropped = 0
+
+    @property
+    def kinds(self) -> frozenset:
+        """The event kinds this tracer wants (for ``EventBus.attach``)."""
+        if self.stages is None:
+            return ev.PIPELINE_KINDS
+        return ev.PIPELINE_KINDS & frozenset(self.stages)
+
+    def accept(self, event: Event) -> None:
+        if event.kind not in ev.PIPELINE_KINDS:
+            return
+        self.record(event.cycle, event.kind, event.get("seq", 0),
+                    event.get("pc", 0), event.get("text", ""))
 
     def record(self, cycle: int, stage: str, seq: int, pc: int,
                text: str) -> None:
@@ -66,7 +95,14 @@ class PipelineTracer:
 
 def attach_tracer(core, limit: int = 100_000,
                   stages: Optional[List[str]] = None) -> PipelineTracer:
-    """Create a tracer and attach it to an OutOfOrderCore."""
+    """Deprecated: subscribe a :class:`PipelineTracer` to one core.
+
+    Prefer attaching the sink to ``machine.obs`` directly (see the module
+    docstring); this shim only survives for existing callers.
+    """
+    warnings.warn(
+        "attach_tracer is deprecated; attach a PipelineTracer to "
+        "machine.obs instead", DeprecationWarning, stacklevel=2)
     tracer = PipelineTracer(limit=limit, stages=stages)
-    core.tracer = tracer
+    core.obs.attach(tracer, kinds=tracer.kinds, sources={f"cpu{core.index}"})
     return tracer

@@ -1,73 +1,12 @@
-"""Plain-text rendering of experiment outputs (tables and series)."""
+"""Plain-text rendering of experiment outputs (tables and series).
+
+Deprecated location: the renderer now lives in :mod:`repro.obs.render`
+so experiment tables and post-run machine reports share one
+implementation.  This module re-exports the historical names.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from repro.obs.render import format_series, format_table, geomean_row
 
-
-def format_table(rows: List[dict], columns: Sequence[str] = (),
-                 floatfmt: str = "{:.2f}") -> str:
-    """Render dict rows as an aligned ASCII table."""
-    if not rows:
-        return "(no rows)"
-    if not columns:
-        columns = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
-    else:
-        columns = list(columns)
-    rendered = []
-    for row in rows:
-        cells = []
-        for column in columns:
-            value = row.get(column, "")
-            if isinstance(value, float):
-                cells.append(floatfmt.format(value))
-            else:
-                cells.append(str(value))
-        rendered.append(cells)
-    widths = [max(len(column), *(len(r[i]) for r in rendered))
-              for i, column in enumerate(columns)]
-    lines = ["  ".join(column.ljust(width)
-                       for column, width in zip(columns, widths))]
-    lines.append("  ".join("-" * width for width in widths))
-    for cells in rendered:
-        lines.append("  ".join(cell.ljust(width)
-                               for cell, width in zip(cells, widths)))
-    return "\n".join(lines)
-
-
-def format_series(series: Dict, value_fmt: str = "{:.1f}") -> str:
-    """Render a {name: [values...], "sizes": [...]} mapping as a table."""
-    sizes = series["sizes"]
-    rows = []
-    for size_index, size in enumerate(sizes):
-        row = {"size": size}
-        for name, values in series.items():
-            if name == "sizes":
-                continue
-            row[name] = values[size_index]
-        rows.append(row)
-    columns = ["size"] + [name for name in series if name != "sizes"]
-    return format_table(rows, columns, floatfmt=value_fmt)
-
-
-def geomean_row(rows: List[dict], label: str = "geomean") -> dict:
-    """Geometric mean across numeric columns (for summary lines)."""
-    import math
-    if not rows:
-        return {"bench": label}
-    out = {"bench": label}
-    keys = [key for key in rows[0] if isinstance(rows[0][key], float)]
-    for key in keys:
-        values = [row[key] for row in rows if key in row]
-        positive = [1.0 + v / 100.0 if "pct" in key or "improvement" in key
-                    else v for v in values]
-        if any(v <= 0 for v in positive):
-            continue
-        mean = math.exp(sum(math.log(v) for v in positive) / len(positive))
-        out[key] = (mean - 1.0) * 100.0 if "pct" in key or "improvement" \
-            in key else mean
-    return out
+__all__ = ["format_table", "format_series", "geomean_row"]

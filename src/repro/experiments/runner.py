@@ -24,7 +24,8 @@ from repro.workloads.base import RunSpec
 
 #: Bump when the meaning of any serialized field changes; the result cache
 #: keys on it, so old entries stop being read.
-RESULT_SCHEMA_VERSION = 2
+#: v3: added the versioned ``metrics`` snapshot (repro.obs.metrics).
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -43,6 +44,9 @@ class RunResult:
     system: Optional[Dict] = None
     #: Flattened ``Stats`` counters ({"machine.cpu0.retired": ...}).
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Run-level metrics snapshot (see :mod:`repro.obs.metrics`); carries
+    #: its own ``schema`` field and survives cache round-trips.
+    metrics: Dict = field(default_factory=dict)
     #: True when the engine served this result from the persistent cache.
     cache_hit: bool = False
 
@@ -55,6 +59,9 @@ class RunResult:
             self.system = system_to_dict(self.spec.system)
         if self.stats is not None and not self.counters:
             self.counters = self.stats.as_dict()
+        if not self.metrics and self.counters:
+            from repro.obs.metrics import snapshot_from_counters
+            self.metrics = snapshot_from_counters(self.counters, self.cycles)
 
     @property
     def seconds(self) -> float:
@@ -100,6 +107,7 @@ class RunResult:
                 "leakage": self.energy.leakage,
             },
             "counters": self.counters,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -120,7 +128,8 @@ class RunResult:
                 region_items=data["region_items"],
                 energy_divisor=data["energy_divisor"],
                 system=data.get("system"),
-                counters=dict(data.get("counters", {})))
+                counters=dict(data.get("counters", {})),
+                metrics=dict(data.get("metrics", {})))
         except (KeyError, TypeError) as exc:
             raise ConfigError(f"malformed RunResult record: {exc}") from exc
 
@@ -131,6 +140,7 @@ def execute(spec: RunSpec, check: bool = True,
     machine = Machine(spec.system)
     machine.load(spec.workload)
     cycles = machine.run(max_cycles=spec.max_cycles)
+    machine.finish_observation()
     if check and spec.workload.check is not None:
         spec.workload.check(machine.memory)
     model = model or EnergyModel()
@@ -139,8 +149,10 @@ def execute(spec: RunSpec, check: bool = True,
         ooo1_cores=spec.ooo1_cores,
         ooo2_cores=spec.ooo2_cores,
         spl_clusters=spec.spl_clusters)
+    from repro.obs.metrics import snapshot_from_machine
     return RunResult(spec=spec, cycles=cycles, energy=energy,
-                     stats=machine.stats)
+                     stats=machine.stats,
+                     metrics=snapshot_from_machine(machine))
 
 
 def speedup(baseline: RunResult, candidate: RunResult) -> float:

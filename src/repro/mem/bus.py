@@ -8,18 +8,25 @@ hammering a shared counter line) without message-level simulation.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.stats import Stats
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
 
 
 class SnoopBus:
     """Single shared bus connecting all private L2s and main memory."""
 
-    __slots__ = ("occupancy", "next_free", "stats")
+    __slots__ = ("occupancy", "next_free", "stats", "obs")
 
-    def __init__(self, occupancy: int, stats: Stats) -> None:
+    def __init__(self, occupancy: int, stats: Stats,
+                 obs: Optional[EventBus] = None) -> None:
         self.occupancy = occupancy
         self.next_free = 0
         self.stats = stats
+        stats.declare("transactions", "wait_cycles")
+        self.obs = obs if obs is not None else EventBus()
 
     def transact(self, cycle: int) -> int:
         """Arbitrate at ``cycle``; returns the grant cycle."""
@@ -29,4 +36,7 @@ class SnoopBus:
         self.stats.bump("transactions")
         if wait:
             self.stats.bump("wait_cycles", wait)
+            if self.obs.active:
+                self.obs.emit(cycle, "bus", ev.BUS_WAIT, wait=wait,
+                              grant=grant)
         return grant

@@ -28,6 +28,7 @@ class TagArray:
         # set index -> OrderedDict of line address -> True (LRU order)
         self.sets: Dict[int, "OrderedDict[int, bool]"] = {}
         self.stats = stats
+        stats.declare("evictions")
 
     def line_addr(self, addr: int) -> int:
         return addr >> self.offset_bits

@@ -10,12 +10,14 @@ is the cycle at which the access completes.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.config import CacheConfig, SystemConfig
 from repro.common.stats import Stats
 from repro.mem.bus import SnoopBus
 from repro.mem.cache import TagArray
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
 
 # MESI states; absence from the state dict means Invalid.
 SHARED = 1
@@ -37,10 +39,16 @@ class _CorePort:
     __slots__ = ("index", "l1i", "l1d", "l2", "states", "stats",
                  "l1_latency", "l2_latency")
 
+    STAT_KEYS = (
+        "l1d_hits", "l1d_misses", "l1d_upgrades", "l2_hits", "l2_misses",
+        "l1i_hits", "l1i_misses", "snoop_writebacks",
+        "snoop_invalidations", "l2_writebacks")
+
     def __init__(self, index: int, l1i_cfg: CacheConfig, l1d_cfg: CacheConfig,
                  l2_cfg: CacheConfig, stats: Stats) -> None:
         self.index = index
         self.stats = stats
+        stats.declare(*self.STAT_KEYS)
         self.l1i = TagArray(l1i_cfg, stats.child("l1i"))
         self.l1d = TagArray(l1d_cfg, stats.child("l1d"))
         self.l2 = TagArray(l2_cfg, stats.child("l2"))
@@ -53,11 +61,14 @@ class CoherentMemorySystem:
     """All private hierarchies plus the shared bus and main memory timing."""
 
     def __init__(self, core_cache_configs, system: SystemConfig,
-                 stats: Stats) -> None:
+                 stats: Stats, obs: Optional[EventBus] = None) -> None:
         """``core_cache_configs`` is a list of (l1i, l1d, l2) per core."""
         self.system = system
         self.stats = stats
-        self.bus = SnoopBus(system.bus_occupancy, stats.child("bus"))
+        stats.declare("upgrades", "c2c_transfers", "memory_reads")
+        self.obs = obs if obs is not None else EventBus()
+        self.bus = SnoopBus(system.bus_occupancy, stats.child("bus"),
+                            obs=self.obs)
         self.memory_latency = system.memory_latency
         #: Callbacks (core_index, line) fired on snoop invalidations, used by
         #: cores to replay speculatively-issued loads (see cpu.pipeline).
@@ -94,10 +105,18 @@ class CoherentMemorySystem:
             elif is_write:
                 port.states[line] = MODIFIED
             self._fill_l1(port, line)
+            if self.obs.active:
+                self.obs.emit(cycle, f"mem{port.index}", ev.MEM_MISS,
+                              level="l1d", addr=addr, done=ready,
+                              write=is_write)
             return ready
         port.stats.bump("l2_misses")
         ready += port.l2_latency
-        return self._bus_fill(port, line, is_write, ready, data_cache=True)
+        done = self._bus_fill(port, line, is_write, ready, data_cache=True)
+        if self.obs.active:
+            self.obs.emit(cycle, f"mem{port.index}", ev.MEM_MISS,
+                          level="l2", addr=addr, done=done, write=is_write)
+        return done
 
     def inst_fetch(self, core: int, pc: int, cycle: int) -> int:
         """Fetch timing for the line containing instruction index ``pc``."""
@@ -119,6 +138,10 @@ class CoherentMemorySystem:
         victim = port.l1i.insert(line)
         if victim is not None:
             pass  # clean instruction lines are silently dropped
+        if self.obs.active:
+            self.obs.emit(cycle, f"mem{port.index}", ev.MEM_MISS,
+                          level="l1i", addr=INST_SPACE + pc * 4, done=ready,
+                          write=False)
         return ready
 
     # -- internals ----------------------------------------------------------------

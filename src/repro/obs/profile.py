@@ -1,0 +1,104 @@
+"""Cycle-accounting profiler: where did every core-cycle go?
+
+:class:`ProfilerSink` consumes the run-length ``cycle_span`` stream the
+cores publish and attributes every core-cycle of the run to exactly one
+bucket: ``compute``, ``spl_queue_stall``, ``barrier_wait``, ``mem_stall``,
+or ``idle`` (cycles the core did not tick — unattached, migrating, or
+finished early).
+
+The defining property is the **accounting identity**: for every core,
+
+    compute + spl_queue_stall + barrier_wait + mem_stall + idle
+        == total machine cycles
+
+:meth:`CycleAccounting.verify` enforces it and raises on any leak, so a
+new stall source that forgets to classify shows up as a hard error, not
+a quietly-wrong report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.obs import events as ev
+from repro.obs.bus import Sink
+from repro.obs.events import Event
+
+
+class CycleAccounting:
+    """Finished per-core cycle attribution for one run."""
+
+    def __init__(self, total_cycles: int,
+                 ticked: Dict[str, Dict[str, int]]) -> None:
+        self.total_cycles = total_cycles
+        #: source ("cpu0") -> {span class -> cycles}; no idle yet.
+        self._ticked = ticked
+
+    def sources(self) -> List[str]:
+        return sorted(self._ticked, key=lambda s: (len(s), s))
+
+    def row(self, source: str) -> Dict[str, int]:
+        """All five buckets for one core; they sum to ``total_cycles``."""
+        spans = self._ticked.get(source, {})
+        row = {cls: spans.get(cls, 0) for cls in ev.SPAN_CLASSES}
+        ticked = sum(spans.values())
+        row[ev.CLS_IDLE] = self.total_cycles - ticked
+        return row
+
+    def rows(self, sources: Optional[List[str]] = None) -> List[Dict]:
+        out = []
+        for source in sources if sources is not None else self.sources():
+            row: Dict = {"core": source}
+            row.update(self.row(source))
+            row["total"] = self.total_cycles
+            out.append(row)
+        return out
+
+    def verify(self, sources: Optional[List[str]] = None) -> None:
+        """Enforce the accounting identity for every core."""
+        for source in sources if sources is not None else self.sources():
+            row = self.row(source)
+            if row[ev.CLS_IDLE] < 0:
+                raise SimulationError(
+                    f"cycle accounting leak on {source}: classified "
+                    f"{self.total_cycles - row[ev.CLS_IDLE]} cycles of "
+                    f"{self.total_cycles} (double-counted spans)")
+            if sum(row.values()) != self.total_cycles:
+                raise SimulationError(
+                    f"cycle accounting identity violated on {source}: "
+                    f"{sum(row.values())} != {self.total_cycles}")
+
+
+class ProfilerSink(Sink):
+    """Accumulates ``cycle_span`` events into per-core buckets.
+
+    Attach with ``machine.obs.attach(sink, kinds=ProfilerSink.KINDS)``;
+    after the run call ``machine.finish_observation()`` (which flushes
+    each core's open span), then :meth:`accounting`.
+    """
+
+    KINDS = frozenset((ev.CYCLE_SPAN,))
+
+    def __init__(self) -> None:
+        self.spans: Dict[str, Dict[str, int]] = {}
+        self.finished_at: Optional[int] = None
+
+    def accept(self, event: Event) -> None:
+        if event.kind != ev.CYCLE_SPAN:
+            return
+        buckets = self.spans.setdefault(event.source, {})
+        cls = event.get("cls", ev.CLS_COMPUTE)
+        buckets[cls] = buckets.get(cls, 0) + event.get("dur", 1)
+
+    def on_finish(self, cycle: int) -> None:
+        self.finished_at = cycle
+
+    def accounting(self, total_cycles: Optional[int] = None,
+                   verify: bool = True) -> CycleAccounting:
+        total = total_cycles if total_cycles is not None \
+            else (self.finished_at or 0)
+        accounting = CycleAccounting(total, self.spans)
+        if verify:
+            accounting.verify()
+        return accounting

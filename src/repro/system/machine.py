@@ -21,6 +21,8 @@ from repro.cpu.context import ThreadContext
 from repro.cpu.pipeline import OutOfOrderCore
 from repro.mem.hierarchy import CoherentMemorySystem
 from repro.mem.memory import MainMemory
+from repro.obs import events as ev
+from repro.obs.bus import EventBus
 from repro.system.workload import Workload
 
 _WATCHDOG_STRIDE = 4096
@@ -44,6 +46,11 @@ class Machine:
         config.validate()
         self.config = config
         self.stats = Stats("machine")
+        self.stats.declare("migrations")
+        #: One observability bus for the whole machine; every simulated
+        #: structure publishes into it (see repro.obs).  Zero-cost until a
+        #: sink is attached with ``machine.obs.attach(...)``.
+        self.obs = EventBus()
         self.memory = MainMemory()
         self.cycle = 0
         cache_configs = []
@@ -52,7 +59,7 @@ class Machine:
                 cache_configs.append(
                     (cluster.core.l1i, cluster.core.l1d, cluster.core.l2))
         self.mem_system = CoherentMemorySystem(
-            cache_configs, config, self.stats.child("mem"))
+            cache_configs, config, self.stats.child("mem"), obs=self.obs)
         bus_latency = 10
         for cluster in config.clusters:
             if cluster.kind == "spl":
@@ -70,7 +77,8 @@ class Machine:
             for _ in range(cluster.n_cores):
                 core = OutOfOrderCore(core_index, cluster.core,
                                       self.mem_system, self.memory,
-                                      self.stats.child(f"cpu{core_index}"))
+                                      self.stats.child(f"cpu{core_index}"),
+                                      obs=self.obs)
                 self.cores.append(core)
                 indices.append(core_index)
                 core_index += 1
@@ -78,7 +86,7 @@ class Machine:
             if cluster.kind == "spl":
                 controller = SplClusterController(
                     cluster_id, cluster.spl, self.barrier_bus,
-                    self.stats.child(f"spl{cluster_id}"))
+                    self.stats.child(f"spl{cluster_id}"), obs=self.obs)
                 for slot, index in enumerate(indices):
                     self.cores[index].spl_port = controller.ports[slot]
                 self._controllers.append(controller)
@@ -192,6 +200,9 @@ class Machine:
             if self.cycle - core.last_retire_cycle > \
                     self.config.deadlock_cycles:
                 stuck.append(core)
+        if stuck and self.obs.active:
+            self.obs.emit(self.cycle, "machine", ev.WATCHDOG,
+                          stuck=[core.index for core in stuck])
         if stuck and len(stuck) == sum(
                 1 for c in self.cores if c.ctx is not None and not c.halted):
             details = ", ".join(
@@ -218,7 +229,23 @@ class Machine:
         dest.attach(ctx, self.cycle, stall=self.config.migration_cycles)
         self.thread_core[thread_id] = dest_core
         self.stats.bump("migrations")
+        if self.obs.active:
+            self.obs.emit(self.cycle, "machine", ev.MIGRATE,
+                          thread=thread_id, src=src_core.index,
+                          dest=dest_core)
         return self.cycle + self.config.migration_cycles
+
+    # -- observability ------------------------------------------------------------------------
+
+    def finish_observation(self) -> None:
+        """Flush open cycle spans and signal end-of-run to all sinks.
+
+        Call once after the last :meth:`run` of an observed simulation,
+        before reading trace/profile sinks.
+        """
+        for core in self.cores:
+            core.flush_observation()
+        self.obs.finish(self.cycle)
 
     # -- results --------------------------------------------------------------------------------
 

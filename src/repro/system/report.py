@@ -3,90 +3,40 @@
 ``machine_report`` condenses the statistics tree into the quantities an
 architect looks at first: per-core IPC and stall profile, cache hit rates,
 bus pressure, and fabric utilization.
+
+This module is now a thin facade over :mod:`repro.obs.metrics` (one
+serializer for run-level metrics, shared with the experiment engine's
+cached results) and :mod:`repro.obs.render` (one text renderer).  The
+historical signatures are preserved.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro.obs import metrics, render
 from repro.system.machine import Machine
 
 
 def core_summary(machine: Machine, index: int) -> Optional[Dict]:
     """IPC, branch accuracy, and stall profile for one core."""
-    stats = machine.stats.find(f"cpu{index}")
-    if stats is None or not stats.get("cycles"):
+    if not 0 <= index < len(machine.cores):
         return None
-    cycles = stats.get("cycles")
-    branches = stats.get("branches_resolved")
-    summary = {
-        "core": index,
-        "cycles": int(cycles),
-        "retired": int(stats.get("retired")),
-        "ipc": stats.get("retired") / cycles,
-        "branch_accuracy": (1 - stats.get("mispredicts") / branches
-                            if branches else 1.0),
-        "load_replays": int(stats.get("load_replays")),
-    }
-    mem = machine.stats.find("mem")
-    port = mem.find(f"core{index}") if mem is not None else None
-    if port is not None:
-        l1_accesses = port.get("l1d_hits") + port.get("l1d_misses")
-        summary["l1d_hit_rate"] = (port.get("l1d_hits") / l1_accesses
-                                   if l1_accesses else 1.0)
-        l2_accesses = port.get("l2_hits") + port.get("l2_misses")
-        summary["l2_hit_rate"] = (port.get("l2_hits") / l2_accesses
-                                  if l2_accesses else 1.0)
-    return summary
+    return metrics.core_summary(machine.stats.as_dict(), index)
 
 
 def fabric_summary(machine: Machine, cluster_id: int = 0) -> Optional[Dict]:
     """Issue counts, utilization, and stall profile for one SPL cluster."""
-    stats = machine.stats.find(f"spl{cluster_id}")
-    if stats is None:
+    controller = None
+    for cluster in machine.clusters:
+        if cluster.index == cluster_id:
+            controller = cluster.controller
+    if controller is None:
         return None
-    fabric_cycles = max(1, machine.cycle // 4)
-    from repro.common.config import spl_config
-    rows = spl_config().rows
-    return {
-        "cluster": cluster_id,
-        "issues": int(stats.get("issues")),
-        "barrier_releases": int(stats.get("barrier_releases")),
-        "reconfigurations": int(stats.get("reconfigurations")),
-        "rows_evaluated": int(stats.get("rows_evaluated")),
-        "row_utilization": stats.get("rows_evaluated")
-        / (fabric_cycles * rows),
-        "output_queue_stalls": int(stats.get("output_queue_stalls")),
-        "dest_absent_stalls": int(stats.get("dest_absent_stalls")),
-    }
+    return metrics.fabric_summary(machine.stats.as_dict(), cluster_id,
+                                  machine.cycle, controller.config.rows)
 
 
 def machine_report(machine: Machine) -> str:
     """Render the whole machine's post-run report."""
-    lines: List[str] = [f"machine: {machine.cycle} cycles, "
-                        f"{machine.total_retired()} instructions retired"]
-    for index in range(len(machine.cores)):
-        summary = core_summary(machine, index)
-        if summary is None:
-            continue
-        line = (f"  core {index}: IPC {summary['ipc']:.3f}  "
-                f"retired {summary['retired']}  "
-                f"branch-acc {summary['branch_accuracy'] * 100:.1f}%")
-        if "l1d_hit_rate" in summary:
-            line += f"  L1D {summary['l1d_hit_rate'] * 100:.1f}%"
-        lines.append(line)
-    for cluster in machine.clusters:
-        if cluster.controller is None:
-            continue
-        summary = fabric_summary(machine, cluster.index)
-        if summary and summary["issues"]:
-            lines.append(
-                f"  spl {cluster.index}: {summary['issues']} issues  "
-                f"util {summary['row_utilization'] * 100:.1f}%  "
-                f"reconfigs {summary['reconfigurations']}  "
-                f"barriers {summary['barrier_releases']}")
-    bus = machine.stats.find("mem").find("bus")
-    if bus is not None and bus.get("transactions"):
-        lines.append(f"  bus: {bus.get('transactions'):.0f} transactions, "
-                     f"{bus.get('wait_cycles'):.0f} wait cycles")
-    return "\n".join(lines)
+    return render.render_snapshot(metrics.snapshot_from_machine(machine))

@@ -1,0 +1,22 @@
+"""Regenerate tests/golden/perfetto_shape.json from the current exporter.
+
+Run deliberately after an intentional track-layout change::
+
+    PYTHONPATH=src python -m tests.regen_perfetto_golden
+"""
+
+import json
+
+from tests.test_obs_perfetto import GOLDEN, traced_run
+
+
+def main() -> None:
+    _machine, sink = traced_run()
+    with open(GOLDEN, "w", encoding="utf-8") as handle:
+        json.dump(sink.shape(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,6 @@
-"""Tests for the pipeline tracer."""
+"""Tests for the pipeline tracer (an event-bus sink)."""
+
+import pytest
 
 from repro.common.config import SystemConfig, ooo1_cluster
 from repro.cpu.trace import PipelineTracer, attach_tracer
@@ -6,7 +8,7 @@ from repro.isa import Asm, MemoryImage, ThreadSpec
 from repro.system import Machine, Workload
 
 
-def _machine_with_tracer(stages=None, limit=100_000):
+def _counting_machine():
     image = MemoryImage()
     out = image.alloc_zeroed(1)
     a = Asm("t")
@@ -21,7 +23,13 @@ def _machine_with_tracer(stages=None, limit=100_000):
     machine = Machine(SystemConfig(clusters=[ooo1_cluster()]))
     machine.load(Workload("t", image, [ThreadSpec(a.assemble(), 1)],
                           placement=[0]))
-    tracer = attach_tracer(machine.cores[0], limit=limit, stages=stages)
+    return machine
+
+
+def _machine_with_tracer(stages=None, limit=100_000):
+    machine = _counting_machine()
+    tracer = PipelineTracer(limit=limit, stages=stages)
+    machine.obs.attach(tracer, kinds=tracer.kinds, sources={"cpu0"})
     machine.run(max_cycles=100_000)
     return machine, tracer
 
@@ -29,7 +37,7 @@ def _machine_with_tracer(stages=None, limit=100_000):
 def test_records_all_stages():
     _, tracer = _machine_with_tracer()
     stages = {event.stage for event in tracer.events}
-    assert {"dispatch", "issue", "complete", "retire"} <= stages
+    assert {"fetch", "dispatch", "issue", "complete", "retire"} <= stages
 
 
 def test_retire_count_matches_stats():
@@ -63,6 +71,15 @@ def test_clear():
     assert not tracer.events and tracer.dropped == 0
 
 
+def test_attach_tracer_shim_warns_but_works():
+    machine = _counting_machine()
+    with pytest.warns(DeprecationWarning):
+        tracer = attach_tracer(machine.cores[0], stages=["retire"])
+    machine.run(max_cycles=100_000)
+    retired = machine.stats.find("cpu0").get("retired")
+    assert len(tracer.of_stage("retire")) == retired
+
+
 def test_mispredict_produces_flush_events():
     image = MemoryImage()
     values = [(i * 2654435761) % 31 - 15 for i in range(40)]
@@ -85,6 +102,7 @@ def test_mispredict_produces_flush_events():
     machine = Machine(SystemConfig(clusters=[ooo1_cluster()]))
     machine.load(Workload("t", image, [ThreadSpec(a.assemble(), 1)],
                           placement=[0]))
-    tracer = attach_tracer(machine.cores[0], stages=["flush"])
+    tracer = PipelineTracer(stages=["flush"])
+    machine.obs.attach(tracer, kinds=tracer.kinds, sources={"cpu0"})
     machine.run(max_cycles=100_000)
     assert tracer.of_stage("flush")
