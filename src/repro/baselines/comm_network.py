@@ -64,6 +64,9 @@ class CommPort(SplPort):
     def recv(self, cycle: int) -> Optional[int]:
         return self.controller.recv(self.slot, cycle)
 
+    def output_pending(self) -> bool:
+        return not self.controller.output_queues[self.slot].empty
+
     def can_switch_out(self) -> bool:
         return self.controller.can_switch_out(self.slot)
 
@@ -99,6 +102,10 @@ class DedicatedCommController:
         self.in_flight = [0] * n_cores
         #: (deliver_cycle, dest_slot, words)
         self.pending: Deque[Tuple[int, int, List[int]]] = deque()
+        #: ``wake(slot)`` callback installed by :func:`attach_network`:
+        #: fired per delivery so the fast-forward scheduler can wake an
+        #: elided core (see DESIGN.md).
+        self.wake_cb = None
         #: barrier id -> (participant thread ids, arrived thread ids)
         self.barriers: Dict[int, Tuple[Tuple[int, ...], List[int]]] = {}
 
@@ -164,6 +171,12 @@ class DedicatedCommController:
                 self.in_flight[dest] += 1
                 self.pending.append(
                     (cycle + self.barrier_latency, dest, [1]))
+                if self.wake_cb is not None:
+                    # The release flips stall_kind from "barrier" to
+                    # "queue": wake any elided waiter so its remaining
+                    # stall cycles are classified live, exactly as the
+                    # naive loop would.
+                    self.wake_cb(dest)
             del arrived[:]
             self.stats.bump("barrier_releases")
         return True
@@ -203,7 +216,21 @@ class DedicatedCommController:
             self.pending.popleft()
             queue.push_words(words)
             self.in_flight[dest] -= 1
+            if self.wake_cb is not None:
+                self.wake_cb(dest)
             self.stats.bump("deliveries")
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Fast-forward contract (DESIGN.md): next delivery cycle, or
+        ``now + 1`` while delivered words sit in an output queue (a blocked
+        core may consume them on its next tick), or None when idle."""
+        for queue in self.output_queues:
+            if not queue.empty:
+                return now + 1
+        if self.pending:
+            t = self.pending[0][0]
+            return t if t > now else now + 1
+        return None
 
 
 def _staged_words(data: bytes, valid: int) -> List[int]:
@@ -238,6 +265,12 @@ def attach_network(machine, core_indices,
         core.spl_port = controller.ports[slot]
         if core.ctx is not None:
             controller.set_thread(slot, core.ctx.thread_id)
+    cores = [machine.cores[index] for index in core_indices]
+
+    def _wake(slot: int, _cores=cores) -> None:
+        _cores[slot].ff_poke = True
+
+    controller.wake_cb = _wake
     machine.add_controller(controller)
     return controller
 

@@ -215,13 +215,20 @@ def _run_observed(spec, *sinks):
 
 
 def cmd_trace(args) -> None:
+    import os
     from repro.obs.perfetto import PERFETTO_KINDS, PerfettoSink
     spec = _resolve_observed_spec(args)
     sink = PerfettoSink()
     machine = _run_observed(spec, (sink, PERFETTO_KINDS))
-    sink.write(args.out)
+    # Default under the gitignored out/ directory so traces (easily
+    # hundreds of thousands of lines) never end up committed.
+    out = args.out or os.path.join("out", "trace.json")
+    parent = os.path.dirname(out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    sink.write(out)
     print(f"{spec.name}: {machine.cycle} cycles, "
-          f"{len(sink.trace_events)} trace events -> {args.out}")
+          f"{len(sink.trace_events)} trace events -> {out}")
     print("open in https://ui.perfetto.dev or chrome://tracing "
           "(1 us shown = 1 core cycle)")
 
@@ -241,6 +248,16 @@ def cmd_profile(args) -> None:
         return
     print(f"{spec.name}:")
     print(render_profile(accounting))
+
+
+def cmd_bench(args) -> None:
+    from repro.experiments.bench import (DEFAULT_OUT, format_report,
+                                         run_bench, write_report)
+    report = run_bench(args.cases or None)
+    out = args.out or DEFAULT_OUT
+    write_report(report, out)
+    print(format_report(report))
+    print(f"report -> {out}")
 
 
 def cmd_lint(args) -> int:
@@ -318,8 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="variant (default: the SPL variant)")
     p_trace.add_argument("--bench", dest="benchmark_opt", default=None,
                          help="benchmark (alternative to the positional)")
-    p_trace.add_argument("--out", default="trace.json",
-                         help="output path (default trace.json)")
+    p_trace.add_argument("--out", default=None,
+                         help="output path (default out/trace.json)")
     p_trace.add_argument("--items", dest="params", nargs="*", default=[],
                          help="spec parameters, e.g. n=64 p=4")
     p_trace.set_defaults(func=cmd_trace)
@@ -336,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", action="store_true",
                         help="emit the breakdown as JSON")
     p_prof.set_defaults(func=cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the simulation loop (naive vs fast-forward)")
+    p_bench.add_argument("--case", dest="cases", action="append",
+                         help="case to run (seq, barrier, compcomm); "
+                              "repeatable, default all")
+    p_bench.add_argument("--out", default=None,
+                         help="report path (default BENCH_simloop.json)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint", help="statically verify benchmarks and SPL functions")

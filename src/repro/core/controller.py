@@ -89,6 +89,9 @@ class CoreSplPort(SplPort):
     def recv(self, cycle: int) -> Optional[int]:
         return self.controller.recv(self.slot, cycle)
 
+    def output_pending(self) -> bool:
+        return not self.controller.output_queues[self.slot].empty
+
     def can_switch_out(self) -> bool:
         return self.controller.can_switch_out(self.slot)
 
@@ -131,6 +134,10 @@ class SplClusterController:
                               for _ in range(config.sharers)]
         self.ports = [CoreSplPort(self, slot)
                       for slot in range(config.sharers)]
+        #: Optional ``wake(slot)`` callback installed by the machine: fired
+        #: on every delivery into a slot's output queue so the fast-forward
+        #: scheduler can wake a core it stopped ticking (see DESIGN.md).
+        self.wake_cb = None
         self.bindings: Dict[Tuple[int, int], SplBinding] = {}
         self.core_partition = [0] * config.sharers
         self.partitions = [_Partition(0, config.rows,
@@ -281,6 +288,71 @@ class SplClusterController:
             if not self._try_issue_barriers(partition, fnow, cycle):
                 self._try_issue(partition, fnow, cycle)
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest core cycle > ``now`` at which ticking this controller
+        can change state or bump a counter (fast-forward contract,
+        DESIGN.md).  A bound may be *early* — the machine then just ticks a
+        few no-op fabric cycles — but must never be late: every skipped
+        fabric tick has to be a provable no-op.
+        """
+        ratio = SPL_CLOCK_RATIO
+        for queue in self.output_queues:
+            if not queue.empty:
+                # A blocked core may consume this data on its very next
+                # tick (recv happens core-side, before our tick).
+                return now + 1
+        best: Optional[int] = None
+        next_fabric = (now // ratio + 1) * ratio
+        fnow = now // ratio
+
+        def consider(candidate: int) -> None:
+            nonlocal best
+            if best is None or candidate < best:
+                best = candidate
+
+        for partition in self.partitions:
+            if not partition.events:
+                continue
+            if (fnow >= partition.reconfig_until and partition.cores
+                    and len(partition.events) >= partition.rows):
+                # fabric_full_stalls is charged on every fabric tick
+                consider(next_fabric)
+            for complete, _ in partition.events:
+                t = complete * ratio
+                consider(t if t > now else now + 1)
+        for slot in range(self.config.sharers):
+            request = self.input_queues[slot].head()
+            if request is None:
+                continue
+            binding = self.bindings.get((slot, request.config_id))
+            if binding is None:
+                return now + 1  # let the tick raise, exactly like naive
+            if binding.barrier_id is not None:
+                t = self.barrier_table.next_ready_cycle(
+                    binding.barrier_id, now)
+                if t is None:
+                    continue  # a participant is missing: its arrival is
+                    # driven by (and bounded through) that core's events
+                partition = self.partitions[
+                    self._barrier_partition(binding.barrier_id)]
+                t = max(t, request.ready,
+                        partition.reconfig_until * ratio, now + 1)
+                if partition.loaded is binding.function:
+                    t = max(t, partition.next_issue * ratio)
+                consider(-(-t // ratio) * ratio)
+                continue
+            partition = self.partitions[self.core_partition[slot]]
+            t = max(request.ready, now + 1)
+            if partition.loaded is binding.function:
+                t = max(t, partition.reconfig_until * ratio,
+                        partition.next_issue * ratio)
+            elif not partition.events:
+                t = max(t, partition.reconfig_until * ratio)
+            # else: the partition must drain before reconfiguring; its
+            # pending events (above) bound the wake-up.
+            consider(-(-t // ratio) * ratio)
+        return best
+
     def _try_issue_barriers(self, partition: _Partition, fnow: int,
                             cycle: int) -> bool:
         """Attempt barrier issue on this partition; True if it consumed the
@@ -324,6 +396,8 @@ class SplClusterController:
                     self.output_queues[slot].push_words(words)
                     if release:
                         self.table.release(slot)
+                    if self.wake_cb is not None:
+                        self.wake_cb(slot)
                     if self.obs.active:
                         self.obs.emit(self._now, self._src, ev.QUEUE_PUSH,
                                       queue=f"oq{slot}",
@@ -387,6 +461,10 @@ class SplClusterController:
     def _issue_regular(self, partition: _Partition, slot: int,
                        function: SplFunction, fnow: int) -> None:
         request = self.input_queues[slot].pop()
+        if self.wake_cb is not None:
+            # The pop can re-classify the slot's wait (stall_kind reads the
+            # queue head): wake the core if it was elided.
+            self.wake_cb(slot)
         outputs = function.evaluate_entry(request.data, request.valid)
         beats = StagingEntry.beats(request.valid)
         latency = virtual_latency(function.rows, partition.rows) + beats
@@ -442,6 +520,10 @@ class SplClusterController:
         for slot_index, participant in enumerate(sorted(local_slots)):
             head = self.input_queues[participant].pop()
             entries[slot_index] = (head.data, head.valid)
+            if self.wake_cb is not None:
+                # Issuing the barrier flips stall_kind from "barrier" to
+                # "queue" for every participant: wake any elided waiter.
+                self.wake_cb(participant)
         outputs = function.evaluate_barrier(entries)
         latency = virtual_latency(function.rows, partition.rows) + 1
         complete = fnow + latency

@@ -140,6 +140,28 @@ class BarrierBus:
                     base += 1
         return base
 
+    def next_visible_cycle(self, barrier_id: int, cluster_id: int,
+                           needed: int, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which ``visible_count`` for
+        ``cluster_id`` reaches ``needed``, or None when not enough threads
+        have arrived yet (no bound exists).
+
+        Pure query for the fast-forward scheduler: unlike
+        :meth:`visible_count` it folds nothing, so probing the future does
+        not disturb the bus state.
+        """
+        base = self.base_count.get(barrier_id, 0)
+        if needed <= base:
+            return now
+        recent = self.recent.get(barrier_id, [])
+        if base + len(recent) < needed:
+            return None
+        times = sorted(
+            cycle if cluster == cluster_id else cycle + self.bus_latency
+            for cycle, cluster in recent)
+        t = times[needed - base - 1]
+        return t if t > now else now
+
 
 class BarrierTable:
     """Per-cluster view of active barriers (Figure 2(b))."""
@@ -162,6 +184,15 @@ class BarrierTable:
         needed = self.bus.total(barrier_id) * (generation + 1)
         return self.bus.visible_count(barrier_id, self.cluster_id,
                                       now) >= needed
+
+    def next_ready_cycle(self, barrier_id: int, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which :meth:`ready` turns True, or
+        None while a participant of the current generation is still
+        missing (their arrival is the unbounded wake event)."""
+        generation = self.generation.get(barrier_id, 0)
+        needed = self.bus.total(barrier_id) * (generation + 1)
+        return self.bus.next_visible_cycle(barrier_id, self.cluster_id,
+                                           needed, now)
 
     def release(self, barrier_id: int) -> None:
         self.generation[barrier_id] = self.generation.get(barrier_id, 0) + 1

@@ -52,6 +52,16 @@ _LOAD_OPS = {Op.LW: (4, True), Op.LB: (1, True), Op.LBU: (1, False),
              Op.LH: (2, True), Op.LHU: (2, False), Op.FLW: (4, True)}
 _STORE_OPS = {Op.SW: 4, Op.SB: 1, Op.SH: 2, Op.FSW: 4}
 
+#: Serialized ops at the ROB head whose wake-up is bounded by *another*
+#: tickable's event rather than by this core: SPL_RECV/SPL_STORE wait on a
+#: delivery from the cluster controller (which reports ``now + 1`` whenever
+#: an output queue holds words), and FENCE waits on this core's own store
+#: buffer, already covered by the ``pending_stores`` candidate.  Every other
+#: serialized op (SPL_INIT, SPL_LOAD, AMO start, HALT, ...) must be retried
+#: on the very next cycle — both to make progress and because retries bump
+#: stall counters that a skip would miss.
+_EXT_WAKE_OPS = frozenset((Op.SPL_RECV, Op.SPL_STORE, Op.FENCE))
+
 
 class RobEntry:
     """One in-flight instruction."""
@@ -118,6 +128,18 @@ class OutOfOrderCore:
         self.halted = True
         self.stop_fetch = True
         self.stall_until = 0  # migration / startup stall
+        # Fast-forward elision state (owned by Machine.run, see DESIGN.md):
+        # while ``ff_skip_from >= 0`` the machine has stopped ticking this
+        # core; it resumes at ``ff_wake`` (or earlier if ``ff_poke`` is set
+        # by an external event: an SPL/comm delivery, a barrier release or
+        # input-queue pop that re-classifies the wait, or a snoop
+        # invalidation replay) and lazily replays the skipped window
+        # through ``credit_fast_forward`` using the classification plan
+        # snapshotted by ``ff_elide``.
+        self.ff_wake = 0
+        self.ff_skip_from = -1
+        self.ff_poke = False
+        self._ff_plan: Optional[Tuple] = None
         self._rename_limit_int = config.int_regs - 32
         self._rename_limit_fp = config.fp_regs - 32
         #: Observability bus; inert (``active`` False) unless the owning
@@ -168,6 +190,10 @@ class OutOfOrderCore:
         self.halted = False
         self.stop_fetch = False
         self.stall_until = cycle + stall
+        self.ff_wake = 0
+        self.ff_skip_from = -1
+        self.ff_poke = False
+        self._ff_plan = None
         self.fetch_pc = ctx.pc
         self.fetch_resume = cycle + stall
         self.last_retire_cycle = cycle
@@ -216,6 +242,176 @@ class OutOfOrderCore:
         self._fetch(cycle)
         if observed:
             self._observe_cycle(cycle)
+
+    # ----------------------------------------------------------- fast-forward
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle > ``now`` at which ticking this core can change
+        its state or its counters.
+
+        Scheduler contract (see DESIGN.md): a return of ``now + 1`` means
+        "cannot bound my wake-up / must tick next cycle"; ``None`` means
+        the core is fully event-driven — only another tickable (SPL or
+        comm controller delivery) can wake it.  Any larger value is a
+        promise that every cycle in between is a no-op apart from the
+        counters replayed by :meth:`credit_fast_forward`.
+        """
+        if now + 1 < self.stall_until:
+            return self.stall_until  # migration / startup stall window
+        if self.ready or self.blocked_loads:
+            return now + 1
+        candidates = []
+        if self.completing:
+            candidates.append(min(self.completing))
+        if self.pending_stores:
+            candidates.append(min(self.pending_stores))
+        if self.rob:
+            head = self.rob[0]
+            info = head.inst.info
+            if info.serialize:
+                if head.state == DISP and head.remaining == 0:
+                    if head.inst.op not in _EXT_WAKE_OPS:
+                        return now + 1
+                    if (head.inst.op is not Op.FENCE
+                            and self.spl_port is not None
+                            and self.spl_port.output_pending()):
+                        return now + 1  # delivered words await this recv
+                # in-flight AMO wakes via ``completing``; ext-wake ops
+                # (SPL_RECV/SPL_STORE/FENCE) via controller/pending_stores
+                # and the delivery poke (ff_poke)
+            elif head.state == DONE:
+                if not (info.is_store and
+                        len(self.pending_stores) >= self.config.store_queue):
+                    return now + 1  # head can retire
+                # blocked store: wakes when min(pending_stores) drains
+        if self.fetch_queue:
+            if self._dispatch_stall_key() is None:
+                t0 = self.fetch_queue[0][3] + FRONTEND_DELAY
+                if t0 <= now:
+                    return now + 1  # decode-eligible and unblocked
+                candidates.append(t0)
+            # resource-blocked: the freeing event is one of the candidates
+            # above (or an external delivery), and the per-cycle stall
+            # counter is replayed by credit_fast_forward.
+        if (not self.stop_fetch and 0 <= self.fetch_pc < len(self.ctx.program)
+                and len(self.fetch_queue) < self.config.fetch_queue):
+            if self.fetch_resume <= now:
+                return now + 1  # fetch would make progress
+            candidates.append(self.fetch_resume)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _dispatch_stall_key(self) -> Optional[str]:
+        """The counter ``_dispatch`` charges for its head-of-queue stall in
+        the current state, or None when the head can dispatch.  Mirrors the
+        resource cascade in :meth:`_dispatch` exactly, in the same order.
+        """
+        inst = self.fetch_queue[0][0]
+        if len(self.rob) >= self.config.rob_entries:
+            return "rob_full_stalls"
+        info = inst.info
+        needs_fp_iq = info.fu is FuClass.FP and not info.serialize
+        needs_int_iq = not needs_fp_iq and not info.serialize
+        if needs_fp_iq and self.fp_iq_used >= self.config.fp_queue:
+            return "iq_full_stalls"
+        if needs_int_iq and self.int_iq_used >= self.config.int_queue:
+            return "iq_full_stalls"
+        if info.is_load and not info.serialize and \
+                self.lq_used >= self.config.load_queue:
+            return "lsq_full_stalls"
+        if info.is_store and not info.serialize and \
+                self.sq_used >= self.config.store_queue:
+            return "lsq_full_stalls"
+        dest = inst.dest()
+        if dest is not None:
+            if dest >= FP_BASE:
+                if self.rename_fp_used >= self._rename_limit_fp:
+                    return "rename_stalls"
+            elif self.rename_int_used >= self._rename_limit_int:
+                return "rename_stalls"
+        return None
+
+    def ff_elide(self, start: int, wake: int) -> None:
+        """Stop-ticking handshake from the fast-forward scheduler.
+
+        Marks the core elided from cycle ``start`` until ``wake`` (or an
+        event poke) and snapshots the per-cycle counter/classification
+        plan while the pipeline state is still provably frozen: each
+        skipped tick adds one to ``cycles``, the stall counter named by
+        the ROB head or dispatch cascade, and one accounting class.
+        ``credit_fast_forward`` replays from this snapshot, never from
+        live state: an external event (an invalidation replay, a barrier
+        release) may mutate the pipeline or its wait classification after
+        elision, but its poke ends the window on exactly the cycle live
+        state starts to differ, so the naive loop counted every credited
+        cycle against the frozen pre-event state.
+        """
+        recv_key = None
+        cls_head = None
+        if self.rob:
+            head = self.rob[0]
+            info = head.inst.info
+            if info.serialize:
+                if head.state == DISP and head.remaining == 0:
+                    op = head.inst.op
+                    # _exec_serialize bumps spl_recv_stalls on every failed
+                    # retry of SPL_RECV, and of SPL_STORE once the store
+                    # queue has space (queue-full retries bump nothing).
+                    if op is Op.SPL_RECV or (
+                            op is Op.SPL_STORE and len(self.pending_stores)
+                            < self.config.store_queue):
+                        recv_key = "spl_recv_stalls"
+            elif head.state == DONE and info.is_store and \
+                    len(self.pending_stores) >= self.config.store_queue:
+                recv_key = "store_buffer_stalls"
+            cls_head = self._classify_cycle(start)
+        t0 = None
+        dkey = None
+        if self.fetch_queue:
+            t0 = self.fetch_queue[0][3] + FRONTEND_DELAY
+            dkey = self._dispatch_stall_key()
+        self._ff_plan = (recv_key, t0, dkey, cls_head, self.fetch_resume)
+        self.ff_skip_from = start
+        self.ff_wake = wake
+
+    def credit_fast_forward(self, start: int, end: int) -> None:
+        """Replay the counter effects of ticking every cycle in
+        ``[start, end]`` while quiescent, per the ``ff_elide`` snapshot.
+
+        With an empty ROB the accounting class flips from mem (icache
+        refill) to compute the cycle ``fetch_resume`` lands; every other
+        classification input is covered by one class for the window (see
+        ``ff_elide`` for why the snapshot stays valid to ``end``).
+        """
+        recv_key, t0, dkey, cls_head, fetch_resume = self._ff_plan
+        if start < self.stall_until:
+            start = self.stall_until  # stalled ticks return before counting
+        if start > end:
+            return
+        n = end - start + 1
+        self._c_cycles.add(n)
+        if recv_key is not None:
+            self.stats.bump(recv_key, n)
+        if dkey is not None and t0 <= end:
+            self.stats.bump(dkey, end - max(start, t0) + 1)
+        if self.obs.active:
+            if cls_head is None and start < fetch_resume <= end:
+                self._credit_span(ev.CLS_MEM, start, fetch_resume - 1)
+                self._credit_span(ev.CLS_COMPUTE, fetch_resume, end)
+            else:
+                cls = cls_head
+                if cls is None:
+                    cls = ev.CLS_MEM if fetch_resume > start \
+                        else ev.CLS_COMPUTE
+                self._credit_span(cls, start, end)
+
+    def _credit_span(self, cls: str, start: int, end: int) -> None:
+        if cls != self._span_class or start != self._last_tick + 1:
+            self._close_span()
+            self._span_class = cls
+            self._span_start = start
+        self._last_tick = end
 
     # ------------------------------------------------------- observability
 
@@ -385,6 +581,9 @@ class OutOfOrderCore:
                     and (entry.addr >> 5) == line):
                 self.stats.bump("load_replays")
                 # Squash the load and everything younger; refetch the load.
+                # The replay mutates pipeline state from outside tick(), so
+                # wake the core if the fast-forward scheduler elided it.
+                self.ff_poke = True
                 self._flush_from_seq(entry.seq, self.last_retire_cycle + 1,
                                      entry.pc)
                 return

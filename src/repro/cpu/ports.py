@@ -6,6 +6,15 @@ head through this port.  The real SPL implementation lives in
 hardware-queue implementation in :mod:`repro.baselines.comm_network`.
 All methods are non-blocking: a ``False``/``None`` return means "retry next
 cycle" (queue full, destination not resident, output empty...).
+
+Fast-forward note (see the scheduler contract in DESIGN.md): a core
+blocked in ``recv`` is *externally driven* — it cannot bound its own
+wake-up.  Two hooks keep the fast-forward scheduler exact anyway:
+:meth:`SplPort.output_pending` lets the core's ``next_event_cycle`` report
+"must tick next cycle" while delivered words already sit in its output
+queue, and the controller behind the port sets the core's ``ff_poke`` flag
+whenever it delivers new words, waking a core the machine had stopped
+ticking.
 """
 
 from __future__ import annotations
@@ -33,6 +42,16 @@ class SplPort:
     def recv(self, cycle: int) -> Optional[int]:
         """``spl_recv``/``spl_store``: pop a word from the output queue."""
         raise NotImplementedError
+
+    def output_pending(self) -> bool:
+        """True when :meth:`recv` could return a word right now.
+
+        Only consulted by the fast-forward scheduler.  The default is the
+        safe over-approximation: a unit that cannot answer reports True,
+        which keeps a core blocked in ``recv`` ticking every cycle (naive
+        behaviour) instead of being skipped past a delivery.
+        """
+        return True
 
     def can_switch_out(self) -> bool:
         """True when no in-flight fabric results still target this core."""

@@ -1,0 +1,133 @@
+"""Simulation-loop throughput benchmark (``python -m repro bench``).
+
+Times representative benches — one compute-bound (seq), one barrier-heavy,
+one communication+computation — under both schedulers: the naive per-cycle
+loop and the quiescence-aware fast-forward scheduler that is the default.
+Each case runs on a fresh machine per scheduler, asserts the two agree on
+final cycle and retired-instruction counts (the cycle-exactness guarantee,
+enforced exhaustively in tests/test_fastforward.py), and reports simulated
+cycles per wall-clock second.  Results are written to
+``BENCH_simloop.json`` so CI can archive the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.system.machine import Machine
+from repro.workloads import registry
+
+#: Report schema; bump when the JSON layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output file (gitignored).
+DEFAULT_OUT = "BENCH_simloop.json"
+
+#: case name -> (benchmark, variant, spec kwargs).  Sizes are chosen so a
+#: naive run takes on the order of a second: long enough to time
+#: meaningfully, short enough for a CI smoke job.
+CASES: Dict[str, Tuple[str, str, Dict]] = {
+    "seq": ("g721dec", "seq", {"items": 40}),
+    "barrier": ("ll2", "barrier", {"n": 192, "passes": 8, "p": 16}),
+    "compcomm": ("hmmer", "compcomm", {"M": 96, "R": 4}),
+}
+
+#: Timed runs per scheduler; the report keeps the best wall time (the
+#: others absorb allocator/cache warm-up noise).
+BENCH_REPEATS = 3
+
+
+def _run_once(make_spec, fast_forward: bool) -> Tuple[int, int, float]:
+    """(final cycle, retired instructions, wall seconds) for one run.
+
+    Builds a fresh spec and machine per run: several workload images are
+    consumed by execution, so specs are single-use.
+    """
+    spec = make_spec()
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    start = time.perf_counter()
+    cycles = machine.run(max_cycles=spec.max_cycles,
+                         fast_forward=fast_forward)
+    wall = time.perf_counter() - start
+    return cycles, machine.total_retired(), wall
+
+
+def _run_best(make_spec, fast_forward: bool) -> Tuple[int, int, float]:
+    """Best-of-``BENCH_REPEATS`` wall time (results must not vary)."""
+    cycles, retired, wall = _run_once(make_spec, fast_forward)
+    for _ in range(BENCH_REPEATS - 1):
+        again_cycles, again_retired, again_wall = _run_once(
+            make_spec, fast_forward)
+        if (again_cycles, again_retired) != (cycles, retired):
+            raise SimulationError("bench run is not deterministic")
+        wall = min(wall, again_wall)
+    return cycles, retired, wall
+
+
+def run_case(name: str) -> Dict:
+    """Benchmark one case under both schedulers; returns the report row."""
+    bench, variant, kwargs = CASES[name]
+
+    def make_spec():
+        return registry.REGISTRY[bench].variants[variant](**kwargs)
+
+    spec = make_spec()
+    naive_cycles, naive_retired, naive_wall = _run_best(make_spec, False)
+    ff_cycles, ff_retired, ff_wall = _run_best(make_spec, True)
+    if (ff_cycles, ff_retired) != (naive_cycles, naive_retired):
+        raise SimulationError(
+            f"bench case {name!r} ({spec.name}): fast-forward diverged — "
+            f"naive {naive_cycles} cycles / {naive_retired} retired, "
+            f"fast-forward {ff_cycles} / {ff_retired}")
+    return {
+        "case": name,
+        "spec": spec.name,
+        "cycles": naive_cycles,
+        "retired": naive_retired,
+        "naive": {
+            "wall_s": naive_wall,
+            "cycles_per_s": naive_cycles / naive_wall,
+        },
+        "fast_forward": {
+            "wall_s": ff_wall,
+            "cycles_per_s": naive_cycles / ff_wall,
+        },
+        "speedup": naive_wall / ff_wall,
+    }
+
+
+def run_bench(case_names: Optional[List[str]] = None) -> Dict:
+    """Run the selected (default: all) cases; returns the full report."""
+    names = list(case_names) if case_names else list(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise SimulationError(
+            f"unknown bench cases: {', '.join(unknown)} "
+            f"(known: {', '.join(CASES)})")
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "cases": [run_case(name) for name in names],
+    }
+
+
+def write_report(report: Dict, path: str = DEFAULT_OUT) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    lines = []
+    for row in report["cases"]:
+        naive = row["naive"]["cycles_per_s"]
+        ff = row["fast_forward"]["cycles_per_s"]
+        lines.append(
+            f"{row['case']:10s} {row['spec']:28s} {row['cycles']:>10d} cyc  "
+            f"naive {naive / 1e3:8.1f} kcyc/s  "
+            f"fast-forward {ff / 1e3:8.1f} kcyc/s  "
+            f"speedup {row['speedup']:.2f}x")
+    return "\n".join(lines)

@@ -135,11 +135,19 @@ class RunResult:
 
 
 def execute(spec: RunSpec, check: bool = True,
-            model: Optional[EnergyModel] = None) -> RunResult:
-    """Build a machine, run the workload to completion, verify, account."""
+            model: Optional[EnergyModel] = None,
+            fast_forward: Optional[bool] = None) -> RunResult:
+    """Build a machine, run the workload to completion, verify, account.
+
+    ``fast_forward`` is passed through to :meth:`Machine.run` — None uses
+    the default (fast-forward unless ``REPRO_NO_FASTFORWARD`` is set);
+    both schedulers produce identical results, so cached entries need no
+    scheduler tag.
+    """
     machine = Machine(spec.system)
     machine.load(spec.workload)
-    cycles = machine.run(max_cycles=spec.max_cycles)
+    cycles = machine.run(max_cycles=spec.max_cycles,
+                         fast_forward=fast_forward)
     machine.finish_observation()
     if check and spec.workload.check is not None:
         spec.workload.check(machine.memory)

@@ -51,9 +51,18 @@ class Instruction:
     ``target`` holds a label name until the assembler resolves it to an
     instruction index.  ``rd``/``rs1``/``rs2`` are flat register indices or
     None.
+
+    Decode metadata is precomputed at construction: ``info`` is a plain
+    attribute (not a table lookup per access) and the written register and
+    renameable sources are cached, since the fetch/rename/dispatch fast
+    path of the pipeline touches them every cycle.  This is safe because
+    ``op``/``rd``/``rs1``/``rs2`` never change after construction — only
+    ``target`` is patched later (label resolution), and it feeds none of
+    the cached values.
     """
 
-    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target", "index")
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target", "index",
+                 "info", "_dest", "_sources")
 
     def __init__(self, op: Op, rd: Optional[int] = None,
                  rs1: Optional[int] = None, rs2: Optional[int] = None,
@@ -65,25 +74,25 @@ class Instruction:
         self.imm = imm
         self.target = target
         self.index: int = -1  # set when added to a program
-
-    @property
-    def info(self) -> OpInfo:
-        return info(self.op)
+        op_info: OpInfo = info(op)
+        self.info = op_info
+        self._dest: Optional[int] = (
+            rd if op_info.writes_rd and rd is not None and rd != ZERO_REG
+            else None)
+        regs = []
+        if rs1 is not None and rs1 != ZERO_REG:
+            regs.append(rs1)
+        if rs2 is not None and rs2 != ZERO_REG:
+            regs.append(rs2)
+        self._sources = regs
 
     def sources(self):
         """Register indices read by this instruction (excluding r0)."""
-        regs = []
-        if self.rs1 is not None and self.rs1 != ZERO_REG:
-            regs.append(self.rs1)
-        if self.rs2 is not None and self.rs2 != ZERO_REG:
-            regs.append(self.rs2)
-        return regs
+        return list(self._sources)
 
     def dest(self) -> Optional[int]:
         """Register written, or None (writes to r0 are discarded)."""
-        if self.info.writes_rd and self.rd is not None and self.rd != ZERO_REG:
-            return self.rd
-        return None
+        return self._dest
 
     def __repr__(self) -> str:
         parts = [self.op.value]

@@ -37,7 +37,9 @@ class _CorePort:
     """Per-core tag arrays and counters."""
 
     __slots__ = ("index", "l1i", "l1d", "l2", "states", "stats",
-                 "l1_latency", "l2_latency")
+                 "l1_latency", "l2_latency", "_c_l1d_hits", "_c_l1d_misses",
+                 "_c_l1d_upgrades", "_c_l2_hits", "_c_l2_misses",
+                 "_c_l1i_hits", "_c_l1i_misses")
 
     STAT_KEYS = (
         "l1d_hits", "l1d_misses", "l1d_upgrades", "l2_hits", "l2_misses",
@@ -55,6 +57,15 @@ class _CorePort:
         self.states: Dict[int, int] = {}
         self.l1_latency = l1d_cfg.hit_latency
         self.l2_latency = l2_cfg.hit_latency
+        # Bound handles for the per-access hot path (data_access and
+        # inst_fetch run for every load/store/fetch line).
+        self._c_l1d_hits = stats.counter("l1d_hits")
+        self._c_l1d_misses = stats.counter("l1d_misses")
+        self._c_l1d_upgrades = stats.counter("l1d_upgrades")
+        self._c_l2_hits = stats.counter("l2_hits")
+        self._c_l2_misses = stats.counter("l2_misses")
+        self._c_l1i_hits = stats.counter("l1i_hits")
+        self._c_l1i_misses = stats.counter("l1i_misses")
 
 
 class CoherentMemorySystem:
@@ -88,17 +99,17 @@ class CoherentMemorySystem:
         state = port.states.get(line, 0)
         if port.l1d.lookup(line):
             if not is_write or state >= EXCLUSIVE:
-                port.stats.bump("l1d_hits")
+                port._c_l1d_hits.add()
                 if is_write and state == EXCLUSIVE:
                     port.states[line] = MODIFIED
                 return cycle + port.l1_latency
             # Write hit on a Shared line: bus upgrade.
-            port.stats.bump("l1d_upgrades")
+            port._c_l1d_upgrades.add()
             return self._upgrade(port, line, cycle + port.l1_latency)
-        port.stats.bump("l1d_misses")
+        port._c_l1d_misses.add()
         ready = cycle + port.l1_latency
         if port.l2.lookup(line) and state:
-            port.stats.bump("l2_hits")
+            port._c_l2_hits.add()
             ready += port.l2_latency
             if is_write and state == SHARED:
                 ready = self._upgrade(port, line, ready)
@@ -110,7 +121,7 @@ class CoherentMemorySystem:
                               level="l1d", addr=addr, done=ready,
                               write=is_write)
             return ready
-        port.stats.bump("l2_misses")
+        port._c_l2_misses.add()
         ready += port.l2_latency
         done = self._bus_fill(port, line, is_write, ready, data_cache=True)
         if self.obs.active:
@@ -123,9 +134,9 @@ class CoherentMemorySystem:
         port = self.ports[core]
         line = port.l1i.line_addr(INST_SPACE + pc * 4)
         if port.l1i.lookup(line):
-            port.stats.bump("l1i_hits")
+            port._c_l1i_hits.add()
             return cycle + port.l1_latency
-        port.stats.bump("l1i_misses")
+        port._c_l1i_misses.add()
         ready = cycle + port.l1_latency
         if port.l2.lookup(line):
             ready += port.l2_latency

@@ -14,6 +14,12 @@ The defining property is the **accounting identity**: for every core,
 :meth:`CycleAccounting.verify` enforces it and raises on any leak, so a
 new stall source that forgets to classify shows up as a hard error, not
 a quietly-wrong report.
+
+The identity holds under the fast-forward scheduler too: skipped windows
+are bulk-credited into the same ``cycle_span`` stream (one event covering
+``dur`` cycles rather than ``dur`` events of one cycle), so the per-class
+totals — and therefore this sink's buckets — are identical to a naive
+per-cycle run.
 """
 
 from __future__ import annotations

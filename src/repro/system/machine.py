@@ -9,6 +9,7 @@ context-switch cost), and convenience wrappers for SPL configuration.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import SystemConfig
@@ -26,6 +27,18 @@ from repro.obs.bus import EventBus
 from repro.system.workload import Workload
 
 _WATCHDOG_STRIDE = 4096
+
+#: Ceiling for the fast-forward probe backoff (cycles between quiescence
+#: probes while the machine keeps vetoing jumps).  Probing every few cycles
+#: through a compute-bound phase costs more than it saves (~8% on the seq
+#: bench case at a cap of 4); a long backoff only delays *discovering* a
+#: quiesce window — never correctness — and barrier/queue waits are
+#: thousands of cycles, so they are still caught near their start.
+_FF_BACKOFF_CAP = 256
+
+#: ``ff_wake`` sentinel for an elided core that is *externally driven*
+#: (it cannot bound its own wake-up); only an event poke resumes it.
+_FF_NEVER = 1 << 62
 
 
 class ClusterInstance:
@@ -89,6 +102,7 @@ class Machine:
                     self.stats.child(f"spl{cluster_id}"), obs=self.obs)
                 for slot, index in enumerate(indices):
                     self.cores[index].spl_port = controller.ports[slot]
+                controller.wake_cb = self._make_waker(list(indices))
                 self._controllers.append(controller)
             self.clusters.append(
                 ClusterInstance(cluster_id, cluster.kind, indices, controller))
@@ -98,6 +112,30 @@ class Machine:
             for index in cluster_instance.core_indices}
         self.contexts: List[ThreadContext] = []
         self.thread_core: Dict[int, int] = {}
+        #: Watchdog progress floor: the last cycle the fast-forward
+        #: scheduler *proved* every tickable quiescent up to.  A bounded
+        #: jump is forward progress (some event is scheduled), so the
+        #: watchdog measures staleness from max(last retire, this floor).
+        self._ff_progress = 0
+        #: Probe backoff: while the machine is busy, almost every
+        #: quiescence probe fails, and probing every cycle costs more than
+        #: the skips save.  After a failed probe the next one waits
+        #: 2/4/8/16 cycles (capped); any successful jump resets it.
+        #: Unprobed cycles simply tick naively, so this trades a few
+        #: skippable cycles at a window's start for near-zero probe
+        #: overhead in busy phases — cycle-exactness is unaffected.
+        self._ff_backoff = 1
+        self._ff_resume_probe = 0
+
+    def _make_waker(self, indices: List[int]):
+        """Delivery callback for a controller: pokes the slot's core so the
+        fast-forward scheduler resumes ticking it (see DESIGN.md)."""
+        cores = self.cores
+
+        def wake(slot: int) -> None:
+            cores[indices[slot]].ff_poke = True
+
+        return wake
 
     # -- lookup helpers -----------------------------------------------------------
 
@@ -158,33 +196,76 @@ class Machine:
     # -- execution ------------------------------------------------------------------------
 
     def run(self, max_cycles: int = 1_000_000_000,
-            until: Optional[Callable[[], bool]] = None) -> int:
+            until: Optional[Callable[[], bool]] = None,
+            fast_forward: Optional[bool] = None) -> int:
         """Advance until all threads finish (or ``until`` returns True).
 
         Returns the cycle count at stop.  Raises DeadlockError when no core
         retires anything for the configured watchdog window.
+
+        ``fast_forward`` selects the scheduler: None (the default) enables
+        the quiescence-aware next-event scheduler unless the
+        ``REPRO_NO_FASTFORWARD`` environment variable is set; False forces
+        the naive per-cycle loop.  Even when enabled, fast-forward silently
+        falls back to per-cycle ticking while an ``until`` predicate is
+        supplied (it may read arbitrary machine state between cycles) or a
+        pipeline-level observability sink is attached.  Both schedulers are
+        cycle-exact: final cycle counts, retired-instruction counts, and
+        stats totals are identical (see DESIGN.md and
+        tests/test_fastforward.py).
         """
+        if fast_forward is None:
+            fast_forward = not os.environ.get("REPRO_NO_FASTFORWARD")
         cores = self.cores
         controllers = self._controllers
         limit = self.cycle + max_cycles
         next_watchdog = self.cycle + _WATCHDOG_STRIDE
+        # Unknown hardware (a controller without the next_event_cycle
+        # contract) disables fast-forward entirely: the scheduler could
+        # neither bound its events nor trust it to poke elided cores.
+        use_ff = (fast_forward and until is None
+                  and all(hasattr(c, "next_event_cycle")
+                          for c in controllers))
         while self.cycle < limit:
             if until is not None and until():
                 return self.cycle
             running = False
             cycle = self.cycle
             for core in cores:
-                if core.ctx is not None and not core.halted:
-                    core.tick(cycle)
-                    running = True
+                if core.ctx is None or core.halted:
+                    continue
+                running = True
+                if core.ff_skip_from >= 0:
+                    # Elided: the probe proved this core dead until
+                    # ``ff_wake`` unless an external event pokes it.
+                    if cycle < core.ff_wake and not core.ff_poke:
+                        continue
+                    core.ff_poke = False
+                    core.credit_fast_forward(core.ff_skip_from, cycle - 1)
+                    core.ff_skip_from = -1
+                core.tick(cycle)
             if not running:
                 return self.cycle
             for controller in controllers:
                 controller.tick(cycle)
-            self.cycle += 1
-            if self.cycle >= next_watchdog:
-                next_watchdog = self.cycle + _WATCHDOG_STRIDE
+            nxt = cycle + 1
+            if (use_ff and cycle >= self._ff_resume_probe
+                    and not self.obs.pipeline_active):
+                target, progressed = self._ff_probe(
+                    cycle, min(limit, next_watchdog))
+                if target > nxt:
+                    nxt = target
+                if progressed:
+                    self._ff_backoff = 1
+                else:
+                    self._ff_backoff = min(self._ff_backoff * 2,
+                                           _FF_BACKOFF_CAP)
+                    self._ff_resume_probe = cycle + self._ff_backoff
+            self.cycle = nxt
+            if nxt >= next_watchdog:
+                next_watchdog = nxt + _WATCHDOG_STRIDE
                 self._check_watchdog()
+        self._ff_flush()
         if until is not None and until():
             return self.cycle
         if any(core.active for core in cores):
@@ -192,19 +273,118 @@ class Machine:
                 f"run exceeded {max_cycles} cycles without completing")
         return self.cycle
 
+    def _ff_probe(self, now: int, ceiling: int) -> Tuple[int, bool]:
+        """One fast-forward scheduling decision at the end of cycle ``now``.
+
+        Returns ``(next_cycle, progressed)``.  Each active core is either
+        *elided* — marked to stop ticking until its reported wake cycle
+        (``_FF_NEVER`` when it is externally driven) or until an event
+        poke — or it *vetoes* the global jump because it can act next
+        cycle.  When nobody vetoes, the machine jumps to the earliest core
+        wake or controller event, clamped to ``ceiling`` (run limit /
+        watchdog boundary, so both fire on exactly the cycle the naive
+        loop would inspect them).  Elision marks survive a veto: a busy
+        core no longer forces its quiescent siblings to tick.
+        ``progressed`` drives the probe backoff — True when the machine
+        jumped or newly elided a core.
+        """
+        nxt = now + 1
+        best = ceiling
+        any_bound = False
+        veto = False
+        elided = False
+        saw_core = False
+        for core in self.cores:
+            if core.ctx is None or core.halted:
+                continue
+            saw_core = True
+            if core.ff_skip_from >= 0:
+                if core.ff_poke:
+                    # A delivery just landed for this elided core: it must
+                    # tick next cycle (the resume path consumes the poke).
+                    veto = True
+                    continue
+                wake = core.ff_wake
+                if wake < _FF_NEVER:
+                    any_bound = True
+                    if wake < best:
+                        best = wake
+                continue
+            if core.ff_poke:
+                # A delivery landed this very cycle: the core must tick
+                # next cycle to observe it, exactly as the naive loop would.
+                core.ff_poke = False
+                veto = True
+                continue
+            t = core.next_event_cycle(now)
+            if t is None:
+                # Externally driven (e.g. parked in spl_recv with an empty
+                # output queue): stop ticking until a delivery pokes it.
+                core.ff_elide(nxt, _FF_NEVER)
+                elided = True
+            elif t <= nxt:
+                veto = True
+            else:
+                core.ff_elide(nxt, t)
+                elided = True
+                any_bound = True
+                if t < best:
+                    best = t
+        if not saw_core:
+            # Every core halted: the loop is about to return on its own; a
+            # jump here would overshoot the final cycle.
+            return nxt, False
+        if veto:
+            return nxt, elided
+        for controller in self._controllers:
+            t = controller.next_event_cycle(now)
+            if t is None:
+                continue
+            if t <= nxt:
+                return nxt, elided
+            any_bound = True
+            if t < best:
+                best = t
+        if best <= nxt:
+            return nxt, elided
+        if any_bound:
+            # Some tickable has an event scheduled: this is forward
+            # progress, not a hang, even if no core retires for a long
+            # legal stall.
+            self._ff_progress = best
+        return best, True
+
+    def _ff_flush(self) -> None:
+        """Credit outstanding elision windows when run() stops iterating.
+
+        The naive loop would have ticked every elided core through
+        ``self.cycle - 1`` (pure stall ticks, by the elision proof); replay
+        them into the counters so limit-exit and watchdog-raise paths
+        leave stats identical to the naive scheduler's.
+        """
+        end = self.cycle - 1
+        for core in self.cores:
+            if core.ctx is not None and core.ff_skip_from >= 0:
+                core.credit_fast_forward(core.ff_skip_from, end)
+                core.ff_skip_from = -1
+                core.ff_wake = 0
+
     def _check_watchdog(self) -> None:
         stuck = []
         for core in self.cores:
             if core.ctx is None or core.halted:
                 continue
-            if self.cycle - core.last_retire_cycle > \
-                    self.config.deadlock_cycles:
+            progress = max(core.last_retire_cycle, self._ff_progress)
+            if self.cycle - progress > self.config.deadlock_cycles:
                 stuck.append(core)
         if stuck and self.obs.active:
             self.obs.emit(self.cycle, "machine", ev.WATCHDOG,
                           stuck=[core.index for core in stuck])
         if stuck and len(stuck) == sum(
                 1 for c in self.cores if c.ctx is not None and not c.halted):
+            # Credit pending elision windows first so post-mortem stats
+            # match what the naive loop would have accumulated.
+            self._ff_flush()
             details = ", ".join(
                 f"core{c.index}@pc={c.ctx.pc}" for c in stuck)
             raise DeadlockError(f"no forward progress: {details}")
