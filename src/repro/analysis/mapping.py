@@ -10,6 +10,10 @@
   bound on more than one slot; its delay-register state would be shared
   between threads (reported from binding tables in ``repro.analysis.lint``
   via :func:`check_shared_state`).
+* **GEN001** (error) — the DFG does not compile to the closure form
+  (:func:`repro.core.codegen.compile_dfg`) or the compiled evaluator
+  disagrees with the interpreter on a deterministic probe input; the
+  simulator would silently fall back to interpretation.
 """
 
 from __future__ import annotations
@@ -17,8 +21,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.common.errors import MappingError
-from repro.core.dfg import Dfg
+from repro.common.errors import CodegenError, MappingError
+from repro.core.codegen import compile_dfg
+from repro.core.dfg import Dfg, DfgOp
 from repro.core.function import SplFunction
 from repro.core.mapper import initiation_interval, map_dfg, verify_mapping
 
@@ -56,8 +61,9 @@ def lint_dfg(dfg: Dfg, unit: str,
 def lint_function(function: SplFunction, unit: str,
                   partition_rows: Iterable[int] = DEFAULT_PARTITION_ROWS,
                   cells_per_row: int = 16) -> List[Diagnostic]:
-    """Check one constructed SPL function (DFG legality + feedback II)."""
+    """Check one constructed SPL function (legality + II + codegen)."""
     diagnostics = lint_dfg(function.dfg, unit, partition_rows, cells_per_row)
+    diagnostics += check_codegen(function.dfg, unit)
     if function.feedback_ii < 1:
         diagnostics.append(Diagnostic(
             rule="MAP002", severity=Severity.ERROR,
@@ -73,6 +79,43 @@ def lint_function(function: SplFunction, unit: str,
                     f"rows); issues serialize behind the feedback path",
             unit=unit, dfg=function.dfg.name))
     return diagnostics
+
+
+def check_codegen(dfg: Dfg, unit: str) -> List[Diagnostic]:
+    """GEN001: the DFG compiles and the closure matches the interpreter.
+
+    The probe input is deterministic (a fixed multiplicative pattern per
+    input, wide enough to exercise the signed-width narrowing) so lint
+    output is stable run to run; the randomized sweep lives in
+    ``tests/test_codegen.py``.
+    """
+    try:
+        compiled = compile_dfg(dfg)
+    except CodegenError as exc:
+        return [Diagnostic(
+            rule="GEN001", severity=Severity.ERROR,
+            message=f"dfg does not compile to a closure: {exc}",
+            unit=unit, dfg=dfg.name)]
+    inputs = {name: (index + 1) * -2654435761
+              for index, name in enumerate(dfg.inputs)}
+    stateful = any(node.op is DfgOp.DELAY for node in dfg.nodes)
+    try:
+        state_ref: Dict[int, int] = {}
+        state_got: Dict[int, int] = {}
+        reference = dfg.evaluate(dict(inputs),
+                                 state=state_ref if stateful else None)
+        got = compiled.evaluate(dict(inputs),
+                                state_got if stateful else None)
+    except MappingError:
+        # An unmappable graph is MAP001's finding, not codegen's.
+        return []
+    if got != reference or state_got != state_ref:
+        return [Diagnostic(
+            rule="GEN001", severity=Severity.ERROR,
+            message="compiled evaluator disagrees with the interpreter "
+                    "on the probe input",
+            unit=unit, dfg=dfg.name)]
+    return []
 
 
 def check_shared_state(bindings: Dict[Tuple[int, int], SplFunction],

@@ -250,14 +250,30 @@ def cmd_profile(args) -> None:
     print(render_profile(accounting))
 
 
-def cmd_bench(args) -> None:
-    from repro.experiments.bench import (DEFAULT_OUT, format_report,
-                                         run_bench, write_report)
-    report = run_bench(args.cases or None)
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.experiments.bench import (DEFAULT_OUT, check_report,
+                                         format_report, run_bench,
+                                         write_report)
+    cases = list(args.cases or [])
+    for group in args.case_list or []:
+        cases.extend(name for name in group.split(",") if name)
+    report = run_bench(cases or None)
     out = args.out or DEFAULT_OUT
     write_report(report, out)
     print(format_report(report))
     print(f"report -> {out}")
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_report(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL {failure}")
+            return 1
+        print(f"check OK against {args.check}")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -357,10 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="time the simulation loop (naive vs fast-forward)")
     p_bench.add_argument("--case", dest="cases", action="append",
-                         help="case to run (seq, barrier, compcomm); "
-                              "repeatable, default all")
+                         help="case to run (seq, barrier, compcomm, adpcm, "
+                              "livermore); repeatable, default all")
+    p_bench.add_argument("--cases", dest="case_list", action="append",
+                         help="comma-separated case selection, e.g. "
+                              "--cases seq,adpcm")
     p_bench.add_argument("--out", default=None,
                          help="report path (default BENCH_simloop.json)")
+    p_bench.add_argument("--check", default=None, metavar="PATH",
+                         help="compare simulated results (cycles, retired) "
+                              "against a committed baseline report; exact "
+                              "match required, wall clock informational")
     p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(

@@ -37,6 +37,10 @@ class MappingError(SplError):
     """A dataflow graph could not be mapped onto SPL rows."""
 
 
+class CodegenError(SplError):
+    """A dataflow graph could not be compiled to a Python closure."""
+
+
 class WorkloadError(ReproError):
     """A workload builder was given unusable parameters."""
 

@@ -15,10 +15,12 @@ Two kinds exist (Section II-B):
 
 from __future__ import annotations
 
+import os
 import struct
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.errors import SplError
+from repro.common.errors import CodegenError, SplError
+from repro.core.codegen import CompiledDfg, compile_dfg
 from repro.core.dfg import Dfg, DfgOp
 from repro.core.mapper import RowMapping, map_dfg
 
@@ -45,6 +47,13 @@ class SplFunction:
         #: configuration between threads would require a state swap, so
         #: stateful workloads bind one instance per thread/partition.
         self.state: dict = {}
+        # Compiled hot path (DESIGN.md "Compiled hot paths"): the DFG is
+        # assembled once into straight-line Python on first evaluation.
+        # The env gate is sampled at construction so a run is all-compiled
+        # or all-interpreted; graphs the generator cannot emit fall back
+        # to the interpreter (the GEN001 lint rule reports them).
+        self._codegen_enabled = os.environ.get("REPRO_NO_CODEGEN") != "1"
+        self._compiled: Optional[CompiledDfg] = None
 
     @property
     def is_stateful(self) -> bool:
@@ -58,6 +67,19 @@ class SplFunction:
 
     def reset_state(self) -> None:
         self.state.clear()
+
+    @property
+    def compiled(self) -> Optional[CompiledDfg]:
+        """The compiled evaluators, or None when codegen is off/failed."""
+        if not self._codegen_enabled:
+            return None
+        if self._compiled is None:
+            try:
+                self._compiled = compile_dfg(self.dfg)
+            except CodegenError:
+                self._codegen_enabled = False
+                return None
+        return self._compiled
 
     @property
     def name(self) -> str:
@@ -94,6 +116,10 @@ class SplFunction:
         """Evaluate a regular function on one staged entry; word outputs."""
         if self.is_barrier:
             raise SplError(f"{self.name}: barrier function needs all slots")
+        compiled = self.compiled
+        if compiled is not None and compiled.evaluate_entry is not None:
+            # Fused decode+evaluate closure; bit-exact with the path below.
+            return compiled.evaluate_entry(data, valid, self.state)
         outputs = self.dfg.evaluate(self.decode_entry(data, valid),
                                     state=self.state)
         return [outputs[name] for name in self.dfg.output_order]
@@ -112,7 +138,9 @@ class SplFunction:
         if missing:
             raise SplError(f"{self.name}: no participant provided "
                            f"{sorted(missing)}")
-        outputs = self.dfg.evaluate(values)
+        compiled = self.compiled
+        outputs = (compiled.evaluate(values) if compiled is not None
+                   else self.dfg.evaluate(values))
         return [outputs[name] for name in self.dfg.output_order]
 
 

@@ -26,17 +26,21 @@ Modelling choices (see DESIGN.md):
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from operator import attrgetter
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.config import CoreConfig
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
 from repro.cpu.branch import HybridPredictor
 from repro.cpu.context import ThreadContext
-from repro.cpu.exec import alu, branch_taken, fp
+from repro.cpu.exec import ALU_TABLE, branch_taken, fp
 from repro.cpu.ports import SplPort
-from repro.isa.instruction import FP_BASE, Instruction
+from repro.isa.instruction import (HOLD_FP_IQ, HOLD_INT_IQ, HOLD_LQ,
+                                   HOLD_REN_FP, HOLD_REN_INT, HOLD_SQ,
+                                   Instruction)
 from repro.isa.opcodes import FuClass, Op
 from repro.mem.hierarchy import CoherentMemorySystem
 from repro.mem.memory import MainMemory
@@ -47,6 +51,8 @@ DISP, ISSUED, DONE = 0, 1, 2
 
 #: Cycles between fetch and earliest rename (decode depth).
 FRONTEND_DELAY = 2
+
+_BY_SEQ = attrgetter("seq")
 
 _LOAD_OPS = {Op.LW: (4, True), Op.LB: (1, True), Op.LBU: (1, False),
              Op.LH: (2, True), Op.LHU: (2, False), Op.FLW: (4, True)}
@@ -69,8 +75,7 @@ class RobEntry:
     __slots__ = ("seq", "inst", "pc", "pred_next", "state", "value",
                  "completion", "remaining", "consumers", "srcs", "addr",
                  "size", "store_value", "flushed", "started", "actual_next",
-                 "in_fp_iq", "in_int_iq", "holds_lq", "holds_sq",
-                 "rename_fp", "rename_int")
+                 "held")
 
     def __init__(self, seq: int, inst: Instruction, pc: int,
                  pred_next: int) -> None:
@@ -90,12 +95,9 @@ class RobEntry:
         self.flushed = False
         self.started = False
         self.actual_next = pc + 1
-        self.in_fp_iq = False
-        self.in_int_iq = False
-        self.holds_lq = False
-        self.holds_sq = False
-        self.rename_fp = False
-        self.rename_int = False
+        #: HOLD_* bitmask of back-end resources this entry occupies
+        #: (copied from the instruction's dispatch template at dispatch).
+        self.held = 0
 
 
 class OutOfOrderCore:
@@ -121,6 +123,11 @@ class OutOfOrderCore:
         self.stats = stats
         stats.declare(*self.STAT_KEYS)
         self._c_cycles = stats.counter("cycles")
+        # Bound view of the scope's counter dict for the per-instruction
+        # hot counters: every key is declared (zero-initialized) above, so
+        # ``self._cnt[key] += 1`` is exactly ``stats.bump(key)`` minus the
+        # method call.  Cold/rare paths keep the checked ``bump``.
+        self._cnt = stats.counters
         self.predictor = HybridPredictor(config.predictor,
                                          stats.child("predictor"))
         self.spl_port: Optional[SplPort] = None
@@ -142,6 +149,32 @@ class OutOfOrderCore:
         self._ff_plan: Optional[Tuple] = None
         self._rename_limit_int = config.int_regs - 32
         self._rename_limit_fp = config.fp_regs - 32
+        # Structure limits copied off the config object: the dispatch /
+        # retire / fetch loops read them every cycle and a slot attribute
+        # is one lookup where ``self.config.x`` is two.
+        self._rob_entries = config.rob_entries
+        self._fp_queue = config.fp_queue
+        self._int_queue = config.int_queue
+        self._load_queue = config.load_queue
+        self._store_queue = config.store_queue
+        self._decode_width = config.decode_width
+        self._retire_width = config.retire_width
+        self._issue_width = config.issue_width
+        self._fetch_width = config.fetch_width
+        self._fetch_queue_cap = config.fetch_queue
+        #: FuClass -> (pool name, per-cycle limit), built once; replaces
+        #: the per-issue ``_fu_limit`` branch cascade.
+        self._l1i_hit = config.l1i.hit_latency
+        self._fu_pool: Dict[FuClass, Tuple[str, int]] = {}
+        for fu in FuClass:
+            if fu in (FuClass.INT, FuClass.MUL, FuClass.DIV):
+                self._fu_pool[fu] = ("int", config.int_alus)
+            elif fu is FuClass.FP:
+                self._fu_pool[fu] = ("fp", config.fp_alus)
+            elif fu is FuClass.BRANCH:
+                self._fu_pool[fu] = ("branch", config.branch_units)
+            else:
+                self._fu_pool[fu] = ("mem", config.ldst_units)
         #: Observability bus; inert (``active`` False) unless the owning
         #: machine attaches a sink, in which case emissions light up.
         self.obs = obs if obs is not None else EventBus()
@@ -160,9 +193,11 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------ state
 
     def _reset_pipeline(self) -> None:
-        self.rob: List[RobEntry] = []
+        # The ROB and fetch queue are deques: both retire (``popleft``)
+        # from the front every cycle, which is O(n) on a list.
+        self.rob: Deque[RobEntry] = deque()
         self.ready: List[Tuple[int, RobEntry]] = []
-        self.fetch_queue: List[Tuple[Instruction, int, int, int]] = []
+        self.fetch_queue: Deque[Tuple[Instruction, int, int, int]] = deque()
         self.completing: Dict[int, List[RobEntry]] = {}
         self.store_entries: List[RobEntry] = []
         self.blocked_loads: List[RobEntry] = []
@@ -178,7 +213,15 @@ class OutOfOrderCore:
         self.rename_int_used = 0
         self.rename_fp_used = 0
         self.sb_next_free = 0
-        self.pending_stores: List[int] = []
+        # Fetch-side view of the attached program (set by ``attach``):
+        # dodges two attribute hops per fetch group.
+        self._instructions: List[Instruction] = []
+        self._program_end = 0
+        # Store-buffer drain times, ordered: every push goes through
+        # ``sb_next_free`` (monotonically non-decreasing, since
+        # ``data_access(start) >= start``), so the front is always the
+        # minimum and purging is a prefix pop instead of a list rebuild.
+        self.pending_stores: Deque[int] = deque()
         self.last_retire_cycle = 0
 
     # -------------------------------------------------------------- scheduling
@@ -195,6 +238,8 @@ class OutOfOrderCore:
         self.ff_poke = False
         self._ff_plan = None
         self.fetch_pc = ctx.pc
+        self._instructions = ctx.program.instructions
+        self._program_end = len(self._instructions)
         self.fetch_resume = cycle + stall
         self.last_retire_cycle = cycle
         if self.spl_port is not None:
@@ -229,17 +274,27 @@ class OutOfOrderCore:
     def tick(self, cycle: int) -> None:
         if self.ctx is None or self.halted or cycle < self.stall_until:
             return
-        self._c_cycles.add()
+        self._cnt["cycles"] += 1
         observed = self.obs.active
         if observed:
             self._obs_pipe = self.obs.pipeline_active
         elif self._obs_pipe:
             self._obs_pipe = False
-        self._writeback(cycle)
-        self._retire(cycle)
-        self._issue(cycle)
-        self._dispatch(cycle)
-        self._fetch(cycle)
+        # Stage guards: each skipped call is provably a no-op (writeback
+        # pops ``completing[cycle]``; retire only purges/pops when the ROB
+        # or store buffer holds entries; issue drains ``ready``; dispatch
+        # drains ``fetch_queue``; fetch repeats its own first-line test).
+        if self.completing:
+            self._writeback(cycle)
+        if self.rob or self.pending_stores:
+            self._retire(cycle)
+        if self.ready:
+            self._issue(cycle)
+        if self.fetch_queue:
+            self._dispatch(cycle)
+        if not self.stop_fetch and cycle >= self.fetch_resume \
+                and self.fetch_pc >= 0:
+            self._fetch(cycle)
         if observed:
             self._observe_cycle(cycle)
 
@@ -264,7 +319,7 @@ class OutOfOrderCore:
         if self.completing:
             candidates.append(min(self.completing))
         if self.pending_stores:
-            candidates.append(min(self.pending_stores))
+            candidates.append(self.pending_stores[0])  # ordered, see above
         if self.rob:
             head = self.rob[0]
             info = head.inst.info
@@ -308,24 +363,18 @@ class OutOfOrderCore:
         resource cascade in :meth:`_dispatch` exactly, in the same order.
         """
         inst = self.fetch_queue[0][0]
-        if len(self.rob) >= self.config.rob_entries:
+        if len(self.rob) >= self._rob_entries:
             return "rob_full_stalls"
-        info = inst.info
-        needs_fp_iq = info.fu is FuClass.FP and not info.serialize
-        needs_int_iq = not needs_fp_iq and not info.serialize
-        if needs_fp_iq and self.fp_iq_used >= self.config.fp_queue:
+        if inst.needs_fp_iq and self.fp_iq_used >= self._fp_queue:
             return "iq_full_stalls"
-        if needs_int_iq and self.int_iq_used >= self.config.int_queue:
+        if inst.needs_int_iq and self.int_iq_used >= self._int_queue:
             return "iq_full_stalls"
-        if info.is_load and not info.serialize and \
-                self.lq_used >= self.config.load_queue:
+        if inst.uses_lq and self.lq_used >= self._load_queue:
             return "lsq_full_stalls"
-        if info.is_store and not info.serialize and \
-                self.sq_used >= self.config.store_queue:
+        if inst.uses_sq and self.sq_used >= self._store_queue:
             return "lsq_full_stalls"
-        dest = inst.dest()
-        if dest is not None:
-            if dest >= FP_BASE:
+        if inst._dest is not None:
+            if inst.dest_fp:
                 if self.rename_fp_used >= self._rename_limit_fp:
                     return "rename_stalls"
             elif self.rename_int_used >= self._rename_limit_int:
@@ -479,28 +528,29 @@ class OutOfOrderCore:
         entries = self.completing.pop(cycle, None)
         if not entries:
             return
-        entries.sort(key=lambda e: e.seq)
+        entries.sort(key=_BY_SEQ)
+        obs_pipe = self._obs_pipe
+        ready = self.ready
         for entry in entries:
             if entry.flushed or entry.state == DONE:
                 continue
-            self._complete(entry, cycle)
-
-    def _complete(self, entry: RobEntry, cycle: int) -> None:
-        entry.state = DONE
-        if self._obs_pipe:
-            self.obs.emit(cycle, self._src, ev.COMPLETE, seq=entry.seq,
-                          pc=entry.pc, text=repr(entry.inst))
-        for consumer, slot in entry.consumers:
-            if consumer.flushed:
-                continue
-            consumer.srcs[slot] = entry.value
-            consumer.remaining -= 1
-            if consumer.remaining == 0 and consumer.state == DISP and \
-                    not consumer.inst.info.serialize:
-                heappush(self.ready, (consumer.seq, consumer))
-        entry.consumers = []
-        if entry.inst.info.is_branch:
-            self._resolve_branch(entry, cycle)
+            # _complete(entry, cycle), inlined into the per-cycle bucket
+            # walk (hot: once per completing instruction).
+            entry.state = DONE
+            if obs_pipe:
+                self.obs.emit(cycle, self._src, ev.COMPLETE, seq=entry.seq,
+                              pc=entry.pc, text=repr(entry.inst))
+            for consumer, slot in entry.consumers:
+                if consumer.flushed:
+                    continue
+                consumer.srcs[slot] = entry.value
+                consumer.remaining -= 1
+                if consumer.remaining == 0 and consumer.state == DISP and \
+                        not consumer.inst.info.serialize:
+                    heappush(ready, (consumer.seq, consumer))
+            entry.consumers = []
+            if entry.inst.info.is_branch:
+                self._resolve_branch(entry, cycle)
 
     def _resolve_branch(self, entry: RobEntry, cycle: int) -> None:
         op = entry.inst.op
@@ -509,7 +559,7 @@ class OutOfOrderCore:
                                             entry.actual_next == entry.inst.target)
         elif op is Op.JR:
             self.predictor.btb_update(entry.pc, entry.actual_next)
-        self.stats.bump("branches_resolved")
+        self._cnt["branches_resolved"] += 1
         if entry.actual_next != entry.pred_next:
             self.stats.bump("mispredicts")
             self._flush_after(entry, cycle, entry.actual_next)
@@ -532,7 +582,7 @@ class OutOfOrderCore:
                 self._release(candidate)
             else:
                 keep.append(candidate)
-        self.rob = keep
+        self.rob = deque(keep)
         self.store_entries = [s for s in self.store_entries if not s.flushed]
         self.blocked_loads = [b for b in self.blocked_loads if not b.flushed]
         self._unblock_loads()
@@ -549,24 +599,21 @@ class OutOfOrderCore:
         self.predictor.flush_speculative_state()
 
     def _release(self, entry: RobEntry) -> None:
-        if entry.in_int_iq:
-            self.int_iq_used -= 1
-            entry.in_int_iq = False
-        if entry.in_fp_iq:
-            self.fp_iq_used -= 1
-            entry.in_fp_iq = False
-        if entry.holds_lq:
-            self.lq_used -= 1
-            entry.holds_lq = False
-        if entry.holds_sq:
-            self.sq_used -= 1
-            entry.holds_sq = False
-        if entry.rename_int:
-            self.rename_int_used -= 1
-            entry.rename_int = False
-        if entry.rename_fp:
-            self.rename_fp_used -= 1
-            entry.rename_fp = False
+        held = entry.held
+        if held:
+            if held & HOLD_INT_IQ:
+                self.int_iq_used -= 1
+            elif held & HOLD_FP_IQ:
+                self.fp_iq_used -= 1
+            if held & HOLD_LQ:
+                self.lq_used -= 1
+            if held & HOLD_SQ:
+                self.sq_used -= 1
+            if held & HOLD_REN_INT:
+                self.rename_int_used -= 1
+            elif held & HOLD_REN_FP:
+                self.rename_fp_used -= 1
+            entry.held = 0
 
     def _on_invalidation(self, target_core: int, line: int) -> None:
         """Snoop-invalidation hook: replay in-flight loads of that line."""
@@ -591,12 +638,22 @@ class OutOfOrderCore:
     # ----------------------------------------------------------------- retire
 
     def _retire(self, cycle: int) -> None:
-        self._purge_store_buffer(cycle)
+        pending = self.pending_stores
+        while pending and pending[0] <= cycle:
+            pending.popleft()
         retired = 0
-        while self.rob and retired < self.config.retire_width:
-            head = self.rob[0]
+        rob = self.rob
+        ctx = self.ctx
+        rat = self.rat
+        obs_pipe = self._obs_pipe
+        retire_width = self._retire_width
+        last_next = 0
+        while rob and retired < retire_width:
+            head = rob[0]
+            inst = head.inst
+            info = inst.info
             if head.state != DONE:
-                if (head.inst.info.serialize and head.remaining == 0
+                if (info.serialize and head.remaining == 0
                         and head.state == DISP):
                     if not self._exec_serialize(head, cycle):
                         break
@@ -604,49 +661,72 @@ class OutOfOrderCore:
                         break  # multi-cycle serialize op in flight
                 else:
                     break
-            if head.inst.info.is_store and not head.inst.info.serialize:
+            if info.is_store and not info.serialize:
                 if not self._retire_store(head, cycle):
                     self.stats.bump("store_buffer_stalls")
                     break
-            dest = head.inst.dest()
+            dest = inst._dest
             if dest is not None:
-                self.ctx.write(dest, head.value)
-                if self.rat.get(dest) is head:
-                    del self.rat[dest]
-            self.rob.pop(0)
-            if self._obs_pipe:
+                ctx.write(dest, head.value)
+                if rat.get(dest) is head:
+                    del rat[dest]
+            rob.popleft()
+            if obs_pipe:
                 self.obs.emit(cycle, self._src, ev.RETIRE, seq=head.seq,
-                              pc=head.pc, text=repr(head.inst))
-            if head.inst.info.is_store:
+                              pc=head.pc, text=repr(inst))
+            if info.is_store:
                 if head in self.store_entries:
                     self.store_entries.remove(head)
                 self._unblock_loads()
-            self._release(head)
-            self.ctx.pc = head.actual_next
-            self.ctx.retired_instructions += 1
+            # _release(head), inlined: this runs once per retired
+            # instruction and the method call dominated its body.
+            held = head.held
+            if held:
+                if held & HOLD_INT_IQ:
+                    self.int_iq_used -= 1
+                elif held & HOLD_FP_IQ:
+                    self.fp_iq_used -= 1
+                if held & HOLD_LQ:
+                    self.lq_used -= 1
+                if held & HOLD_SQ:
+                    self.sq_used -= 1
+                if held & HOLD_REN_INT:
+                    self.rename_int_used -= 1
+                elif held & HOLD_REN_FP:
+                    self.rename_fp_used -= 1
+                head.held = 0
+            last_next = head.actual_next
             retired += 1
-            self.last_retire_cycle = cycle
-            if head.inst.op is Op.HALT:
+            if inst.op is Op.HALT:
                 self.halted = True
-                self.ctx.finished = True
+                ctx.finished = True
                 self.stop_fetch = True
                 break
         if retired:
-            self.stats.bump("retired", retired)
+            # Architectural PC / progress bookkeeping only needs the final
+            # values; nothing inside the loop reads them through ``self``
+            # or ``ctx`` (``_classify_cycle`` runs after the stages).
+            ctx.pc = last_next
+            ctx.retired_instructions += retired
+            self.last_retire_cycle = cycle
+            self._cnt["retired"] += retired
 
     def _purge_store_buffer(self, cycle: int) -> None:
-        if self.pending_stores:
-            self.pending_stores = [t for t in self.pending_stores if t > cycle]
+        # ``pending_stores`` is ordered (see _reset_pipeline): drained
+        # entries form a prefix, so purging never rebuilds the container.
+        pending = self.pending_stores
+        while pending and pending[0] <= cycle:
+            pending.popleft()
 
     def _retire_store(self, entry: RobEntry, cycle: int) -> bool:
-        if len(self.pending_stores) >= self.config.store_queue:
+        if len(self.pending_stores) >= self._store_queue:
             return False
         self._write_memory(entry.addr, entry.store_value, entry.inst.op)
         start = max(self.sb_next_free, cycle)
         done = self.mem_system.data_access(self.index, entry.addr, True, start)
         self.sb_next_free = done
         self.pending_stores.append(done)
-        self.stats.bump("stores")
+        self._cnt["stores"] += 1
         return True
 
     def _write_memory(self, addr: int, value, op: Op) -> None:
@@ -779,27 +859,31 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------ issue
 
     def _fu_limit(self, fu: FuClass) -> Tuple[str, int]:
-        if fu in (FuClass.INT, FuClass.MUL, FuClass.DIV):
-            return "int", self.config.int_alus
-        if fu is FuClass.FP:
-            return "fp", self.config.fp_alus
-        if fu is FuClass.BRANCH:
-            return "branch", self.config.branch_units
-        return "mem", self.config.ldst_units
+        return self._fu_pool[fu]
 
     def _issue(self, cycle: int) -> None:
-        budget = self.config.issue_width
+        budget = self._issue_width
         fu_used: Dict[str, int] = {}
         put_back: List[RobEntry] = []
-        while budget > 0 and self.ready:
-            _, entry = heappop(self.ready)
+        ready = self.ready
+        fu_pool = self._fu_pool
+        cnt = self._cnt
+        obs_pipe = self._obs_pipe
+        issued = 0
+        # Queue-occupancy deltas accumulate in locals (written back once
+        # below); nothing called inside the loop reads the counters.
+        int_iq_freed = 0
+        fp_iq_freed = 0
+        while budget > 0 and ready:
+            _, entry = heappop(ready)
             if entry.flushed or entry.state != DISP:
                 continue
-            pool, limit = self._fu_limit(entry.inst.info.fu)
+            info = entry.inst.info
+            pool, limit = fu_pool[info.fu]
             if fu_used.get(pool, 0) >= limit:
                 put_back.append(entry)
                 continue
-            if entry.inst.info.is_load:
+            if info.is_load:
                 verdict = self._try_issue_load(entry, cycle)
                 if verdict == "blocked":
                     self.blocked_loads.append(entry)
@@ -808,18 +892,23 @@ class OutOfOrderCore:
                 self._execute(entry, cycle)
             fu_used[pool] = fu_used.get(pool, 0) + 1
             budget -= 1
-            if self._obs_pipe:
+            if obs_pipe:
                 self.obs.emit(cycle, self._src, ev.ISSUE, seq=entry.seq,
                               pc=entry.pc, text=repr(entry.inst))
-            if entry.in_int_iq:
-                self.int_iq_used -= 1
-                entry.in_int_iq = False
-            if entry.in_fp_iq:
-                self.fp_iq_used -= 1
-                entry.in_fp_iq = False
-            self.stats.bump("issued")
+            held = entry.held
+            if held & HOLD_INT_IQ:
+                int_iq_freed += 1
+                entry.held = held & ~HOLD_INT_IQ
+            elif held & HOLD_FP_IQ:
+                fp_iq_freed += 1
+                entry.held = held & ~HOLD_FP_IQ
+            issued += 1
+        if issued:
+            cnt["issued"] += issued
+            self.int_iq_used -= int_iq_freed
+            self.fp_iq_used -= fp_iq_freed
         for entry in put_back:
-            heappush(self.ready, (entry.seq, entry))
+            heappush(ready, (entry.seq, entry))
 
     def _try_issue_load(self, entry: RobEntry, cycle: int) -> str:
         addr = entry.srcs[0] + entry.inst.imm
@@ -848,8 +937,13 @@ class OutOfOrderCore:
             entry.value = self._read_memory(entry.inst.op, addr)
             done = self.mem_system.data_access(self.index, addr, False, cycle)
         entry.completion = done
-        self.completing.setdefault(done, []).append(entry)
-        self.stats.bump("loads")
+        completing = self.completing
+        bucket = completing.get(done)
+        if bucket is None:
+            completing[done] = [entry]
+        else:
+            bucket.append(entry)
+        self._cnt["loads"] += 1
         return "issued"
 
     def _read_memory(self, op: Op, addr: int):
@@ -903,13 +997,21 @@ class OutOfOrderCore:
         elif info.fu is FuClass.FP:
             entry.value = fp(op, entry.srcs[0], entry.srcs[1])
             done = cycle + info.latency
-            self.stats.bump("fp_ops")
+            self._cnt["fp_ops"] += 1
         else:
-            entry.value = alu(op, entry.srcs[0], entry.srcs[1], inst.imm)
+            fn = ALU_TABLE.get(op)
+            if fn is None:
+                raise SimulationError(f"alu cannot evaluate {op}")
+            entry.value = fn(entry.srcs[0], entry.srcs[1], inst.imm)
             done = cycle + info.latency
-            self.stats.bump("int_ops")
+            self._cnt["int_ops"] += 1
         entry.completion = done
-        self.completing.setdefault(done, []).append(entry)
+        completing = self.completing
+        bucket = completing.get(done)
+        if bucket is None:
+            completing[done] = [entry]
+        else:
+            bucket.append(entry)
 
     def _branch_target(self, entry: RobEntry) -> int:
         op = entry.inst.op
@@ -930,126 +1032,183 @@ class OutOfOrderCore:
     # --------------------------------------------------------------- dispatch
 
     def _dispatch(self, cycle: int) -> None:
+        # The resource cascade below reads the per-instruction dispatch
+        # template resolved at Instruction construction; any change here
+        # must be mirrored in _dispatch_stall_key (the fast-forward
+        # scheduler's snapshot depends on the two agreeing exactly).
         dispatched = 0
-        while self.fetch_queue and dispatched < self.config.decode_width:
-            inst, pc, pred_next, fetched = self.fetch_queue[0]
+        fetch_queue = self.fetch_queue
+        rob = self.rob
+        rat = self.rat
+        obs_pipe = self._obs_pipe
+        decode_width = self._decode_width
+        rob_entries = self._rob_entries
+        ready = self.ready
+        store_entries = self.store_entries
+        ctx_read = self.ctx.read
+        # The occupancy counters and ``seq`` live in locals for the loop
+        # and are written back once below; nothing called inside the loop
+        # reads them through ``self`` (obs sinks only record events).
+        seq = self.seq
+        fp_iq_used = self.fp_iq_used
+        int_iq_used = self.int_iq_used
+        lq_used = self.lq_used
+        sq_used = self.sq_used
+        rename_fp_used = self.rename_fp_used
+        rename_int_used = self.rename_int_used
+        fp_queue = self._fp_queue
+        int_queue = self._int_queue
+        load_queue = self._load_queue
+        store_queue = self._store_queue
+        rename_limit_fp = self._rename_limit_fp
+        rename_limit_int = self._rename_limit_int
+        while fetch_queue and dispatched < decode_width:
+            inst, pc, pred_next, fetched = fetch_queue[0]
             if cycle < fetched + FRONTEND_DELAY:
                 break
-            if len(self.rob) >= self.config.rob_entries:
+            if len(rob) >= rob_entries:
                 self.stats.bump("rob_full_stalls")
                 break
-            info = inst.info
-            needs_fp_iq = info.fu is FuClass.FP and not info.serialize
-            needs_int_iq = not needs_fp_iq and not info.serialize
-            if needs_fp_iq and self.fp_iq_used >= self.config.fp_queue:
+            needs_fp_iq = inst.needs_fp_iq
+            needs_int_iq = inst.needs_int_iq
+            if needs_fp_iq and fp_iq_used >= fp_queue:
                 self.stats.bump("iq_full_stalls")
                 break
-            if needs_int_iq and self.int_iq_used >= self.config.int_queue:
+            if needs_int_iq and int_iq_used >= int_queue:
                 self.stats.bump("iq_full_stalls")
                 break
-            if info.is_load and not info.serialize and \
-                    self.lq_used >= self.config.load_queue:
+            if inst.uses_lq and lq_used >= load_queue:
                 self.stats.bump("lsq_full_stalls")
                 break
-            if info.is_store and not info.serialize and \
-                    self.sq_used >= self.config.store_queue:
+            if inst.uses_sq and sq_used >= store_queue:
                 self.stats.bump("lsq_full_stalls")
                 break
-            dest = inst.dest()
-            dest_fp = dest is not None and dest >= FP_BASE
+            dest = inst._dest
+            dest_fp = inst.dest_fp
             if dest is not None:
-                if dest_fp and self.rename_fp_used >= self._rename_limit_fp:
+                if dest_fp and rename_fp_used >= rename_limit_fp:
                     self.stats.bump("rename_stalls")
                     break
-                if not dest_fp and \
-                        self.rename_int_used >= self._rename_limit_int:
+                if not dest_fp and rename_int_used >= rename_limit_int:
                     self.stats.bump("rename_stalls")
                     break
-            self.fetch_queue.pop(0)
-            entry = RobEntry(self.seq, inst, pc, pred_next)
-            self.seq += 1
-            self._rename_sources(entry)
+            fetch_queue.popleft()
+            entry = RobEntry(seq, inst, pc, pred_next)
+            seq += 1
+            # Source renaming, unrolled over the two slots (hot: once per
+            # dispatched instruction).
+            srcs = entry.srcs
+            reg = inst.rs1
+            if reg is None or reg == 0:
+                srcs[0] = 0
+            else:
+                producer = rat.get(reg)
+                if producer is None:
+                    srcs[0] = ctx_read(reg)
+                elif producer.state == DONE:
+                    srcs[0] = producer.value
+                else:
+                    producer.consumers.append((entry, 0))
+                    entry.remaining += 1
+                    srcs[0] = None
+            reg = inst.rs2
+            if reg is None or reg == 0:
+                srcs[1] = 0
+            else:
+                producer = rat.get(reg)
+                if producer is None:
+                    srcs[1] = ctx_read(reg)
+                elif producer.state == DONE:
+                    srcs[1] = producer.value
+                else:
+                    producer.consumers.append((entry, 1))
+                    entry.remaining += 1
+                    srcs[1] = None
+            entry.held = inst.held_mask
             if needs_fp_iq:
-                entry.in_fp_iq = True
-                self.fp_iq_used += 1
+                fp_iq_used += 1
             if needs_int_iq:
-                entry.in_int_iq = True
-                self.int_iq_used += 1
-            if info.is_load and not info.serialize:
-                entry.holds_lq = True
-                self.lq_used += 1
-            if info.is_store and not info.serialize:
-                entry.holds_sq = True
-                self.sq_used += 1
-                self.store_entries.append(entry)
+                int_iq_used += 1
+            if inst.uses_lq:
+                lq_used += 1
+            if inst.uses_sq:
+                sq_used += 1
+                store_entries.append(entry)
             if dest is not None:
                 if dest_fp:
-                    entry.rename_fp = True
-                    self.rename_fp_used += 1
+                    rename_fp_used += 1
                 else:
-                    entry.rename_int = True
-                    self.rename_int_used += 1
-                self.rat[dest] = entry
-            self.rob.append(entry)
-            if self._obs_pipe:
+                    rename_int_used += 1
+                rat[dest] = entry
+            rob.append(entry)
+            if obs_pipe:
                 self.obs.emit(cycle, self._src, ev.DISPATCH, seq=entry.seq,
                               pc=entry.pc, text=repr(inst))
-            if entry.remaining == 0 and not info.serialize:
-                heappush(self.ready, (entry.seq, entry))
+            # Serialized ops set neither queue flag, so (needs_fp_iq or
+            # needs_int_iq) is exactly ``not info.serialize``.
+            if entry.remaining == 0 and (needs_fp_iq or needs_int_iq):
+                heappush(ready, (entry.seq, entry))
             dispatched += 1
         if dispatched:
-            self.stats.bump("dispatched", dispatched)
-
-    def _rename_sources(self, entry: RobEntry) -> None:
-        inst = entry.inst
-        for slot, reg in ((0, inst.rs1), (1, inst.rs2)):
-            if reg is None or reg == 0:
-                entry.srcs[slot] = 0
-                continue
-            producer = self.rat.get(reg)
-            if producer is None:
-                entry.srcs[slot] = self.ctx.read(reg)
-            elif producer.state == DONE:
-                entry.srcs[slot] = producer.value
-            else:
-                producer.consumers.append((entry, slot))
-                entry.remaining += 1
-                entry.srcs[slot] = None
+            self._cnt["dispatched"] += dispatched
+            self.seq = seq
+            self.fp_iq_used = fp_iq_used
+            self.int_iq_used = int_iq_used
+            self.lq_used = lq_used
+            self.sq_used = sq_used
+            self.rename_fp_used = rename_fp_used
+            self.rename_int_used = rename_int_used
 
     # ------------------------------------------------------------------ fetch
 
     def _fetch(self, cycle: int) -> None:
         if self.stop_fetch or cycle < self.fetch_resume or self.fetch_pc < 0:
             return
-        program = self.ctx.program
+        instructions = self._instructions
+        end = self._program_end
+        fetch_queue = self.fetch_queue
+        cnt = self._cnt
+        obs_pipe = self._obs_pipe
+        fetch_width = self._fetch_width
+        queue_cap = self._fetch_queue_cap
         fetched = 0
-        while fetched < self.config.fetch_width and \
-                len(self.fetch_queue) < self.config.fetch_queue:
-            pc = self.fetch_pc
-            if pc < 0 or pc >= len(program):
+        # ``fetch_pc``/``last_fetch_line`` track in locals for the loop
+        # and are written back once below; nothing called inside the loop
+        # reads them through ``self``.
+        fetch_pc = self.fetch_pc
+        last_line = self.last_fetch_line
+        while fetched < fetch_width and len(fetch_queue) < queue_cap:
+            pc = fetch_pc
+            if pc < 0 or pc >= end:
                 break  # wrong-path or past-end: wait for redirect
             line = pc >> 3  # 32 B line / 4 B per instruction
-            if line != self.last_fetch_line:
+            if line != last_line:
                 done = self.mem_system.inst_fetch(self.index, pc, cycle)
-                self.last_fetch_line = line
-                if done > cycle + self.config.l1i.hit_latency:
+                last_line = line
+                if done > cycle + self._l1i_hit:
                     self.fetch_resume = done
                     self.stats.bump("icache_stall_cycles", done - cycle)
                     break
-            inst = program[pc]
-            pred_next = self._predict_next(inst, pc)
-            self.fetch_queue.append((inst, pc, pred_next, cycle))
-            if self._obs_pipe:
+            inst = instructions[pc]
+            # Only branch-class ops consult the predictor/RAS/BTB; the
+            # straight-line fast path is a plain increment.
+            pred_next = self._predict_next(inst, pc) \
+                if inst.info.is_branch else pc + 1
+            fetch_queue.append((inst, pc, pred_next, cycle))
+            if obs_pipe:
                 self.obs.emit(cycle, self._src, ev.FETCH, seq=self.seq,
                               pc=pc, text=repr(inst))
-            self.stats.bump("fetched")
             fetched += 1
             if inst.op is Op.HALT:
-                self.fetch_pc = -1
+                fetch_pc = -1
                 break
-            self.fetch_pc = pred_next
+            fetch_pc = pred_next
             if pred_next != pc + 1:
                 break  # taken-predicted branch ends the fetch group
+        if fetched:
+            cnt["fetched"] += fetched
+        self.fetch_pc = fetch_pc
+        self.last_fetch_line = last_line
 
     def _predict_next(self, inst: Instruction, pc: int) -> int:
         op = inst.op

@@ -33,6 +33,11 @@ CASES: Dict[str, Tuple[str, str, Dict]] = {
     "seq": ("g721dec", "seq", {"items": 40}),
     "barrier": ("ll2", "barrier", {"n": 192, "passes": 8, "p": 16}),
     "compcomm": ("hmmer", "compcomm", {"M": 96, "R": 4}),
+    # Two more compute-bound cases: ALU-dense single-core loops where the
+    # wall clock is pure pipeline work (no SPL, no communication), sized
+    # like "seq" so a naive run is on the order of a second.
+    "adpcm": ("adpcm", "seq", {"items": 900}),
+    "livermore": ("ll3", "seq", {"n": 256, "passes": 24}),
 }
 
 #: Timed runs per scheduler; the report keeps the best wall time (the
@@ -118,6 +123,31 @@ def write_report(report: Dict, path: str = DEFAULT_OUT) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+
+
+def check_report(fresh: Dict, baseline: Dict) -> List[str]:
+    """Compare a fresh report against a committed baseline.
+
+    Simulated results (final cycles and retired instructions) must match
+    exactly for every case the two reports share — they are deterministic,
+    so any drift is a behaviour change, not noise.  Wall-clock numbers are
+    informational only and never fail the check.  Returns a list of
+    failure messages (empty when the gate passes).
+    """
+    failures: List[str] = []
+    fresh_rows = {row["case"]: row for row in fresh["cases"]}
+    base_rows = {row["case"]: row for row in baseline["cases"]}
+    shared = [name for name in base_rows if name in fresh_rows]
+    if not shared:
+        return ["no bench cases in common with the baseline report"]
+    for name in shared:
+        for key in ("cycles", "retired"):
+            got, want = fresh_rows[name][key], base_rows[name][key]
+            if got != want:
+                failures.append(
+                    f"{name}: {key} changed {want} -> {got} "
+                    f"(simulated results must be exact)")
+    return failures
 
 
 def format_report(report: Dict) -> str:

@@ -10,13 +10,24 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.errors import AssemblyError
-from repro.isa.opcodes import Fmt, Op, OpInfo, info
+from repro.isa.opcodes import Fmt, FuClass, Op, OpInfo, info
 
 N_INT_REGS = 32
 N_FP_REGS = 32
 N_ARCH_REGS = N_INT_REGS + N_FP_REGS
 ZERO_REG = 0
 FP_BASE = N_INT_REGS
+
+#: Bits of ``Instruction.held_mask`` — the back-end resources one in-flight
+#: instance of the instruction occupies (issue-queue slot, load/store-queue
+#: slot, rename register).  The pipeline copies the mask onto each ROB
+#: entry at dispatch and clears bits as the resources release.
+HOLD_INT_IQ = 1
+HOLD_FP_IQ = 2
+HOLD_LQ = 4
+HOLD_SQ = 8
+HOLD_REN_INT = 16
+HOLD_REN_FP = 32
 
 
 def reg_index(name: str) -> int:
@@ -62,7 +73,8 @@ class Instruction:
     """
 
     __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target", "index",
-                 "info", "_dest", "_sources")
+                 "info", "_dest", "_sources", "needs_fp_iq", "needs_int_iq",
+                 "uses_lq", "uses_sq", "dest_fp", "held_mask")
 
     def __init__(self, op: Op, rd: Optional[int] = None,
                  rs1: Optional[int] = None, rs2: Optional[int] = None,
@@ -85,6 +97,28 @@ class Instruction:
         if rs2 is not None and rs2 != ZERO_REG:
             regs.append(rs2)
         self._sources = regs
+        # Dispatch template: which back-end resources this instruction
+        # claims.  The pipeline's dispatch stage (and its stall-key
+        # mirror) consults these every attempt, so they are resolved here
+        # once per instruction rather than re-derived per cycle.
+        serialize = op_info.serialize
+        self.needs_fp_iq: bool = op_info.fu is FuClass.FP and not serialize
+        self.needs_int_iq: bool = not self.needs_fp_iq and not serialize
+        self.uses_lq: bool = op_info.is_load and not serialize
+        self.uses_sq: bool = op_info.is_store and not serialize
+        self.dest_fp: bool = self._dest is not None and self._dest >= FP_BASE
+        held = 0
+        if self.needs_fp_iq:
+            held |= HOLD_FP_IQ
+        if self.needs_int_iq:
+            held |= HOLD_INT_IQ
+        if self.uses_lq:
+            held |= HOLD_LQ
+        if self.uses_sq:
+            held |= HOLD_SQ
+        if self._dest is not None:
+            held |= HOLD_REN_FP if self.dest_fp else HOLD_REN_INT
+        self.held_mask: int = held
 
     def sources(self):
         """Register indices read by this instruction (excluding r0)."""
