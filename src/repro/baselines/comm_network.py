@@ -202,6 +202,38 @@ class DedicatedCommController:
                 return slot
         return None
 
+    # -- snapshot contract (DESIGN.md §8) ---------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Mutable network state.  Bindings and the wake callback are
+        construction/setup-time wiring recreated by the workload's setup."""
+        return {
+            "staging": [entry.snapshot_state() for entry in self.staging],
+            "output_queues": [queue.snapshot_state()
+                              for queue in self.output_queues],
+            "threads": list(self.threads),
+            "in_flight": list(self.in_flight),
+            "pending": [[deliver, dest, list(words)]
+                        for deliver, dest, words in self.pending],
+            "barriers": [[bid, list(participants), list(arrived)]
+                         for bid, (participants, arrived)
+                         in sorted(self.barriers.items())],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for entry, entry_state in zip(self.staging, state["staging"]):
+            entry.restore_state(entry_state)
+        for queue, queue_state in zip(self.output_queues,
+                                      state["output_queues"]):
+            queue.restore_state(queue_state)
+        self.threads = list(state["threads"])
+        self.in_flight = list(state["in_flight"])
+        self.pending = deque((deliver, dest, list(words))
+                             for deliver, dest, words in state["pending"])
+        self.barriers = {bid: (tuple(participants), list(arrived))
+                         for bid, participants, arrived
+                         in state["barriers"]}
+
     # -- timing -----------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:

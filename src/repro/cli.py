@@ -10,6 +10,8 @@ Usage::
     python -m repro run hmmer compcomm --items M=64 R=3
     python -m repro trace dijkstra --out run.json
     python -m repro profile dijkstra
+    python -m repro sample mpeg2enc seq --warmup 20000 --sample 50000
+    python -m repro resume out/snap_mpeg2enc_seq.json
 
 Simulation commands accept ``--jobs N`` (fan out over N worker
 processes; also ``REPRO_JOBS``), ``--no-cache`` (ignore the persistent
@@ -204,12 +206,13 @@ def _resolve_observed_spec(args):
 
 def _run_observed(spec, *sinks):
     """Simulate ``spec`` with sinks attached to the machine's event bus."""
+    from repro.common.config import RunOptions
     from repro.system.machine import Machine
     machine = Machine(spec.system)
     for sink, kinds in sinks:
         machine.obs.attach(sink, kinds=kinds)
     machine.load(spec.workload)
-    machine.run(max_cycles=spec.max_cycles)
+    machine.run(options=RunOptions(max_cycles=spec.max_cycles))
     machine.finish_observation()
     return machine
 
@@ -250,17 +253,61 @@ def cmd_profile(args) -> None:
     print(render_profile(accounting))
 
 
+def cmd_sample(args) -> None:
+    import json
+    import os
+
+    from repro.experiments.sample import format_report, sampled_run
+    info = registry.REGISTRY.get(args.benchmark)
+    if info is None:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+    if args.variant not in info.variants:
+        raise SystemExit(f"{args.benchmark} variants: "
+                         f"{', '.join(sorted(info.variants))}")
+    snapshot_path = args.snapshot
+    if snapshot_path is None:
+        snapshot_path = os.path.join(
+            "out", f"snap_{args.benchmark}_{args.variant}.json")
+    parent = os.path.dirname(snapshot_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    report = sampled_run(
+        request(args.benchmark, args.variant, **_parse_kwargs(args.params)),
+        warmup=args.warmup, sample=args.sample,
+        snapshot_path=snapshot_path, compare_full=args.compare_full)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return
+    print(format_report(report))
+
+
+def cmd_resume(args) -> None:
+    from repro.system.snapshot import resume_from_file
+    machine, cycles = resume_from_file(args.snapshot,
+                                       check=not args.no_check)
+    print(f"resumed {args.snapshot}: completed at cycle {cycles}, "
+          f"{machine.total_retired()} instructions retired")
+    if not args.no_check:
+        print("output verified against the reference kernel")
+
+
 def cmd_bench(args) -> int:
     import json
 
-    from repro.experiments.bench import (DEFAULT_OUT, check_report,
-                                         format_report, run_bench,
+    from repro.experiments.bench import (DEFAULT_OUT, SNAPSHOT_OUT,
+                                         check_report, format_report,
+                                         run_bench, run_snapshot_roundtrip,
                                          write_report)
     cases = list(args.cases or [])
     for group in args.case_list or []:
         cases.extend(name for name in group.split(",") if name)
-    report = run_bench(cases or None)
-    out = args.out or DEFAULT_OUT
+    if args.snapshot_roundtrip:
+        report = run_snapshot_roundtrip(cases or None,
+                                        snapshot_dir=args.snapshot_dir)
+        out = args.out or SNAPSHOT_OUT
+    else:
+        report = run_bench(cases or None)
+        out = args.out or DEFAULT_OUT
     write_report(report, out)
     print(format_report(report))
     print(f"report -> {out}")
@@ -370,6 +417,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the breakdown as JSON")
     p_prof.set_defaults(func=cmd_profile)
 
+    p_sample = sub.add_parser(
+        "sample", help="SimPoint-style sampled run: warmup, snapshot, "
+                       "measure a bounded window")
+    p_sample.add_argument("benchmark")
+    p_sample.add_argument("variant")
+    p_sample.add_argument("--warmup", type=int, default=20_000,
+                          help="detailed warmup cycles before the "
+                               "snapshot/measurement boundary")
+    p_sample.add_argument("--sample", type=int, default=50_000,
+                          help="measured window length in cycles")
+    p_sample.add_argument("--snapshot", default=None,
+                          help="snapshot path written at the warmup "
+                               "boundary (default out/snap_<bench>_"
+                               "<variant>.json)")
+    p_sample.add_argument("--compare-full", action="store_true",
+                          help="also run uninterrupted and report the "
+                               "sampled-vs-full IPC error and wall-clock "
+                               "ratio")
+    p_sample.add_argument("--items", dest="params", nargs="*", default=[],
+                          help="spec parameters, e.g. M=64 R=3 or items=128")
+    p_sample.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    p_sample.set_defaults(func=cmd_sample)
+
+    p_resume = sub.add_parser(
+        "resume", help="continue a snapshotted run to completion")
+    p_resume.add_argument("snapshot", help="snapshot file written by "
+                                           "'repro sample' --snapshot")
+    p_resume.add_argument("--no-check", action="store_true",
+                          help="skip the workload's reference-output check")
+    p_resume.set_defaults(func=cmd_resume)
+
     p_bench = sub.add_parser(
         "bench", help="time the simulation loop (naive vs fast-forward)")
     p_bench.add_argument("--case", dest="cases", action="append",
@@ -384,6 +463,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compare simulated results (cycles, retired) "
                               "against a committed baseline report; exact "
                               "match required, wall clock informational")
+    p_bench.add_argument("--snapshot-roundtrip", action="store_true",
+                         help="instead of timing, pause each case mid-run, "
+                              "snapshot to disk, restore and continue; "
+                              "--check then gates the round-tripped results "
+                              "against the same baseline")
+    p_bench.add_argument("--snapshot-dir", default=None,
+                         help="where round-trip snapshot files are written "
+                              "(default: a temporary directory)")
     p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(

@@ -8,8 +8,9 @@ directly from Table II and Sections II/IV of the paper.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 
@@ -227,6 +228,89 @@ class SystemConfig:
             raise ConfigError("system needs at least one cluster")
         for cluster in self.clusters:
             cluster.validate()
+
+
+# -- run options ---------------------------------------------------------------
+
+#: The escape-hatch environment variables, resolved in exactly one place
+#: (:meth:`RunOptions.resolve`).  Setting a variable to any non-empty
+#: value disables the corresponding feature.
+ENV_NO_FASTFORWARD = "REPRO_NO_FASTFORWARD"
+ENV_NO_CODEGEN = "REPRO_NO_CODEGEN"
+ENV_NO_LINT = "REPRO_NO_LINT"
+
+
+def env_enabled(var: str) -> bool:
+    """True unless the REPRO_NO_* escape hatch ``var`` is set (non-empty)."""
+    return not os.environ.get(var)
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Every knob of one simulation run, in one place.
+
+    This replaces the kwarg/env sprawl that used to be spread over
+    ``Machine.run(max_cycles=, until=, fast_forward=)``, ``execute()``,
+    and ad-hoc ``REPRO_NO_*`` reads: construct a ``RunOptions``, resolve
+    it once, and pass it around.  The tri-state fields (``fast_forward``,
+    ``codegen``, ``lint``) default to ``None`` = "consult the
+    environment"; :meth:`resolve` pins them to booleans using the
+    ``REPRO_NO_FASTFORWARD`` / ``REPRO_NO_CODEGEN`` / ``REPRO_NO_LINT``
+    escape hatches.  That resolution step is the *only* sanctioned env
+    read for run behaviour.
+
+    ``pause_at`` stops :meth:`Machine.run` at exactly that cycle without
+    flushing fast-forward elision windows — the machine is left in the
+    precise mid-run state the naive loop would inspect at the top of that
+    cycle, which is what makes mid-run snapshots deterministic (see
+    DESIGN.md §8).
+
+    ``until`` is a host-side predicate closure; it cannot be serialized
+    and therefore never participates in :meth:`fingerprint`.
+    """
+
+    max_cycles: int = 1_000_000_000
+    #: Stop when this predicate returns True (checked between cycles).
+    until: Optional[Callable[[], bool]] = None
+    #: Stop at exactly this absolute cycle, preserving elision windows.
+    pause_at: Optional[int] = None
+    #: Quiescence-aware fast-forward scheduler (None: env-resolved).
+    fast_forward: Optional[bool] = None
+    #: Compiled DFG closures for SPL functions (None: env-resolved).
+    codegen: Optional[bool] = None
+    #: Static-verifier pre-flight in the experiment engine (None: env).
+    lint: Optional[bool] = None
+
+    def resolve(self) -> "RunOptions":
+        """Pin every tri-state field against the environment, once."""
+        return replace(
+            self,
+            fast_forward=(env_enabled(ENV_NO_FASTFORWARD)
+                          if self.fast_forward is None else self.fast_forward),
+            codegen=(env_enabled(ENV_NO_CODEGEN)
+                     if self.codegen is None else self.codegen),
+            lint=(env_enabled(ENV_NO_LINT)
+                  if self.lint is None else self.lint),
+        )
+
+    def fingerprint(self) -> Dict[str, bool]:
+        """The execution-affecting knobs, resolved, as a stable mapping.
+
+        Used by the experiment engine's cache key so a result produced
+        under one scheduler/codegen mode is never served to a request for
+        another.  ``lint`` is excluded (it never changes the simulation),
+        as are ``max_cycles``/``until``/``pause_at`` (run-shape inputs the
+        request already encodes, or host-only closures).
+        """
+        resolved = self.resolve()
+        return {"fast_forward": bool(resolved.fast_forward),
+                "codegen": bool(resolved.codegen)}
+
+    def validate(self) -> None:
+        if self.max_cycles < 0:
+            raise ConfigError("max_cycles must be >= 0")
+        if self.pause_at is not None and self.pause_at < 0:
+            raise ConfigError("pause_at must be >= 0")
 
 
 def remap_cluster(n_cores: int = 4) -> ClusterConfig:

@@ -1,19 +1,94 @@
-"""JSON (de)serialization of system configurations.
+"""JSON (de)serialization: system configs and the shared codec registry.
 
 Lets experiment configurations be saved alongside results and reloaded
 exactly — `python -m repro` experiments are reproducible from the file.
+
+Every versioned record format in the repo (system configs, cached
+:class:`~repro.experiments.runner.RunResult` records, metrics snapshots,
+machine snapshots) registers a :class:`Codec` here, so producing and
+consuming records shares one envelope shape (``kind`` + ``schema`` +
+payload) and one version-check error path instead of each module
+hand-rolling its own.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.common.config import (BranchPredictorConfig, CacheConfig,
                                  ClusterConfig, CoreConfig, SplConfig,
                                  SystemConfig)
 from repro.common.errors import ConfigError
+
+
+# -- versioned codec registry ---------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Codec:
+    """One versioned record format: how to flatten and rebuild a value."""
+
+    kind: str
+    version: int
+    encode: Callable[[Any], Dict]
+    decode: Callable[[Dict], Any]
+
+
+_CODECS: Dict[str, Codec] = {}
+
+
+def register_codec(kind: str, version: int, encode: Callable[[Any], Dict],
+                   decode: Callable[[Dict], Any]) -> Codec:
+    """Register (or idempotently re-register) a record format.
+
+    Modules register their own formats at import time; re-registration
+    with a different version is a programming error caught loudly.
+    """
+    existing = _CODECS.get(kind)
+    if existing is not None and existing.version != version:
+        raise ConfigError(
+            f"codec {kind!r} already registered at v{existing.version}, "
+            f"cannot re-register at v{version}")
+    codec = Codec(kind, version, encode, decode)
+    _CODECS[kind] = codec
+    return codec
+
+
+def check_schema(kind: str, record: Dict, version: int) -> None:
+    """Shared version gate: raise ConfigError unless the record matches."""
+    got = record.get("schema")
+    if got != version:
+        raise ConfigError(
+            f"{kind} record has schema v{got}, this code reads v{version}")
+
+
+def encode_record(kind: str, value: Any) -> Dict:
+    """Stamp ``value`` into a self-describing versioned record."""
+    codec = _CODECS.get(kind)
+    if codec is None:
+        raise ConfigError(f"no codec registered for kind {kind!r}")
+    return {"kind": kind, "schema": codec.version,
+            "payload": codec.encode(value)}
+
+
+def decode_record(record: Dict, expect_kind: Optional[str] = None) -> Any:
+    """Rebuild the value an :func:`encode_record` record describes."""
+    kind = record.get("kind")
+    if expect_kind is not None and kind != expect_kind:
+        raise ConfigError(
+            f"expected a {expect_kind!r} record, got kind {kind!r}")
+    codec = _CODECS.get(kind)
+    if codec is None:
+        raise ConfigError(f"no codec registered for kind {kind!r}")
+    check_schema(kind, record, codec.version)
+    return codec.decode(record["payload"])
+
+
+def registered_codecs() -> Dict[str, Codec]:
+    """Read-only view of the registry (for tests and tooling)."""
+    return dict(_CODECS)
 
 
 def _to_dict(obj: Any) -> Any:
@@ -68,3 +143,10 @@ def system_from_dict(data: Dict) -> SystemConfig:
 
 def system_from_json(text: str) -> SystemConfig:
     return system_from_dict(json.loads(text))
+
+
+#: SystemConfig's dict form has been stable since the first release.
+SYSTEM_SCHEMA_VERSION = 1
+
+register_codec("system-config", SYSTEM_SCHEMA_VERSION,
+               system_to_dict, system_from_dict)

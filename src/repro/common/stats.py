@@ -195,6 +195,45 @@ class Stats:
                 mine[child.name] = target
             target.merge(child)
 
+    # -- snapshot contract (DESIGN.md §8) ----------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Full counter tree, including zero-valued declared counters.
+
+        Declarations themselves are construction-time wiring and are not
+        captured: restore targets a freshly rebuilt tree whose scopes have
+        already declared their schemas.
+        """
+        return {
+            "name": self.name,
+            "counters": [[key, self.counters[key]]
+                         for key in sorted(self.counters)],
+            "children": [child.snapshot_state() for child in self.children],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this tree's counters from ``state``.
+
+        The rebuilt tree must have the same shape (scope names and child
+        order) as the snapshotted one; any divergence means the machine
+        was reconstructed from a different configuration.
+        """
+        if state["name"] != self.name:
+            raise StatsError(
+                f"snapshot scope {state['name']!r} does not match "
+                f"rebuilt scope {self.name!r}")
+        if len(state["children"]) != len(self.children):
+            raise StatsError(
+                f"scope {self.name!r}: snapshot has "
+                f"{len(state['children'])} child scopes, rebuilt tree "
+                f"has {len(self.children)}")
+        # Mutate in place: CounterHandle instances bound at construction
+        # hold a reference to this exact dict.
+        self.counters.clear()
+        self.counters.update((key, value) for key, value in state["counters"])
+        for child, child_state in zip(self.children, state["children"]):
+            child.restore_state(child_state)
+
     # -- rendering ---------------------------------------------------------
 
     def report(self, indent: int = 0) -> str:

@@ -276,6 +276,92 @@ class SplClusterController:
                 and self.staging[slot].empty
                 and self.input_queues[slot].empty)
 
+    # -- snapshot contract (DESIGN.md §8) ----------------------------------------------
+
+    def _binding_key_of(self, function: SplFunction) -> Optional[list]:
+        """Stable identifier for a loaded function: the first (sorted)
+        binding key that references this exact instance.  Setup recreates
+        the same instance-sharing structure on the restore target, so the
+        key resolves back to the equivalent object."""
+        for key in sorted(self.bindings):
+            if self.bindings[key].function is function:
+                return list(key)
+        raise SplError("loaded function has no binding (cannot snapshot)")
+
+    def snapshot_state(self) -> dict:
+        """Mutable controller state.  Bindings, ports, and the wake
+        callback are runtime configuration: they are recreated by workload
+        setup / machine construction, not serialized.  Stateful function
+        instances (DELAY registers) are captured per binding key."""
+        return {
+            "now": self._now,
+            "table": self.table.snapshot_state(),
+            "barrier_table": self.barrier_table.snapshot_state(),
+            "staging": [entry.snapshot_state() for entry in self.staging],
+            "input_queues": [q.snapshot_state() for q in self.input_queues],
+            "output_queues": [q.snapshot_state() for q in self.output_queues],
+            "core_partition": list(self.core_partition),
+            "partitions": [{
+                "index": p.index,
+                "rows": p.rows,
+                "cores": list(p.cores),
+                "loaded": (None if p.loaded is None
+                           else self._binding_key_of(p.loaded)),
+                "reconfig_until": p.reconfig_until,
+                "next_issue": p.next_issue,
+                "events": [[complete,
+                            [[slot, list(words), bool(release)]
+                             for slot, words, release in deliveries]]
+                           for complete, deliveries in p.events],
+                "rr": p.rr,
+            } for p in self.partitions],
+            # DELAY-register state keyed by DFG node index (ints, so JSON
+            # needs a pair list rather than a dict).
+            "function_state": [
+                [list(key),
+                 sorted(self.bindings[key].function.state.items())]
+                for key in sorted(self.bindings)],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._now = state["now"]
+        self.table.restore_state(state["table"])
+        self.barrier_table.restore_state(state["barrier_table"])
+        for entry, entry_state in zip(self.staging, state["staging"]):
+            entry.restore_state(entry_state)
+        for queue, queue_state in zip(self.input_queues,
+                                      state["input_queues"]):
+            queue.restore_state(queue_state)
+        for queue, queue_state in zip(self.output_queues,
+                                      state["output_queues"]):
+            queue.restore_state(queue_state)
+        self.core_partition = list(state["core_partition"])
+        self.partitions = []
+        for record in state["partitions"]:
+            partition = _Partition(record["index"], record["rows"],
+                                   list(record["cores"]))
+            if record["loaded"] is not None:
+                key = tuple(record["loaded"])
+                if key not in self.bindings:
+                    raise SplError(f"snapshot references unbound config "
+                                   f"{key}; was setup re-run?")
+                partition.loaded = self.bindings[key].function
+            partition.reconfig_until = record["reconfig_until"]
+            partition.next_issue = record["next_issue"]
+            partition.events = [
+                (complete, [(slot, list(words), bool(release))
+                            for slot, words, release in deliveries])
+                for complete, deliveries in record["events"]]
+            partition.rr = record["rr"]
+            self.partitions.append(partition)
+        for key, fn_state in state["function_state"]:
+            binding = self.bindings.get(tuple(key))
+            if binding is None:
+                raise SplError(f"snapshot references unbound config {key}")
+            binding.function.state.clear()
+            binding.function.state.update(
+                {index: value for index, value in fn_state})
+
     # -- fabric clock ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:

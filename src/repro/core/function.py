@@ -15,10 +15,10 @@ Two kinds exist (Section II-B):
 
 from __future__ import annotations
 
-import os
 import struct
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.config import ENV_NO_CODEGEN, env_enabled
 from repro.common.errors import CodegenError, SplError
 from repro.core.codegen import CompiledDfg, compile_dfg
 from repro.core.dfg import Dfg, DfgOp
@@ -52,7 +52,7 @@ class SplFunction:
         # The env gate is sampled at construction so a run is all-compiled
         # or all-interpreted; graphs the generator cannot emit fall back
         # to the interpreter (the GEN001 lint rule reports them).
-        self._codegen_enabled = os.environ.get("REPRO_NO_CODEGEN") != "1"
+        self._codegen_enabled = env_enabled(ENV_NO_CODEGEN)
         self._compiled: Optional[CompiledDfg] = None
 
     @property

@@ -59,6 +59,15 @@ class StagingEntry:
         """Fabric input beats needed for a sealed entry's valid bytes."""
         return 2 if valid >> BEAT_BYTES else 1
 
+    def snapshot_state(self) -> dict:
+        return {"data": self.data.hex(), "valid": self.valid,
+                "ready": self.ready}
+
+    def restore_state(self, state: dict) -> None:
+        self.data = bytearray.fromhex(state["data"])
+        self.valid = state["valid"]
+        self.ready = state["ready"]
+
 
 class SplRequest:
     """One sealed input-queue entry awaiting fabric issue."""
@@ -75,6 +84,19 @@ class SplRequest:
         self.cycle = cycle
         self.dest_slot: int = core
         self.ready = ready  # core cycle when all staged data has arrived
+
+    def snapshot_state(self) -> dict:
+        return {"config_id": self.config_id, "data": self.data.hex(),
+                "valid": self.valid, "core": self.core, "cycle": self.cycle,
+                "dest_slot": self.dest_slot, "ready": self.ready}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SplRequest":
+        request = cls(state["config_id"], bytes.fromhex(state["data"]),
+                      state["valid"], state["core"], state["cycle"],
+                      state["ready"])
+        request.dest_slot = state["dest_slot"]
+        return request
 
 
 class InputQueue:
@@ -106,6 +128,13 @@ class InputQueue:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def snapshot_state(self) -> dict:
+        return {"entries": [r.snapshot_state() for r in self.entries]}
+
+    def restore_state(self, state: dict) -> None:
+        self.entries = deque(SplRequest.from_state(r)
+                             for r in state["entries"])
+
 
 class OutputQueue:
     """Per-core FIFO of 32-bit result words."""
@@ -133,3 +162,9 @@ class OutputQueue:
 
     def __len__(self) -> int:
         return len(self.words)
+
+    def snapshot_state(self) -> dict:
+        return {"words": list(self.words)}
+
+    def restore_state(self, state: dict) -> None:
+        self.words = deque(state["words"])

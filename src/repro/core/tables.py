@@ -68,6 +68,16 @@ class ThreadToCoreTable:
     def can_switch_out(self, core_slot: int) -> bool:
         return self.in_flight[core_slot] == 0
 
+    def snapshot_state(self) -> dict:
+        return {"thread_ids": list(self.thread_ids),
+                "app_ids": list(self.app_ids),
+                "in_flight": list(self.in_flight)}
+
+    def restore_state(self, state: dict) -> None:
+        self.thread_ids = list(state["thread_ids"])
+        self.app_ids = list(state["app_ids"])
+        self.in_flight = list(state["in_flight"])
+
 
 class BarrierBus:
     """Chip-wide barrier state shared by all SPL clusters.
@@ -163,6 +173,23 @@ class BarrierBus:
         return t if t > now else now
 
 
+    def snapshot_state(self) -> dict:
+        """Mutable arrival state.  The registry is *not* captured: it is
+        runtime configuration recreated by the workload's setup hook when
+        the restore target machine is rebuilt."""
+        return {
+            "base_count": [[bid, count]
+                           for bid, count in sorted(self.base_count.items())],
+            "recent": [[bid, [list(item) for item in items]]
+                       for bid, items in sorted(self.recent.items())],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.base_count = {bid: count for bid, count in state["base_count"]}
+        self.recent = {bid: [tuple(item) for item in items]
+                       for bid, items in state["recent"]}
+
+
 class BarrierTable:
     """Per-cluster view of active barriers (Figure 2(b))."""
 
@@ -196,3 +223,10 @@ class BarrierTable:
 
     def release(self, barrier_id: int) -> None:
         self.generation[barrier_id] = self.generation.get(barrier_id, 0) + 1
+
+    def snapshot_state(self) -> dict:
+        return {"generation": [[bid, gen] for bid, gen
+                               in sorted(self.generation.items())]}
+
+    def restore_state(self, state: dict) -> None:
+        self.generation = {bid: gen for bid, gen in state["generation"]}

@@ -99,6 +99,30 @@ class HybridPredictor:
             return self.ras.pop()
         return None
 
+    # -- snapshot contract (DESIGN.md §8) --------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """All learned state: counter tables, history, BTB, RAS."""
+        return {
+            "bimodal": list(self.bimodal.counters),
+            "gshare": list(self.gshare.counters),
+            "chooser": list(self.chooser.counters),
+            "history": self.history,
+            # JSON turns tuples into lists; keep entries as [pc, target].
+            "btb": [list(entry) if entry is not None else None
+                    for entry in self.btb],
+            "ras": list(self.ras),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.bimodal.counters = list(state["bimodal"])
+        self.gshare.counters = list(state["gshare"])
+        self.chooser.counters = list(state["chooser"])
+        self.history = state["history"]
+        self.btb = [tuple(entry) if entry is not None else None
+                    for entry in state["btb"]]
+        self.ras = list(state["ras"])
+
     def flush_speculative_state(self) -> None:
         """Called on a pipeline flush.
 

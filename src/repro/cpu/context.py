@@ -39,6 +39,25 @@ class ThreadContext:
                 raise ValueError(f"{name} is not a floating-point register")
             self.fp_regs[index - FP_BASE] = float(value)
 
+    def snapshot_state(self) -> dict:
+        """Mutable architectural state (the program is rebuilt, not saved)."""
+        return {
+            "thread_id": self.thread_id,
+            "app_id": self.app_id,
+            "pc": self.pc,
+            "int_regs": list(self.int_regs),
+            "fp_regs": list(self.fp_regs),
+            "finished": self.finished,
+            "retired_instructions": self.retired_instructions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pc = state["pc"]
+        self.int_regs = list(state["int_regs"])
+        self.fp_regs = [float(v) for v in state["fp_regs"]]
+        self.finished = state["finished"]
+        self.retired_instructions = state["retired_instructions"]
+
     def read(self, flat_reg: int):
         """Read a register by flat index (int or fp)."""
         if flat_reg < FP_BASE:

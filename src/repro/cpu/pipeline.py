@@ -269,6 +269,157 @@ class OutOfOrderCore:
     def active(self) -> bool:
         return self.ctx is not None and not self.halted
 
+    # ------------------------------------- snapshot contract (DESIGN.md §8)
+
+    def _entry_universe(self) -> List[RobEntry]:
+        """Every RobEntry reachable from the pipeline structures.
+
+        Flushed entries leave the ROB but can remain referenced from an
+        older producer's ``consumers`` list, so the universe is the
+        transitive closure over consumer edges, keyed by ``seq`` (unique
+        for the lifetime of an attach: flushes never reset ``self.seq``).
+        """
+        seen: Dict[int, RobEntry] = {}
+        stack: List[RobEntry] = list(self.rob)
+        for bucket in self.completing.values():
+            stack.extend(bucket)
+        stack.extend(self.store_entries)
+        stack.extend(self.blocked_loads)
+        stack.extend(entry for _seq, entry in self.ready)
+        stack.extend(self.rat.values())
+        while stack:
+            entry = stack.pop()
+            if entry.seq in seen:
+                continue
+            seen[entry.seq] = entry
+            stack.extend(consumer for consumer, _slot in entry.consumers)
+        return [seen[seq] for seq in sorted(seen)]
+
+    def snapshot_state(self) -> dict:
+        """Mutable pipeline state only; the instruction stream and wiring
+        (ports, listeners, config) are reconstructed from the workload."""
+        entries = self._entry_universe()
+        return {
+            "entries": [{
+                "seq": e.seq, "pc": e.pc, "pred_next": e.pred_next,
+                "state": e.state, "value": e.value,
+                "completion": e.completion, "remaining": e.remaining,
+                "consumers": [[c.seq, slot] for c, slot in e.consumers],
+                "srcs": list(e.srcs), "addr": e.addr, "size": e.size,
+                "store_value": e.store_value, "flushed": e.flushed,
+                "started": e.started, "actual_next": e.actual_next,
+                "held": e.held,
+            } for e in entries],
+            "rob": [e.seq for e in self.rob],
+            # A seq-sorted list is a valid binary heap and heappop order
+            # is identical, so the heap round-trips as sorted seqs.
+            "ready": sorted(seq for seq, _e in self.ready),
+            "fetch_queue": [[pc, pred_next, fetched]
+                            for _inst, pc, pred_next, fetched
+                            in self.fetch_queue],
+            "completing": [[cycle, [e.seq for e in bucket]]
+                           for cycle, bucket
+                           in sorted(self.completing.items())],
+            "store_entries": [e.seq for e in self.store_entries],
+            "blocked_loads": [e.seq for e in self.blocked_loads],
+            "rat": [[reg, e.seq] for reg, e in sorted(self.rat.items())],
+            "predictor": self.predictor.snapshot_state(),
+            "halted": self.halted,
+            "stop_fetch": self.stop_fetch,
+            "stall_until": self.stall_until,
+            "seq": self.seq,
+            "fetch_pc": self.fetch_pc,
+            "fetch_resume": self.fetch_resume,
+            "last_fetch_line": self.last_fetch_line,
+            "int_iq_used": self.int_iq_used,
+            "fp_iq_used": self.fp_iq_used,
+            "lq_used": self.lq_used,
+            "sq_used": self.sq_used,
+            "rename_int_used": self.rename_int_used,
+            "rename_fp_used": self.rename_fp_used,
+            "sb_next_free": self.sb_next_free,
+            "pending_stores": list(self.pending_stores),
+            "last_retire_cycle": self.last_retire_cycle,
+            "ff_wake": self.ff_wake,
+            "ff_skip_from": self.ff_skip_from,
+            "ff_poke": self.ff_poke,
+            "ff_plan": list(self._ff_plan)
+            if self._ff_plan is not None else None,
+            "span_class": self._span_class,
+            "span_start": self._span_start,
+            "last_tick": self._last_tick,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the pipeline from ``state``.
+
+        Precondition: ``self.ctx`` has already been re-pointed at the
+        restored context by the machine (bypassing :meth:`attach`, which
+        would reset the very state being restored).
+        """
+        # A detached core (post-migration) has no context but still holds
+        # state worth restoring (predictor history, span bookkeeping); its
+        # pipeline structures are empty, so no instruction lookups happen.
+        insts = self.ctx.program.instructions if self.ctx is not None else []
+        by_seq: Dict[int, RobEntry] = {}
+        for rec in state["entries"]:
+            entry = RobEntry(rec["seq"], insts[rec["pc"]], rec["pc"],
+                             rec["pred_next"])
+            entry.state = rec["state"]
+            entry.value = rec["value"]
+            entry.completion = rec["completion"]
+            entry.remaining = rec["remaining"]
+            entry.srcs = list(rec["srcs"])
+            entry.addr = rec["addr"]
+            entry.size = rec["size"]
+            entry.store_value = rec["store_value"]
+            entry.flushed = rec["flushed"]
+            entry.started = rec["started"]
+            entry.actual_next = rec["actual_next"]
+            entry.held = rec["held"]
+            by_seq[entry.seq] = entry
+        for rec in state["entries"]:
+            by_seq[rec["seq"]].consumers = [
+                (by_seq[seq], slot) for seq, slot in rec["consumers"]]
+        self.rob = deque(by_seq[seq] for seq in state["rob"])
+        self.ready = [(seq, by_seq[seq]) for seq in state["ready"]]
+        self.fetch_queue = deque(
+            (insts[pc], pc, pred_next, fetched)
+            for pc, pred_next, fetched in state["fetch_queue"])
+        self.completing = {cycle: [by_seq[seq] for seq in seqs]
+                           for cycle, seqs in state["completing"]}
+        self.store_entries = [by_seq[seq]
+                              for seq in state["store_entries"]]
+        self.blocked_loads = [by_seq[seq] for seq in state["blocked_loads"]]
+        self.rat = {reg: by_seq[seq] for reg, seq in state["rat"]}
+        self.predictor.restore_state(state["predictor"])
+        self.halted = state["halted"]
+        self.stop_fetch = state["stop_fetch"]
+        self.stall_until = state["stall_until"]
+        self.seq = state["seq"]
+        self.fetch_pc = state["fetch_pc"]
+        self.fetch_resume = state["fetch_resume"]
+        self.last_fetch_line = state["last_fetch_line"]
+        self.int_iq_used = state["int_iq_used"]
+        self.fp_iq_used = state["fp_iq_used"]
+        self.lq_used = state["lq_used"]
+        self.sq_used = state["sq_used"]
+        self.rename_int_used = state["rename_int_used"]
+        self.rename_fp_used = state["rename_fp_used"]
+        self.sb_next_free = state["sb_next_free"]
+        self.pending_stores = deque(state["pending_stores"])
+        self.last_retire_cycle = state["last_retire_cycle"]
+        self.ff_wake = state["ff_wake"]
+        self.ff_skip_from = state["ff_skip_from"]
+        self.ff_poke = state["ff_poke"]
+        self._ff_plan = tuple(state["ff_plan"]) \
+            if state["ff_plan"] is not None else None
+        self._span_class = state["span_class"]
+        self._span_start = state["span_start"]
+        self._last_tick = state["last_tick"]
+        self._instructions = insts
+        self._program_end = len(insts)
+
     # ------------------------------------------------------------------- tick
 
     def tick(self, cycle: int) -> None:

@@ -13,9 +13,12 @@ cycles per wall-clock second.  Results are written to
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.config import RunOptions
 from repro.common.errors import SimulationError
 from repro.system.machine import Machine
 from repro.workloads import registry
@@ -25,6 +28,9 @@ BENCH_SCHEMA_VERSION = 1
 
 #: Default output file (gitignored).
 DEFAULT_OUT = "BENCH_simloop.json"
+
+#: Default output file for the snapshot round-trip mode (gitignored).
+SNAPSHOT_OUT = "BENCH_snapshot.json"
 
 #: case name -> (benchmark, variant, spec kwargs).  Sizes are chosen so a
 #: naive run takes on the order of a second: long enough to time
@@ -119,6 +125,72 @@ def run_bench(case_names: Optional[List[str]] = None) -> Dict:
     }
 
 
+def run_snapshot_roundtrip(case_names: Optional[List[str]] = None,
+                           snapshot_dir: Optional[str] = None) -> Dict:
+    """Pause each case mid-run, snapshot to a file, restore, continue.
+
+    The rows carry the same ``cycles``/``retired`` keys as
+    :func:`run_bench`, so :func:`check_report` gates a round-tripped run
+    against the very same committed baseline — proving the snapshot path
+    reproduces the uninterrupted simulation exactly, end to end through
+    the on-disk format.
+    """
+    from repro.experiments.engine import request
+    from repro.system.snapshot import (read_snapshot, restore_machine,
+                                       write_snapshot)
+    names = list(case_names) if case_names else list(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise SimulationError(
+            f"unknown bench cases: {', '.join(unknown)} "
+            f"(known: {', '.join(CASES)})")
+    if snapshot_dir is None:
+        snapshot_dir = tempfile.mkdtemp(prefix="repro-snap-")
+    os.makedirs(snapshot_dir, exist_ok=True)
+    rows = []
+    for name in names:
+        bench, variant, kwargs = CASES[name]
+        req = request(bench, variant, **kwargs)
+
+        spec = registry.REGISTRY[bench].variants[variant](**kwargs)
+        full = Machine(spec.system)
+        full.load(spec.workload)
+        total = full.run(options=RunOptions(max_cycles=spec.max_cycles))
+        retired = full.total_retired()
+
+        spec2 = registry.REGISTRY[bench].variants[variant](**kwargs)
+        paused = Machine(spec2.system)
+        paused.load(spec2.workload)
+        paused.run(options=RunOptions(max_cycles=spec2.max_cycles,
+                                      pause_at=total // 2))
+        path = os.path.join(snapshot_dir, f"{name}.json")
+        write_snapshot(path, paused, req)
+
+        restored, rebuilt_spec = restore_machine(read_snapshot(path))
+        cycles = restored.run(
+            options=RunOptions(max_cycles=rebuilt_spec.max_cycles))
+        if (cycles, restored.total_retired()) != (total, retired):
+            raise SimulationError(
+                f"bench case {name!r} ({spec.name}): snapshot round-trip "
+                f"diverged — uninterrupted {total} cycles / {retired} "
+                f"retired, restored {cycles} / "
+                f"{restored.total_retired()}")
+        if restored.stats.as_dict() != full.stats.as_dict():
+            raise SimulationError(
+                f"bench case {name!r} ({spec.name}): snapshot round-trip "
+                f"stats diverged from the uninterrupted run")
+        rows.append({
+            "case": name,
+            "spec": spec.name,
+            "cycles": cycles,
+            "retired": retired,
+            "pause_at": total // 2,
+            "snapshot": path,
+        })
+    return {"schema": BENCH_SCHEMA_VERSION, "mode": "snapshot-roundtrip",
+            "cases": rows}
+
+
 def write_report(report: Dict, path: str = DEFAULT_OUT) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -153,6 +225,12 @@ def check_report(fresh: Dict, baseline: Dict) -> List[str]:
 def format_report(report: Dict) -> str:
     lines = []
     for row in report["cases"]:
+        if "naive" not in row:
+            lines.append(
+                f"{row['case']:10s} {row['spec']:28s} "
+                f"{row['cycles']:>10d} cyc  snapshot round-trip OK "
+                f"(paused at {row['pause_at']})")
+            continue
         naive = row["naive"]["cycles_per_s"]
         ff = row["fast_forward"]["cycles_per_s"]
         lines.append(

@@ -45,7 +45,7 @@ from pathlib import Path
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple, Union)
 
-from repro.common.config import SystemConfig
+from repro.common.config import ENV_NO_LINT, SystemConfig, env_enabled
 from repro.common.errors import ConfigError
 from repro.common.serialize import system_from_json, system_to_dict
 from repro.experiments.runner import (RESULT_SCHEMA_VERSION, RunResult,
@@ -86,6 +86,7 @@ class SpecRequest:
         return self.bench
 
     def cache_key(self) -> str:
+        from repro.common.config import RunOptions
         record = {
             "schema": RESULT_SCHEMA_VERSION,
             "bench": self.bench,
@@ -95,6 +96,10 @@ class SpecRequest:
                        if self.system_json else None),
             "name": self.name,
             "transform": self.transform,
+            # Effective run options (scheduler/codegen mode after env
+            # resolution): runs under REPRO_NO_FASTFORWARD / _NO_CODEGEN
+            # must not share cache entries with default-mode runs.
+            "options": RunOptions().resolve().fingerprint(),
         }
         text = json.dumps(record, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode()).hexdigest()
@@ -287,7 +292,7 @@ class ExperimentEngine:
         if use_cache is None:
             use_cache = not os.environ.get("REPRO_NO_CACHE")
         if lint is None:
-            lint = not os.environ.get("REPRO_NO_LINT")
+            lint = env_enabled(ENV_NO_LINT)
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if use_cache else None
         self.lint = lint

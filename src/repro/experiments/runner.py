@@ -12,10 +12,10 @@ in-process results are interchangeable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
-from repro.common.config import CORE_CLOCK_HZ
+from repro.common.config import CORE_CLOCK_HZ, RunOptions
 from repro.common.errors import ConfigError
 from repro.common.stats import Stats
 from repro.power.model import EnergyBreakdown, EnergyModel
@@ -113,11 +113,8 @@ class RunResult:
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
         """Rebuild a result from :meth:`to_dict` output (``spec=None``)."""
-        schema = data.get("schema", 1)
-        if schema != RESULT_SCHEMA_VERSION:
-            raise ConfigError(
-                f"RunResult record has schema v{schema}, this code reads "
-                f"v{RESULT_SCHEMA_VERSION}")
+        from repro.common.serialize import check_schema
+        check_schema("RunResult", data, RESULT_SCHEMA_VERSION)
         try:
             return cls(
                 spec=None,
@@ -136,18 +133,28 @@ class RunResult:
 
 def execute(spec: RunSpec, check: bool = True,
             model: Optional[EnergyModel] = None,
-            fast_forward: Optional[bool] = None) -> RunResult:
+            fast_forward: Optional[bool] = None, *,
+            options: Optional[RunOptions] = None) -> RunResult:
     """Build a machine, run the workload to completion, verify, account.
 
-    ``fast_forward`` is passed through to :meth:`Machine.run` — None uses
-    the default (fast-forward unless ``REPRO_NO_FASTFORWARD`` is set);
-    both schedulers produce identical results, so cached entries need no
-    scheduler tag.
+    The run is configured by one :class:`RunOptions` value; the loose
+    ``fast_forward`` keyword is a deprecated shim kept for one release
+    (mixing both styles is an error).  An ``options`` whose
+    ``max_cycles`` is still the RunOptions default is bounded by the
+    spec's own ``max_cycles`` budget, matching the historical behaviour.
     """
+    if options is None:
+        options = RunOptions(max_cycles=spec.max_cycles,
+                             fast_forward=fast_forward)
+    elif fast_forward is not None:
+        raise ConfigError(
+            "pass either options= or the deprecated fast_forward "
+            "keyword, not both")
+    elif options.max_cycles == RunOptions.max_cycles:
+        options = replace(options, max_cycles=spec.max_cycles)
     machine = Machine(spec.system)
     machine.load(spec.workload)
-    cycles = machine.run(max_cycles=spec.max_cycles,
-                         fast_forward=fast_forward)
+    cycles = machine.run(options=options)
     machine.finish_observation()
     if check and spec.workload.check is not None:
         spec.workload.check(machine.memory)
@@ -161,6 +168,15 @@ def execute(spec: RunSpec, check: bool = True,
     return RunResult(spec=spec, cycles=cycles, energy=energy,
                      stats=machine.stats,
                      metrics=snapshot_from_machine(machine))
+
+
+def _register_result_codec() -> None:
+    from repro.common.serialize import register_codec
+    register_codec("run-result", RESULT_SCHEMA_VERSION,
+                   lambda result: result.to_dict(), RunResult.from_dict)
+
+
+_register_result_codec()
 
 
 def speedup(baseline: RunResult, candidate: RunResult) -> float:

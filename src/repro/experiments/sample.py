@@ -1,0 +1,129 @@
+"""SimPoint-style sampled simulation over machine snapshots.
+
+Whole-program runs spend most wall-clock simulating steady-state
+behaviour that a short measured window predicts well.  The sampled
+driver (``python -m repro sample``) runs detailed *warmup* cycles to
+populate caches, predictors, queues and the SPL fabric, snapshots the
+machine (DESIGN.md §8), then measures a bounded *sample* window and
+reports IPC estimated from that window alone.  Because snapshots are
+exact, the sample window is cycle-for-cycle the same simulation a full
+run passes through — the only approximation is extrapolating the
+sampled IPC to the whole program, and ``--compare-full`` quantifies
+exactly that error against an uninterrupted run.
+
+The snapshot written at the warmup boundary doubles as a resume point:
+``python -m repro resume out/snap.json`` continues the run to
+completion and verifies the workload's reference output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.common.config import RunOptions
+from repro.common.errors import ConfigError
+from repro.experiments.engine import SpecRequest, build_spec
+from repro.system.machine import Machine
+from repro.system.snapshot import write_snapshot
+
+
+def sampled_run(req: SpecRequest, warmup: int, sample: int,
+                snapshot_path: Optional[str] = None,
+                compare_full: bool = False) -> Dict:
+    """Warmup -> snapshot -> measure one sample window.
+
+    Returns a JSON-safe report: the measured window's cycles/retired
+    deltas and IPC, per-phase wall-clock, and (with ``compare_full``)
+    the sampled-vs-full IPC error and the wall-clock ratio between the
+    full run and the measured phase.
+    """
+    if warmup < 0 or sample <= 0:
+        raise ConfigError("need warmup >= 0 and sample > 0 cycles")
+    spec = build_spec(req)
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+
+    t0 = time.perf_counter()
+    machine.run(options=RunOptions(max_cycles=spec.max_cycles,
+                                   pause_at=warmup))
+    wall_warmup = time.perf_counter() - t0
+    warmup_end = machine.cycle
+    if machine.finished():
+        raise ConfigError(
+            f"{spec.name} finished during warmup (at cycle {warmup_end}); "
+            f"choose a warmup below the total run length")
+    if snapshot_path is not None:
+        write_snapshot(snapshot_path, machine, req)
+
+    retired_0 = machine.total_retired()
+    t0 = time.perf_counter()
+    machine.run(options=RunOptions(max_cycles=spec.max_cycles,
+                                   pause_at=warmup_end + sample))
+    wall_sample = time.perf_counter() - t0
+    cycles_delta = machine.cycle - warmup_end
+    retired_delta = machine.total_retired() - retired_0
+    sampled_ipc = retired_delta / cycles_delta if cycles_delta else 0.0
+
+    report = {
+        "name": spec.name,
+        "warmup": warmup,
+        "sample": sample,
+        "warmup_end": warmup_end,
+        "sample_end": machine.cycle,
+        "cycles_delta": cycles_delta,
+        "retired_delta": retired_delta,
+        "sampled_ipc": sampled_ipc,
+        "finished_in_sample": machine.finished(),
+        "wall_warmup_s": wall_warmup,
+        "wall_sample_s": wall_sample,
+        "snapshot_path": snapshot_path,
+    }
+    if compare_full:
+        full_spec = build_spec(req)  # images are consumed: rebuild
+        full_machine = Machine(full_spec.system)
+        full_machine.load(full_spec.workload)
+        t0 = time.perf_counter()
+        full_cycles = full_machine.run(
+            options=RunOptions(max_cycles=full_spec.max_cycles))
+        wall_full = time.perf_counter() - t0
+        full_ipc = full_machine.total_retired() / full_cycles
+        report["full"] = {
+            "cycles": full_cycles,
+            "retired": full_machine.total_retired(),
+            "ipc": full_ipc,
+            "wall_s": wall_full,
+            "ipc_error": (abs(sampled_ipc - full_ipc) / full_ipc
+                          if full_ipc else 0.0),
+            "wall_ratio_vs_sample": (wall_full / wall_sample
+                                     if wall_sample else float("inf")),
+        }
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable rendering of a :func:`sampled_run` report."""
+    lines = [
+        f"{report['name']}: warmup to cycle {report['warmup_end']}, "
+        f"measured [{report['warmup_end']}, {report['sample_end']})",
+        f"  sample: {report['retired_delta']} retired / "
+        f"{report['cycles_delta']} cycles -> IPC "
+        f"{report['sampled_ipc']:.4f}"
+        + (" (run finished inside the window)"
+           if report["finished_in_sample"] else ""),
+        f"  wall: warmup {report['wall_warmup_s'] * 1e3:.1f} ms, "
+        f"measure {report['wall_sample_s'] * 1e3:.1f} ms",
+    ]
+    if report.get("snapshot_path"):
+        lines.append(f"  snapshot -> {report['snapshot_path']}")
+    full = report.get("full")
+    if full:
+        lines.append(
+            f"  full run: {full['retired']} retired / {full['cycles']} "
+            f"cycles -> IPC {full['ipc']:.4f} "
+            f"in {full['wall_s'] * 1e3:.1f} ms")
+        lines.append(
+            f"  sampled-vs-full IPC error {full['ipc_error'] * 100:.2f}%, "
+            f"measured phase {full['wall_ratio_vs_sample']:.1f}x faster "
+            f"than the full run")
+    return "\n".join(lines)

@@ -40,3 +40,9 @@ class SnoopBus:
                 self.obs.emit(cycle, "bus", ev.BUS_WAIT, wait=wait,
                               grant=grant)
         return grant
+
+    def snapshot_state(self) -> dict:
+        return {"next_free": self.next_free}
+
+    def restore_state(self, state: dict) -> None:
+        self.next_free = state["next_free"]

@@ -74,3 +74,13 @@ class TagArray:
 
     def occupancy(self) -> int:
         return sum(len(entries) for entries in self.sets.values())
+
+    def snapshot_state(self) -> dict:
+        """Per-set line lists in LRU order (order is semantic: restore
+        must reproduce the exact same eviction victims)."""
+        return {"sets": [[index, list(entries)]
+                         for index, entries in sorted(self.sets.items())]}
+
+    def restore_state(self, state: dict) -> None:
+        self.sets = {index: OrderedDict((line, True) for line in lines)
+                     for index, lines in state["sets"]}

@@ -67,6 +67,21 @@ class _CorePort:
         self._c_l1i_hits = stats.counter("l1i_hits")
         self._c_l1i_misses = stats.counter("l1i_misses")
 
+    def snapshot_state(self) -> dict:
+        return {
+            "l1i": self.l1i.snapshot_state(),
+            "l1d": self.l1d.snapshot_state(),
+            "l2": self.l2.snapshot_state(),
+            "states": [[line, state]
+                       for line, state in sorted(self.states.items())],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.l1i.restore_state(state["l1i"])
+        self.l1d.restore_state(state["l1d"])
+        self.l2.restore_state(state["l2"])
+        self.states = {line: mesi for line, mesi in state["states"]}
+
 
 class CoherentMemorySystem:
     """All private hierarchies plus the shared bus and main memory timing."""
@@ -88,6 +103,19 @@ class CoherentMemorySystem:
             _CorePort(i, l1i, l1d, l2, stats.child(f"core{i}"))
             for i, (l1i, l1d, l2) in enumerate(core_cache_configs)
         ]
+
+    # -- snapshot contract (DESIGN.md §8) ----------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Tag arrays, MESI states, and bus arbitration.  Invalidation
+        listeners are construction-time wiring, not state."""
+        return {"bus": self.bus.snapshot_state(),
+                "ports": [port.snapshot_state() for port in self.ports]}
+
+    def restore_state(self, state: dict) -> None:
+        self.bus.restore_state(state["bus"])
+        for port, port_state in zip(self.ports, state["ports"]):
+            port.restore_state(port_state)
 
     # -- public access points ---------------------------------------------------
 

@@ -25,6 +25,15 @@ class MainMemory:
         for word_addr, value in image.items():
             self.words[word_addr] = value
 
+    # -- snapshot contract (DESIGN.md §8) -------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"words": [[addr, value]
+                          for addr, value in sorted(self.words.items())]}
+
+    def restore_state(self, state: dict) -> None:
+        self.words = {addr: value for addr, value in state["words"]}
+
     # -- word accessors -------------------------------------------------------
 
     def read_word(self, addr: int) -> int:

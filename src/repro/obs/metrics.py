@@ -156,6 +156,20 @@ def snapshot_from_counters(flat: Mapping[str, float], cycles: int,
     }
 
 
+def _register_metrics_codec() -> None:
+    from repro.common.serialize import check_schema, register_codec
+
+    def decode(payload: Dict) -> Dict:
+        check_schema("metrics-snapshot", payload, METRICS_SCHEMA_VERSION)
+        return dict(payload)
+
+    register_codec("metrics-snapshot", METRICS_SCHEMA_VERSION,
+                   dict, decode)
+
+
+_register_metrics_codec()
+
+
 def merge_lists(snapshots: List[Dict]) -> Dict:
     """Aggregate snapshots of repeated runs (sums cycles, keeps schema)."""
     if not snapshots:

@@ -9,10 +9,9 @@ context-switch cost), and convenience wrappers for SPL configuration.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.config import SystemConfig
+from repro.common.config import RunOptions, SystemConfig
 from repro.common.errors import ConfigError, DeadlockError, SimulationError
 from repro.common.stats import Stats
 from repro.core.controller import SplClusterController
@@ -195,13 +194,20 @@ class Machine:
 
     # -- execution ------------------------------------------------------------------------
 
-    def run(self, max_cycles: int = 1_000_000_000,
+    def run(self, max_cycles: Optional[int] = None,
             until: Optional[Callable[[], bool]] = None,
-            fast_forward: Optional[bool] = None) -> int:
-        """Advance until all threads finish (or ``until`` returns True).
+            fast_forward: Optional[bool] = None, *,
+            options: Optional[RunOptions] = None) -> int:
+        """Advance until all threads finish (or a stop condition fires).
 
         Returns the cycle count at stop.  Raises DeadlockError when no core
         retires anything for the configured watchdog window.
+
+        The run is configured by one :class:`RunOptions` value.  Passing
+        ``options=`` is the current surface; the loose ``max_cycles`` /
+        ``until`` / ``fast_forward`` keywords are a deprecated shim kept
+        for one release and fold into an equivalent ``RunOptions`` (mixing
+        both styles is an error).
 
         ``fast_forward`` selects the scheduler: None (the default) enables
         the quiescence-aware next-event scheduler unless the
@@ -213,20 +219,40 @@ class Machine:
         cycle-exact: final cycle counts, retired-instruction counts, and
         stats totals are identical (see DESIGN.md and
         tests/test_fastforward.py).
+
+        ``options.pause_at`` stops the loop at exactly that absolute cycle
+        *without* flushing fast-forward elision windows and without the
+        max-cycles overrun error: the machine is left in the precise state
+        the naive loop would see at the top of that cycle, ready for
+        :meth:`snapshot` (see DESIGN.md §8).  A paused run resumes with
+        another :meth:`run` call.
         """
-        if fast_forward is None:
-            fast_forward = not os.environ.get("REPRO_NO_FASTFORWARD")
+        if options is None:
+            options = RunOptions(
+                max_cycles=(1_000_000_000 if max_cycles is None
+                            else max_cycles),
+                until=until, fast_forward=fast_forward)
+        elif (max_cycles is not None or until is not None
+                or fast_forward is not None):
+            raise ConfigError(
+                "pass either options= or the deprecated loose keywords, "
+                "not both")
+        options.validate()
+        options = options.resolve()
+        until = options.until
+        pause_at = options.pause_at
         cores = self.cores
         controllers = self._controllers
-        limit = self.cycle + max_cycles
+        limit = self.cycle + options.max_cycles
+        stop = limit if pause_at is None else min(limit, pause_at)
         next_watchdog = self.cycle + _WATCHDOG_STRIDE
         # Unknown hardware (a controller without the next_event_cycle
         # contract) disables fast-forward entirely: the scheduler could
         # neither bound its events nor trust it to poke elided cores.
-        use_ff = (fast_forward and until is None
+        use_ff = (options.fast_forward and until is None
                   and all(hasattr(c, "next_event_cycle")
                           for c in controllers))
-        while self.cycle < limit:
+        while self.cycle < stop:
             if until is not None and until():
                 return self.cycle
             running = False
@@ -252,7 +278,7 @@ class Machine:
             if (use_ff and cycle >= self._ff_resume_probe
                     and not self.obs.pipeline_active):
                 target, progressed = self._ff_probe(
-                    cycle, min(limit, next_watchdog))
+                    cycle, min(stop, next_watchdog))
                 if target > nxt:
                     nxt = target
                 if progressed:
@@ -265,12 +291,19 @@ class Machine:
             if nxt >= next_watchdog:
                 next_watchdog = nxt + _WATCHDOG_STRIDE
                 self._check_watchdog()
+        if pause_at is not None and self.cycle >= pause_at \
+                and self.cycle < limit:
+            # Paused, not finished: leave elision windows un-credited so a
+            # snapshot captures (and a resumed run replays) the exact
+            # mid-run state.
+            return self.cycle
         self._ff_flush()
         if until is not None and until():
             return self.cycle
         if any(core.active for core in cores):
             raise SimulationError(
-                f"run exceeded {max_cycles} cycles without completing")
+                f"run exceeded {options.max_cycles} cycles without "
+                f"completing")
         return self.cycle
 
     def _ff_probe(self, now: int, ceiling: int) -> Tuple[int, bool]:
@@ -388,6 +421,84 @@ class Machine:
             details = ", ".join(
                 f"core{c.index}@pc={c.ctx.pc}" for c in stuck)
             raise DeadlockError(f"no forward progress: {details}")
+
+    # -- snapshot contract (DESIGN.md §8) ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize every piece of mutable machine state to JSON-safe data.
+
+        Captures state only — programs, bindings, ports, listeners and
+        observability wiring are reconstructed by rebuilding a machine
+        from the same :class:`SystemConfig` and re-running the workload's
+        :meth:`load` before :meth:`restore`.  Snapshotting mid-run is
+        valid at any paused cycle, including inside a fast-forward
+        elision window (``run(options=RunOptions(pause_at=...))`` stops
+        without flushing those windows).
+        """
+        context_index = {id(ctx): i for i, ctx in enumerate(self.contexts)}
+        return {
+            "cycle": self.cycle,
+            "ff_progress": self._ff_progress,
+            "ff_backoff": self._ff_backoff,
+            "ff_resume_probe": self._ff_resume_probe,
+            "stats": self.stats.snapshot_state(),
+            "memory": self.memory.snapshot_state(),
+            "mem_system": self.mem_system.snapshot_state(),
+            "barrier_bus": self.barrier_bus.snapshot_state(),
+            "controllers": [controller.snapshot_state()
+                            for controller in self._controllers],
+            "contexts": [ctx.snapshot_state() for ctx in self.contexts],
+            "thread_core": [[tid, core] for tid, core
+                            in sorted(self.thread_core.items())],
+            "cores": [{
+                "ctx": (context_index[id(core.ctx)]
+                        if core.ctx is not None else None),
+                "state": core.snapshot_state(),
+            } for core in self.cores],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this freshly prepared machine.
+
+        Precondition: ``self`` was built from the same
+        :class:`SystemConfig` and the same workload was loaded (so every
+        program, SPL/comm binding and barrier registration exists); this
+        method then overwrites all mutable state so that continuing the
+        run is cycle-for-cycle identical to never having paused.
+        """
+        if len(state["cores"]) != len(self.cores):
+            raise ConfigError(
+                f"snapshot has {len(state['cores'])} cores, machine has "
+                f"{len(self.cores)} — config mismatch")
+        if len(state["contexts"]) != len(self.contexts):
+            raise ConfigError(
+                f"snapshot has {len(state['contexts'])} threads, machine "
+                f"has {len(self.contexts)} — workload mismatch")
+        if len(state["controllers"]) != len(self._controllers):
+            raise ConfigError(
+                "snapshot controller count does not match machine")
+        self.cycle = state["cycle"]
+        self._ff_progress = state["ff_progress"]
+        self._ff_backoff = state["ff_backoff"]
+        self._ff_resume_probe = state["ff_resume_probe"]
+        self.stats.restore_state(state["stats"])
+        self.memory.restore_state(state["memory"])
+        self.mem_system.restore_state(state["mem_system"])
+        self.barrier_bus.restore_state(state["barrier_bus"])
+        for controller, controller_state in zip(self._controllers,
+                                                state["controllers"]):
+            controller.restore_state(controller_state)
+        for ctx, ctx_state in zip(self.contexts, state["contexts"]):
+            ctx.restore_state(ctx_state)
+        self.thread_core = {tid: core
+                            for tid, core in state["thread_core"]}
+        for core, record in zip(self.cores, state["cores"]):
+            # Re-point the context reference directly: attach() would
+            # reset the very pipeline state being restored.  Port thread
+            # mappings live in the controllers' own snapshots.
+            index = record["ctx"]
+            core.ctx = self.contexts[index] if index is not None else None
+            core.restore_state(record["state"])
 
     # -- migration ----------------------------------------------------------------------------
 
