@@ -4,32 +4,51 @@ A CFG builder and a small forward-dataflow framework feed rule passes
 that produce structured :class:`~repro.analysis.diagnostics.Diagnostic`
 records: register hygiene (REG*), control-flow structure (CFG*), label
 hygiene (LBL*), the SPL staging/issue/pop protocol by abstract
-interpretation (SPL*), static mappability of SPL functions (MAP*), and
+interpretation (SPL*), static mappability of SPL functions (MAP*),
+whole-machine concurrency verification over the inter-thread
+communication graph (CON*), static performance lower bounds (BND*), and
 sweep bookkeeping (SPEC*).  See docs/ANALYSIS.md for the rule catalogue
 and the JSON report schema.
 
 Entry points: ``python -m repro lint`` sweeps the whole benchmark
-registry plus the SPL function library, and the experiment engine lints
-every spec it is about to simulate (pre-flight, ``--no-lint`` to skip).
+registry plus the SPL function library, the experiment engine lints
+every spec it is about to simulate (pre-flight, ``--no-lint`` to skip),
+and ``python -m repro fuzz`` cross-checks the static verdicts against
+dynamic behaviour on randomized scenarios
+(:mod:`repro.analysis.fuzz`).
 """
 
+from repro.analysis.bounds import (SpecBounds, ThreadBounds, check_measured,
+                                   check_static, compute_bounds,
+                                   measured_retired, min_retired)
 from repro.analysis.cfg import Cfg
+from repro.analysis.concurrency import (CommGraph, build_comm_graph,
+                                        check_concurrency)
 from repro.analysis.diagnostics import (DIAGNOSTIC_SCHEMA_VERSION,
                                         Diagnostic, Severity,
                                         count_by_severity, has_errors,
                                         render_json, render_text)
 from repro.analysis.lint import (library_functions, lint_library,
-                                 lint_program, lint_registry, lint_spec)
+                                 lint_program, lint_registry, lint_spec,
+                                 spec_summaries)
 from repro.analysis.mapping import lint_dfg, lint_function
 from repro.analysis.spl import SplContext, analyze_spl
 
 __all__ = [
     "Cfg",
+    "CommGraph",
     "DIAGNOSTIC_SCHEMA_VERSION",
     "Diagnostic",
     "Severity",
+    "SpecBounds",
     "SplContext",
+    "ThreadBounds",
     "analyze_spl",
+    "build_comm_graph",
+    "check_concurrency",
+    "check_measured",
+    "check_static",
+    "compute_bounds",
     "count_by_severity",
     "has_errors",
     "library_functions",
@@ -39,6 +58,9 @@ __all__ = [
     "lint_program",
     "lint_registry",
     "lint_spec",
+    "measured_retired",
+    "min_retired",
     "render_json",
     "render_text",
+    "spec_summaries",
 ]

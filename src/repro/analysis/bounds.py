@@ -1,0 +1,265 @@
+"""Static performance lower bounds (the BND rule family).
+
+From each thread's control-flow graph and the machine's installed SPL
+configuration this module derives *provable lower bounds* on what any
+correct simulation of the spec must report:
+
+* ``min_retired`` per thread — the shortest instruction path from entry
+  to a ``halt`` (loops count once; ``jr`` degrades to 0).
+* ``min_cycles`` — retirement-width-limited core cycles, combined with a
+  fabric occupancy bound: when a thread's queue words provably come from
+  a single SPL function, the pops imply completed fabric evaluations,
+  which imply at least one reconfiguration plus initiation-interval
+  spacing on that partition (DFG critical path / II lower bound).
+
+Rules:
+
+* **BND001** (error) — a measured cycle count is below the static lower
+  bound: the bound or the timing model is broken.
+* **BND002** (error) — the spec's ``max_cycles`` budget is below the
+  lower bound: the run can never complete (raised statically by
+  ``lint_spec``).
+* **BND003** (error) — the measured total retired-instruction count is
+  below the static minimum.
+
+Bounds are deliberately conservative: widened (unknown) pop counts
+contribute nothing, so a bound can be trivial but can never legitimately
+exceed a measured run.  The profiler (``repro profile``) and the fuzzer
+cross-check BND001/BND003 against every measured run they see.
+"""
+
+from __future__ import annotations
+
+import heapq
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import OFF_END, Cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.spl import SplSummary
+from repro.common.config import SPL_CLOCK_RATIO
+from repro.core.controller import CoreSplPort, SplClusterController
+from repro.core.mapper import initiation_interval
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.system.machine import Machine
+from repro.workloads.base import RunSpec
+
+_INF = 1 << 30
+
+#: Flattened stats key of a core's retired-instruction counter.
+_RETIRED_KEY = re.compile(r"\.cpu\d+\.retired$")
+
+
+@dataclass(frozen=True)
+class ThreadBounds:
+    """Static lower bounds for one thread."""
+
+    thread_id: int
+    core: int
+    min_retired: int
+    min_cycles: int
+
+
+@dataclass
+class SpecBounds:
+    """Static lower bounds for one :class:`RunSpec`."""
+
+    unit: str
+    threads: List[ThreadBounds]
+    #: Lower bound on the sum of every core's ``retired`` counter.
+    min_total_retired: int
+    #: Lower bound on the machine cycle count of any complete run.
+    min_cycles: int
+    #: Human-readable derivation notes (which bound dominated and why).
+    notes: List[str] = field(default_factory=list)
+
+
+def min_retired(program: Program, cfg: Cfg) -> int:
+    """Provable minimum instructions a completing execution retires.
+
+    Shortest block path from entry to a ``halt`` (or off the end); the
+    final ``halt`` itself is not counted.  Indirect jumps or a program
+    with no reachable exit degrade to 0 (trivially sound).
+    """
+    if cfg.has_indirect or not program.instructions:
+        return 0
+    dist: Dict[int, int] = {0: 0}
+    heap: List[Tuple[int, int]] = [(0, 0)]
+    best: Optional[int] = None
+    while heap:
+        entered, index = heapq.heappop(heap)
+        if entered > dist.get(index, _INF):
+            continue
+        block = cfg.blocks[index]
+        total = entered + (block.end - block.start)
+        last = program.instructions[block.end - 1].op
+        if last is Op.HALT or OFF_END in block.successors:
+            best = total if best is None else min(best, total)
+        for succ in block.successors:
+            if succ == OFF_END:
+                continue
+            if total < dist.get(succ, _INF):
+                dist[succ] = total
+                heapq.heappush(heap, (total, succ))
+    if best is None:
+        return 0
+    return max(0, best - 1)
+
+
+def _max_retire_width(machine: Machine) -> int:
+    width = 1
+    for core in machine.cores:
+        width = max(width, core.config.retire_width)
+    return width
+
+
+def _fabric_bound(machine: Machine, summaries: Dict[int, SplSummary],
+                  notes: List[str]) -> int:
+    """Core-cycle lower bound from provable fabric occupancy.
+
+    Only the single-feeder case is claimed: when *all* words a thread
+    provably pops come from exactly one non-barrier function binding,
+    those pops imply completed evaluations on the bound partition —
+    at least one reconfiguration, initiation-interval spacing between
+    issues, and the function's row latency for the last one.
+    """
+    # dest thread -> list of (controller, partition_index, function)
+    feeders: Dict[int, List[Tuple[SplClusterController, int, object]]] = {}
+    for thread_id in sorted(summaries):
+        summary = summaries[thread_id]
+        core = machine.cores[machine.thread_core[thread_id]]
+        port = core.spl_port
+        if not isinstance(port, CoreSplPort):
+            continue
+        controller = port.controller
+        for config, count in sorted(summary.issues.items()):
+            binding = controller.bindings.get((port.slot, config))
+            if binding is None or binding.barrier_id is not None:
+                continue
+            if count is not None and not any(v > 0 for v in count):
+                continue  # provably never issued
+            dest = binding.dest_thread
+            dest = thread_id if dest is None else dest
+            partition = controller.core_partition[port.slot]
+            feeders.setdefault(dest, []).append(
+                (controller, partition, binding.function))
+    best = 0
+    for dest in sorted(feeders):
+        entries = feeders[dest]
+        distinct = {(id(ctrl), part, id(fn)) for ctrl, part, fn in entries}
+        if len(distinct) != 1:
+            continue  # mixed feeders: no per-function attribution
+        summary = summaries.get(dest)
+        if summary is None or summary.pops is None or not summary.pops:
+            continue
+        pops = min(summary.pops)
+        if pops <= 0:
+            continue
+        controller, partition_index, function = entries[0]
+        rows = controller.partitions[partition_index].rows
+        fn_rows = int(function.rows)
+        n_out = max(1, int(function.n_outputs))
+        evaluations = -(-pops // n_out)  # ceil
+        interval = max(initiation_interval(fn_rows, rows),
+                       int(function.feedback_ii), 1)
+        reconfig = min(fn_rows, rows) * \
+            controller.config.config_cycles_per_row
+        fabric_cycles = reconfig + (evaluations - 1) * interval + fn_rows
+        core_cycles = max(0, (fabric_cycles - 1) * SPL_CLOCK_RATIO)
+        if core_cycles > best:
+            best = core_cycles
+            notes.append(
+                f"fabric bound: thread {dest} pops >= {pops} words from "
+                f"function {function.name!r} alone -> >= {evaluations} "
+                f"evaluations on a {rows}-row partition "
+                f"({reconfig} reconfig + II {interval} spacing) -> >= "
+                f"{core_cycles} core cycles")
+    return best
+
+
+def bounds_from_parts(machine: Machine, programs: Dict[int, Program],
+                      cfgs: Dict[int, Cfg],
+                      summaries: Dict[int, SplSummary],
+                      unit: str = "") -> SpecBounds:
+    """Derive :class:`SpecBounds` from pre-computed analysis artifacts."""
+    notes: List[str] = []
+    width = _max_retire_width(machine)
+    threads: List[ThreadBounds] = []
+    total_retired = 0
+    core_bound = 0
+    for thread_id in sorted(programs):
+        retired = min_retired(programs[thread_id], cfgs[thread_id])
+        cycles = -(-retired // width) if retired else 0
+        threads.append(ThreadBounds(
+            thread_id=thread_id,
+            core=machine.thread_core[thread_id],
+            min_retired=retired, min_cycles=cycles))
+        total_retired += retired
+        core_bound = max(core_bound, cycles)
+    if core_bound:
+        notes.append(
+            f"core bound: longest thread must retire >= "
+            f"{max((t.min_retired for t in threads), default=0)} "
+            f"instructions at retire width {width} -> >= {core_bound} "
+            f"cycles")
+    fabric = _fabric_bound(machine, summaries, notes)
+    return SpecBounds(unit=unit, threads=threads,
+                      min_total_retired=total_retired,
+                      min_cycles=max(core_bound, fabric), notes=notes)
+
+
+def compute_bounds(spec: RunSpec, unit: str = "") -> SpecBounds:
+    """Build the spec's machine (setup only, no simulation) and bound it."""
+    from repro.analysis.lint import spec_summaries
+    machine, programs, cfgs, summaries, _ = spec_summaries(spec)
+    return bounds_from_parts(machine, programs, cfgs, summaries,
+                             unit or spec.name)
+
+
+# -- rules --------------------------------------------------------------------
+
+
+def check_static(bounds: SpecBounds, max_cycles: int,
+                 unit: str = "") -> List[Diagnostic]:
+    """BND002: the run budget is below the static lower bound."""
+    if max_cycles >= bounds.min_cycles:
+        return []
+    return [Diagnostic(
+        rule="BND002", severity=Severity.ERROR,
+        message=f"max_cycles budget ({max_cycles}) is below the static "
+                f"lower bound of {bounds.min_cycles} cycles; the run can "
+                f"never complete",
+        unit=unit or bounds.unit)]
+
+
+def measured_retired(counters: Dict[str, float]) -> int:
+    """Sum of every core's ``retired`` counter in a flattened stats dict."""
+    return int(sum(value for key, value in counters.items()
+                   if _RETIRED_KEY.search(key)))
+
+
+def check_measured(bounds: SpecBounds, cycles: int,
+                   counters: Optional[Dict[str, float]] = None,
+                   unit: str = "") -> List[Diagnostic]:
+    """BND001/BND003: measured results must respect the lower bounds."""
+    unit = unit or bounds.unit
+    diagnostics: List[Diagnostic] = []
+    if cycles < bounds.min_cycles:
+        diagnostics.append(Diagnostic(
+            rule="BND001", severity=Severity.ERROR,
+            message=f"measured {cycles} cycles is below the static lower "
+                    f"bound of {bounds.min_cycles}; the bound or the "
+                    f"timing model is broken",
+            unit=unit))
+    if counters:
+        retired = measured_retired(counters)
+        if retired < bounds.min_total_retired:
+            diagnostics.append(Diagnostic(
+                rule="BND003", severity=Severity.ERROR,
+                message=f"measured {retired} retired instructions is "
+                        f"below the static minimum of "
+                        f"{bounds.min_total_retired}",
+                unit=unit))
+    return diagnostics

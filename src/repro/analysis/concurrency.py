@@ -1,0 +1,520 @@
+"""Whole-machine concurrency verification (the CON rule family).
+
+The per-thread SPL analysis (:mod:`repro.analysis.spl`) abstracts each
+program into issue/pop counts; this module assembles those summaries plus
+the machine's installed SPL/barrier/dedicated-comm configuration into an
+*inter-thread communication graph* and checks cross-thread properties the
+per-thread rules cannot see:
+
+* **CON001** — a delivering binding names a destination thread that is
+  not resident on the delivering controller: every ``spl_init`` would
+  stall forever (error when the thread must issue, warning when it only
+  may).
+* **CON002** — one thread's input stream is fed by several producer
+  threads; pop order then depends on delivery interleaving (note).
+* **CON003** — barrier-membership inconsistency: a thread arrives at an
+  unregistered barrier or one it is not a participant of (runtime
+  ``SplError``), or a registered participant provably never arrives
+  while another must (the barrier would never release).
+* **CON004** — a wait-for cycle: a set of threads that each provably
+  block on a queue pop before issuing anything, fed only by each other
+  (static deadlock).
+* **CON005** — capacity-sensitive cyclic queue dependency: threads on a
+  communication cycle each must issue more fabric requests before their
+  first pop than the input queue, fabric, and destination output queue
+  can absorb, so every one of them wedges at ``spl_init`` (static
+  deadlock even when total send/pop counts balance).
+
+Everything here is static: the machine is built and the workload's
+*setup* hook runs (exactly like :func:`repro.analysis.lint.lint_spec`),
+but no cycle is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import OFF_END, Cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.spl import IntSet, SplSummary, ZERO, iexact, iplus
+from repro.baselines.comm_network import (QUEUE_DEPTH, CommPort,
+                                          DedicatedCommController)
+from repro.core.controller import CoreSplPort, SplClusterController
+from repro.core.tables import MAX_IN_FLIGHT
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.system.machine import Machine
+
+#: Ops that pop one word from the issuing core's output queue.
+_POP_OPS = frozenset((Op.SPL_RECV, Op.SPL_STORE))
+
+#: "Unboundedly many" sentinel for pre-pop issue counts.
+_INF = 1 << 30
+
+BarrierKey = Tuple[object, ...]
+
+
+@dataclass
+class Delivery:
+    """One potential queue-delivery edge ``src -> dest`` of the graph."""
+
+    src: int
+    config: int
+    kind: str  # "fabric" | "comm"
+    dest: int
+    #: True when ``dest`` is resident on the delivering controller.
+    resident: bool
+    #: Possible ``spl_init`` counts of this config at thread exit.
+    count: IntSet
+    #: Words delivered per issue (``None`` when statically unknown).
+    words: IntSet
+    #: Destination output-queue capacity in words.
+    capacity: int
+    #: Issues absorbable by queues + fabric before a guaranteed stall
+    #: (``_INF`` for the dedicated comm network, whose sends never block).
+    threshold: int
+
+
+@dataclass
+class BarrierUse:
+    """All arrivals observed at one barrier id (fabric bus or comm)."""
+
+    key: BarrierKey
+    scope: str  # "fabric" | "comm"
+    barrier_id: int
+    #: Registered participant thread ids, or ``None`` when the barrier
+    #: was never registered (arrival raises ``SplError`` at runtime).
+    registered: Optional[Tuple[int, ...]]
+    arrivals: Dict[int, IntSet] = field(default_factory=dict)
+
+
+@dataclass
+class CommGraph:
+    """The inter-thread communication graph of one spec."""
+
+    deliveries: List[Delivery]
+    barriers: Dict[BarrierKey, BarrierUse]
+    #: Per-thread config ids bound as barrier arrivals.
+    barrier_configs: Dict[int, Set[int]]
+
+
+def _must_pos(count: IntSet) -> bool:
+    """The thread issues at least once on *every* path."""
+    return count is not None and 0 not in count
+
+
+def _may_pos(count: IntSet) -> bool:
+    """The thread issues at least once on *some* path (or is unknown)."""
+    return count is None or any(value > 0 for value in count)
+
+
+def build_comm_graph(machine: Machine,
+                     summaries: Dict[int, SplSummary]) -> CommGraph:
+    """Assemble delivery edges and barrier uses from thread summaries."""
+    deliveries: List[Delivery] = []
+    barriers: Dict[BarrierKey, BarrierUse] = {}
+    barrier_configs: Dict[int, Set[int]] = {}
+
+    def arrive(key: BarrierKey, scope: str, barrier_id: int,
+               registered: Optional[Tuple[int, ...]], thread_id: int,
+               count: IntSet) -> None:
+        use = barriers.get(key)
+        if use is None:
+            use = barriers[key] = BarrierUse(
+                key=key, scope=scope, barrier_id=barrier_id,
+                registered=registered)
+        use.arrivals[thread_id] = iplus(
+            use.arrivals.get(thread_id, ZERO), count)
+
+    for thread_id in sorted(summaries):
+        summary = summaries[thread_id]
+        core = machine.cores[machine.thread_core[thread_id]]
+        port = core.spl_port
+        if isinstance(port, CoreSplPort):
+            fabric: SplClusterController = port.controller
+            for config, count in sorted(summary.issues.items()):
+                binding = fabric.bindings.get((port.slot, config))
+                if binding is None:
+                    continue  # SPL001 already reported
+                if binding.barrier_id is not None:
+                    barrier_configs.setdefault(thread_id, set()).add(config)
+                    arrive(("fabric", binding.barrier_id), "fabric",
+                           binding.barrier_id,
+                           machine.barrier_bus.registered_participants(
+                               binding.barrier_id),
+                           thread_id, count)
+                    continue
+                dest = binding.dest_thread
+                resident = True
+                if dest is None:
+                    dest = thread_id  # individual computation: self-deliver
+                else:
+                    resident = fabric.table.lookup(dest) is not None
+                function = binding.function
+                n_out = max(1, function.n_outputs)
+                partition = fabric.partitions[
+                    fabric.core_partition[port.slot]]
+                capacity = fabric.config.output_queue_words
+                threshold = (fabric.config.input_queue_entries
+                             + partition.rows + MAX_IN_FLIGHT
+                             + capacity // n_out)
+                deliveries.append(Delivery(
+                    src=thread_id, config=config, kind="fabric", dest=dest,
+                    resident=resident, count=count,
+                    words=frozenset({function.n_outputs}),
+                    capacity=capacity, threshold=threshold))
+        elif isinstance(port, CommPort):
+            comm: DedicatedCommController = port.controller
+            for config, count in sorted(summary.issues.items()):
+                comm_binding = comm.bindings.get((port.slot, config))
+                if comm_binding is None:
+                    continue
+                if comm_binding.barrier_id is not None:
+                    barrier_configs.setdefault(thread_id, set()).add(config)
+                    arrive(("comm", id(comm), comm_binding.barrier_id),
+                           "comm", comm_binding.barrier_id,
+                           comm.registered_participants(
+                               comm_binding.barrier_id),
+                           thread_id, count)
+                    continue
+                dest = comm_binding.dest_thread
+                assert dest is not None  # comm sends always name a dest
+                deliveries.append(Delivery(
+                    src=thread_id, config=config, kind="comm", dest=dest,
+                    resident=comm.slot_of(dest) is not None, count=count,
+                    words=summary.init_words.get(config),
+                    capacity=QUEUE_DEPTH, threshold=_INF))
+    return CommGraph(deliveries, barriers, barrier_configs)
+
+
+# -- CON001 / CON002: queue endpoints -----------------------------------------
+
+
+def _endpoint_diagnostics(graph: CommGraph,
+                          unit: str) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for delivery in graph.deliveries:
+        if delivery.resident or not _may_pos(delivery.count):
+            continue
+        severity = (Severity.ERROR if _must_pos(delivery.count)
+                    else Severity.WARNING)
+        diagnostics.append(Diagnostic(
+            rule="CON001", severity=severity,
+            message=f"thread {delivery.src} sends config {delivery.config} "
+                    f"to thread {delivery.dest}, which is not resident on "
+                    f"its {delivery.kind} controller; every spl_init would "
+                    f"stall forever",
+            unit=unit))
+    producers: Dict[int, Set[int]] = {}
+    for delivery in graph.deliveries:
+        if delivery.resident and _may_pos(delivery.count):
+            producers.setdefault(delivery.dest, set()).add(delivery.src)
+    for dest in sorted(producers):
+        srcs = sorted(producers[dest])
+        if len(srcs) > 1:
+            diagnostics.append(Diagnostic(
+                rule="CON002", severity=Severity.NOTE,
+                message=f"thread {dest}'s input queue is fed by "
+                        f"{len(srcs)} producer threads {srcs}; pop order "
+                        f"depends on delivery interleaving",
+                unit=unit))
+    return diagnostics
+
+
+# -- CON003: barrier membership -----------------------------------------------
+
+
+def _barrier_diagnostics(graph: CommGraph, unit: str) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for key in sorted(graph.barriers, key=str):
+        use = graph.barriers[key]
+        arriving = {thread: count for thread, count in use.arrivals.items()
+                    if _may_pos(count)}
+        if use.registered is None:
+            for thread in sorted(arriving):
+                severity = (Severity.ERROR if _must_pos(arriving[thread])
+                            else Severity.WARNING)
+                diagnostics.append(Diagnostic(
+                    rule="CON003", severity=severity,
+                    message=f"thread {thread} arrives at barrier "
+                            f"{use.barrier_id}, which was never registered "
+                            f"on the {use.scope} side; the arrival raises "
+                            f"SplError at runtime",
+                    unit=unit))
+            continue
+        registered = set(use.registered)
+        for thread in sorted(arriving):
+            if thread not in registered:
+                severity = (Severity.ERROR if _must_pos(arriving[thread])
+                            else Severity.WARNING)
+                diagnostics.append(Diagnostic(
+                    rule="CON003", severity=severity,
+                    message=f"thread {thread} arrives at barrier "
+                            f"{use.barrier_id} but is not among its "
+                            f"registered participants "
+                            f"{sorted(registered)}; the arrival raises "
+                            f"SplError at runtime",
+                    unit=unit))
+        must_arrive = sorted(
+            thread for thread in arriving
+            if thread in registered and _must_pos(arriving[thread]))
+        if not must_arrive:
+            continue
+        for thread in sorted(registered):
+            count = use.arrivals.get(thread)
+            if count is not None and iexact(count) != 0:
+                continue
+            if count is None and thread in use.arrivals:
+                continue  # unknown arrival count: may still arrive
+            witness = next(t for t in must_arrive if t != thread) \
+                if any(t != thread for t in must_arrive) else None
+            if witness is None:
+                continue
+            diagnostics.append(Diagnostic(
+                rule="CON003", severity=Severity.ERROR,
+                message=f"registered participant thread {thread} never "
+                        f"arrives at barrier {use.barrier_id} while thread "
+                        f"{witness} must arrive; the barrier would never "
+                        f"release",
+                unit=unit))
+    return diagnostics
+
+
+# -- CFG walks shared by CON004 / CON005 --------------------------------------
+
+
+def _successor_pcs(cfg: Cfg, pc: int) -> Optional[List[int]]:
+    """Successor pcs of ``pc``, or ``None`` when it may run off the end."""
+    block = cfg.blocks[cfg.block_of_pc[pc]]
+    if pc + 1 < block.end:
+        return [pc + 1]
+    succs: List[int] = []
+    for index in block.successors:
+        if index == OFF_END:
+            return None
+        succs.append(cfg.blocks[index].start)
+    return succs
+
+
+def _has_cycle(edges: Dict[int, List[int]]) -> bool:
+    """Iterative three-color DFS cycle check over ``edges``."""
+    white, grey, black = 0, 1, 2
+    color = {node: white for node in edges}
+    for root in edges:
+        if color[root] != white:
+            continue
+        color[root] = grey
+        stack = [(root, iter(edges[root]))]
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for nxt in successors:
+                state = color.get(nxt, black)
+                if state == grey:
+                    return True
+                if state == white:
+                    color[nxt] = grey
+                    stack.append((nxt, iter(edges[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = black
+                stack.pop()
+    return False
+
+
+def _pop_gate(program: Program, cfg: Cfg) -> bool:
+    """True iff every execution pops before it can issue, halt, or exit.
+
+    The walk cuts at the first pop on each path; reaching ``spl_init``,
+    ``halt``, or the end of the program first — or being able to loop
+    forever without popping — disproves the guarantee.
+    """
+    if cfg.has_indirect or not program.instructions:
+        return False
+    insts = program.instructions
+    edges: Dict[int, List[int]] = {}
+    found_pop = False
+    seen: Set[int] = set()
+    stack = [0]
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        op = insts[pc].op
+        if op in _POP_OPS:
+            found_pop = True
+            edges[pc] = []
+            continue
+        if op is Op.SPL_INIT or op is Op.HALT:
+            return False
+        succs = _successor_pcs(cfg, pc)
+        if succs is None:
+            return False
+        edges[pc] = succs
+        stack.extend(succs)
+    return found_pop and not _has_cycle(edges)
+
+
+def _prepop_min_issues(program: Program, cfg: Cfg, config: int,
+                       barrier_configs: FrozenSet[int]) -> Optional[int]:
+    """Guaranteed ``spl_init config`` count before the first pop.
+
+    Returns ``None`` when the thread may halt, fall off the end, arrive
+    at a barrier, or spin forever without issuing ``config`` before its
+    first pop — i.e. when no wedge is provable.  ``_INF`` means every
+    path keeps issuing without ever popping.
+    """
+    if cfg.has_indirect or not program.instructions:
+        return None
+    import heapq
+    insts = program.instructions
+    dist: Dict[int, int] = {0: 0}
+    heap: List[Tuple[int, int]] = [(0, 0)]
+    edges: Dict[int, List[int]] = {}
+    weight: Dict[int, int] = {}
+    pop_best: Optional[int] = None
+    while heap:
+        issued, pc = heapq.heappop(heap)
+        if issued > dist.get(pc, _INF):
+            continue
+        op = insts[pc].op
+        if op in _POP_OPS:
+            pop_best = issued if pop_best is None else min(pop_best, issued)
+            edges[pc] = []
+            weight[pc] = 0
+            continue
+        if op is Op.HALT:
+            return None
+        step = 0
+        if op is Op.SPL_INIT:
+            if insts[pc].imm in barrier_configs:
+                return None  # pre-pop barrier arrival: no wedge claim
+            if insts[pc].imm == config:
+                step = 1
+        succs = _successor_pcs(cfg, pc)
+        if succs is None:
+            return None
+        edges[pc] = succs
+        weight[pc] = step
+        for nxt in succs:
+            candidate = issued + step
+            if candidate < dist.get(nxt, _INF):
+                dist[nxt] = candidate
+                heapq.heappush(heap, (candidate, nxt))
+    # A pop-free cycle that issues nothing of ``config`` allows spinning
+    # forever at a bounded issue count: no guaranteed wedge.
+    zero_nodes = {pc for pc in edges if weight.get(pc, 0) == 0}
+    zero_edges = {pc: [nxt for nxt in edges[pc] if nxt in zero_nodes]
+                  for pc in zero_nodes}
+    if _has_cycle(zero_edges):
+        return None
+    return pop_best if pop_best is not None else _INF
+
+
+# -- CON004: wait-for-graph cycles --------------------------------------------
+
+
+def _deadlock_diagnostics(graph: CommGraph, programs: Dict[int, Program],
+                          cfgs: Dict[int, Cfg],
+                          unit: str) -> List[Diagnostic]:
+    blocked = {thread for thread in programs
+               if _pop_gate(programs[thread], cfgs[thread])}
+    if not blocked:
+        return []
+    feeders: Dict[int, Set[int]] = {}
+    for delivery in graph.deliveries:
+        if delivery.resident and _may_pos(delivery.count):
+            feeders.setdefault(delivery.dest, set()).add(delivery.src)
+    changed = True
+    while changed:
+        changed = False
+        for thread in sorted(blocked):
+            if any(src not in blocked for src in feeders.get(thread, ())):
+                blocked.discard(thread)
+                changed = True
+    cycle_threads = sorted(t for t in blocked if feeders.get(t))
+    if not cycle_threads:
+        return []  # fed by nothing at all: SPL005's territory
+    detail = "; ".join(
+        f"thread {thread} waits on "
+        f"{sorted(feeders[thread] & blocked)}"
+        for thread in cycle_threads)
+    return [Diagnostic(
+        rule="CON004", severity=Severity.ERROR,
+        message=f"static deadlock: threads {cycle_threads} each block on "
+                f"a queue pop before issuing anything, and every thread "
+                f"that could feed them is itself blocked ({detail})",
+        unit=unit)]
+
+
+# -- CON005: capacity-sensitive cycles ----------------------------------------
+
+
+def _capacity_diagnostics(graph: CommGraph, programs: Dict[int, Program],
+                          cfgs: Dict[int, Cfg],
+                          unit: str) -> List[Diagnostic]:
+    wedge: Dict[int, Set[int]] = {}
+    detail: Dict[int, str] = {}
+    for delivery in graph.deliveries:
+        if delivery.kind != "fabric" or not delivery.resident:
+            continue
+        if delivery.src not in programs:
+            continue
+        issues = _prepop_min_issues(
+            programs[delivery.src], cfgs[delivery.src], delivery.config,
+            frozenset(graph.barrier_configs.get(delivery.src, set())))
+        if issues is None or issues <= delivery.threshold:
+            continue
+        wedge.setdefault(delivery.src, set()).add(delivery.dest)
+        shown = "unboundedly many" if issues >= _INF else str(issues)
+        detail[delivery.src] = (
+            f"thread {delivery.src} must issue {shown} config-"
+            f"{delivery.config} requests before its first pop but the "
+            f"queues toward thread {delivery.dest} absorb at most "
+            f"{delivery.threshold}")
+    on_cycle = _nodes_on_cycle(wedge)
+    if not on_cycle:
+        return []
+    message = "; ".join(detail[thread] for thread in sorted(on_cycle))
+    return [Diagnostic(
+        rule="CON005", severity=Severity.ERROR,
+        message=f"capacity-sensitive deadlock on threads "
+                f"{sorted(on_cycle)}: {message}; no queue on the cycle "
+                f"can ever drain",
+        unit=unit)]
+
+
+def _nodes_on_cycle(edges: Dict[int, Set[int]]) -> Set[int]:
+    """Nodes that can reach themselves through ``edges``."""
+    result: Set[int] = set()
+    for start in edges:
+        seen: Set[int] = set()
+        stack = list(edges[start])
+        while stack:
+            node = stack.pop()
+            if node == start:
+                result.add(start)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+    return result
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def check_concurrency(machine: Machine, summaries: Dict[int, SplSummary],
+                      programs: Dict[int, Program], cfgs: Dict[int, Cfg],
+                      unit: str = "") -> List[Diagnostic]:
+    """Run every CON rule over one spec's communication graph."""
+    graph = build_comm_graph(machine, summaries)
+    diagnostics = _endpoint_diagnostics(graph, unit)
+    diagnostics += _barrier_diagnostics(graph, unit)
+    diagnostics += _deadlock_diagnostics(graph, programs, cfgs, unit)
+    diagnostics += _capacity_diagnostics(graph, programs, cfgs, unit)
+    return diagnostics

@@ -74,6 +74,26 @@ class Diagnostic:
         record["severity"] = self.severity.value
         return record
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, Union[str, int, None]]
+                  ) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (round-trips every field)."""
+        fields = dict(record)
+        fields["severity"] = Severity(fields["severity"])
+        return cls(**fields)  # type: ignore[arg-type]
+
+    def sort_key(self) -> tuple:
+        """Total order for reports: severity, unit, rule, then location.
+
+        Every field participates so that renderings are byte-stable
+        across runs regardless of the order passes emitted findings.
+        """
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+        return (order[self.severity], self.unit, self.rule,
+                self.program or "", self.pc if self.pc is not None else -1,
+                self.dfg or "", self.node if self.node is not None else -1,
+                self.message)
+
     def render(self) -> str:
         return (f"{self.severity.value}[{self.rule}] {self.location}: "
                 f"{self.message}")
@@ -91,11 +111,9 @@ def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
 
 
 def render_text(diagnostics: List[Diagnostic]) -> str:
-    """Human-readable report, errors first."""
-    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+    """Human-readable report, errors first (stable total order)."""
     lines = [diag.render() for diag in
-             sorted(diagnostics, key=lambda d: (order[d.severity],
-                                                d.unit, d.rule))]
+             sorted(diagnostics, key=Diagnostic.sort_key)]
     counts = count_by_severity(diagnostics)
     lines.append(f"{counts['error']} errors, {counts['warning']} warnings, "
                  f"{counts['note']} notes")
@@ -103,9 +121,14 @@ def render_text(diagnostics: List[Diagnostic]) -> str:
 
 
 def render_json(diagnostics: List[Diagnostic]) -> str:
-    """Machine-readable report (schema in docs/ANALYSIS.md)."""
+    """Machine-readable report (schema in docs/ANALYSIS.md).
+
+    Records are emitted in the same stable total order as
+    :func:`render_text`, so reports diff cleanly across runs.
+    """
     return json.dumps({
         "schema": DIAGNOSTIC_SCHEMA_VERSION,
         "counts": count_by_severity(diagnostics),
-        "diagnostics": [diag.to_dict() for diag in diagnostics],
+        "diagnostics": [diag.to_dict() for diag in
+                        sorted(diagnostics, key=Diagnostic.sort_key)],
     }, indent=2, sort_keys=True)

@@ -14,6 +14,13 @@ library.  Cross-thread rules computed here from per-thread summaries:
 * **SPL006** (warning) — words are sent to a thread that never pops.
 * **SPEC001** (error) — a registered spec factory raised during the
   sweep (reported instead of aborting it).
+
+:func:`lint_spec` additionally runs the whole-machine concurrency
+verifier (**CON001-005**, :mod:`repro.analysis.concurrency`) over the
+inter-thread communication graph and checks the spec's ``max_cycles``
+budget against the static performance lower bound (**BND002**,
+:mod:`repro.analysis.bounds`).  :func:`spec_summaries` exposes the
+shared build-and-summarize front half to those passes.
 """
 
 from __future__ import annotations
@@ -79,8 +86,11 @@ def lint_program(program: Program, spec: Optional[ThreadSpec] = None,
 
 def _local_participants(controller: SplClusterController,
                         barrier_id: int) -> List[int]:
+    # Non-raising lookup: an unregistered barrier is a CON003 finding,
+    # not a reason for the lint pass itself to fault.
+    registered = controller.barrier_bus.registered_participants(barrier_id)
     slots = []
-    for thread_id in controller.barrier_bus.participants(barrier_id):
+    for thread_id in registered or ():
         slot = controller.table.lookup(thread_id)
         if slot is not None:
             slots.append(slot)
@@ -284,12 +294,16 @@ def _mapping_diagnostics(machine: Machine, unit: str) -> List[Diagnostic]:
     return diagnostics
 
 
-def lint_spec(spec: RunSpec, unit: str = "") -> List[Diagnostic]:
-    """Statically verify one run spec (no simulation).
+def spec_summaries(spec: RunSpec, unit: str = "") -> Tuple[
+        Machine, Dict[int, Program], Dict[int, Cfg],
+        Dict[int, SplSummary], List[Diagnostic]]:
+    """Build a spec's machine and analyze every thread (no simulation).
 
-    Builds the machine and runs the workload's *setup* hook — exactly
-    what :func:`repro.experiments.runner.execute` does before its run
-    loop — then lints every thread against the installed configuration.
+    Shared front half of :func:`lint_spec` and
+    :func:`repro.analysis.bounds.compute_bounds`: constructs the machine,
+    runs the workload *setup* hook, and returns per-thread programs,
+    CFGs, and SPL summaries keyed by thread id, plus the per-thread
+    diagnostics accumulated along the way.
     """
     unit = unit or spec.name
     machine = Machine(spec.system)
@@ -297,13 +311,15 @@ def lint_spec(spec: RunSpec, unit: str = "") -> List[Diagnostic]:
 
     diagnostics: List[Diagnostic] = []
     linted_programs: Set[int] = set()
+    shared_cfgs: Dict[int, Cfg] = {}
+    programs: Dict[int, Program] = {}
     cfgs: Dict[int, Cfg] = {}
     summaries: Dict[int, SplSummary] = {}
     for thread_spec in spec.workload.threads:
         program = thread_spec.program
-        cfg = cfgs.get(id(program))
+        cfg = shared_cfgs.get(id(program))
         if cfg is None:
-            cfg = cfgs[id(program)] = Cfg(program)
+            cfg = shared_cfgs[id(program)] = Cfg(program)
         if id(program) not in linted_programs:
             linted_programs.add(id(program))
             diagnostics += label_diagnostics(program, unit)
@@ -319,12 +335,38 @@ def lint_spec(spec: RunSpec, unit: str = "") -> List[Diagnostic]:
             context = SplContext(port_kind=None)
         spl_diags, summary = analyze_spl(program, cfg, context, unit)
         diagnostics += spl_diags
+        programs[thread_spec.thread_id] = program
+        cfgs[thread_spec.thread_id] = cfg
         summaries[thread_spec.thread_id] = summary
+    return machine, programs, cfgs, summaries, diagnostics
+
+
+def lint_spec(spec: RunSpec, unit: str = "") -> List[Diagnostic]:
+    """Statically verify one run spec (no simulation).
+
+    Builds the machine and runs the workload's *setup* hook — exactly
+    what :func:`repro.experiments.runner.execute` does before its run
+    loop — then lints every thread against the installed configuration,
+    checks the whole-machine communication graph (CON rules, see
+    :mod:`repro.analysis.concurrency`), and validates the spec's cycle
+    budget against the static lower bound (BND002, see
+    :mod:`repro.analysis.bounds`).
+    """
+    from repro.analysis.bounds import bounds_from_parts, check_static
+    from repro.analysis.concurrency import check_concurrency
+
+    unit = unit or spec.name
+    machine, programs, cfgs, summaries, diagnostics = \
+        spec_summaries(spec, unit=unit)
 
     flows, barrier_diags = _collect_flows(machine, summaries, unit)
     diagnostics += barrier_diags
     diagnostics += _balance_diagnostics(summaries, flows, unit)
     diagnostics += _mapping_diagnostics(machine, unit)
+    diagnostics += check_concurrency(machine, summaries, programs, cfgs,
+                                     unit)
+    bounds = bounds_from_parts(machine, programs, cfgs, summaries, unit)
+    diagnostics += check_static(bounds, spec.max_cycles, unit)
     return diagnostics
 
 

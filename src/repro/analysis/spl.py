@@ -31,12 +31,14 @@ Rules emitted here (per program); the cross-thread balance rules
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import (Callable, Dict, FrozenSet, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.analysis.cfg import Cfg
 from repro.analysis.dataflow import ForwardAnalysis, exit_states, forward
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.core.queues import ENTRY_BYTES
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
 
@@ -127,7 +129,7 @@ def _join(a: SplState, b: SplState) -> SplState:
                     issues=issues)
 
 
-def _staged_bytes(inst) -> Optional[FrozenSet[int]]:
+def _staged_bytes(inst: Instruction) -> Optional[FrozenSet[int]]:
     """Byte offsets written by a staging instruction, else ``None``."""
     if inst.op is Op.SPL_LOAD:
         start, width = inst.imm, 4
@@ -140,7 +142,8 @@ def _staged_bytes(inst) -> Optional[FrozenSet[int]]:
     return frozenset(range(start, min(start + width, ENTRY_BYTES)))
 
 
-def _transfer(insts):
+def _transfer(insts: Sequence[Instruction]
+              ) -> Callable[[SplState, int], SplState]:
     def transfer(state: SplState, pc: int) -> SplState:
         inst = insts[pc]
         staged = _staged_bytes(inst)

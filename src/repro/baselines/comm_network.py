@@ -77,6 +77,23 @@ class CommPort(SplPort):
     def stall_kind(self) -> str:
         return self.controller.stall_kind(self.slot)
 
+    def wait_detail(self) -> str:
+        """Human-readable description of what this slot is blocked on."""
+        controller = self.controller
+        oq = controller.output_queues[self.slot]
+        parts = [f"comm network slot {self.slot}",
+                 f"output queue {len(oq)} words",
+                 f"{controller.in_flight[self.slot]} deliveries in flight"]
+        thread_id = controller.threads[self.slot]
+        if thread_id is not None:
+            for barrier_id, (participants, arrived) in \
+                    sorted(controller.barriers.items()):
+                if thread_id in arrived:
+                    parts.append(
+                        f"arrived at barrier {barrier_id} "
+                        f"({len(arrived)}/{len(participants)} there)")
+        return ", ".join(parts)
+
 
 class DedicatedCommController:
     """Hardware queues + barrier network shared by one cluster's cores."""
@@ -121,6 +138,25 @@ class DedicatedCommController:
 
     def register_barrier(self, barrier_id: int, thread_ids) -> None:
         self.barriers[barrier_id] = (tuple(thread_ids), [])
+
+    def registered_participants(self,
+                                barrier_id: int) -> Optional[Tuple[int, ...]]:
+        """Participants of ``barrier_id``, or ``None`` when unregistered
+        (static-verifier introspection)."""
+        entry = self.barriers.get(barrier_id)
+        return None if entry is None else entry[0]
+
+    def resident_threads(self) -> Tuple[int, ...]:
+        """Thread ids currently attached to network slots, sorted."""
+        return tuple(sorted(thread for thread in self.threads
+                            if thread is not None))
+
+    def slot_of(self, thread_id: int) -> Optional[int]:
+        """The network slot hosting ``thread_id``, or ``None``.
+
+        Public introspection twin of the send path's residency lookup:
+        a send whose destination resolves to ``None`` stalls forever."""
+        return self._slot_of(thread_id)
 
     def set_thread(self, slot: int, thread_id: Optional[int]) -> None:
         if thread_id is None and self.in_flight[slot]:

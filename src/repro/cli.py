@@ -236,21 +236,33 @@ def cmd_trace(args) -> None:
           "(1 us shown = 1 core cycle)")
 
 
-def cmd_profile(args) -> None:
+def cmd_profile(args) -> int:
+    from repro.analysis.bounds import check_measured, compute_bounds
     from repro.obs.profile import ProfilerSink
     from repro.obs.render import render_profile
     spec = _resolve_observed_spec(args)
     sink = ProfilerSink()
     _run_observed(spec, (sink, ProfilerSink.KINDS))
     accounting = sink.accounting()
+    bounds = compute_bounds(spec)
+    bound_diags = check_measured(bounds, accounting.total_cycles,
+                                 unit=spec.name)
     if args.json:
         import json
         print(json.dumps({"name": spec.name,
                           "total_cycles": accounting.total_cycles,
+                          "min_cycles_bound": bounds.min_cycles,
+                          "bound_violations": [d.render()
+                                               for d in bound_diags],
                           "cores": accounting.rows()}, indent=2))
-        return
+        return 1 if bound_diags else 0
     print(f"{spec.name}:")
     print(render_profile(accounting))
+    print(f"static lower bound: {bounds.min_cycles} cycles "
+          f"({accounting.total_cycles} measured)")
+    for diag in bound_diags:
+        print(diag.render())
+    return 1 if bound_diags else 0
 
 
 def cmd_sample(args) -> None:
@@ -338,6 +350,22 @@ def cmd_lint(args) -> int:
     else:
         print(render_text(diagnostics))
     return 1 if has_errors(diagnostics) else 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.analysis.fuzz import (render_fuzz_text, run_fuzz,
+                                     write_fuzz_json)
+    seeds = range(args.start, args.start + args.seeds)
+    report = run_fuzz(seeds)
+    print(render_fuzz_text(report))
+    if args.json_out:
+        import os
+        parent = os.path.dirname(args.json_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        write_fuzz_json(report, args.json_out)
+        print(f"report -> {args.json_out}")
+    return 1 if report["disagreements"] else 0
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -481,6 +509,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--json", action="store_true",
                         help="emit the diagnostic report as JSON")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="cross-check static verdicts against simulation on "
+                     "randomized scenarios")
+    p_fuzz.add_argument("--seeds", type=int, default=100,
+                        help="number of seeds to fuzz (default 100)")
+    p_fuzz.add_argument("--start", type=int, default=0,
+                        help="first seed (default 0)")
+    p_fuzz.add_argument("--json", dest="json_out", default=None,
+                        help="also write the full report to this path")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

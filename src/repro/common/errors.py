@@ -22,7 +22,20 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """No core made forward progress for the configured watchdog window."""
+    """No core made forward progress for the configured watchdog window.
+
+    ``wait_states`` carries one line per stalled core describing what it
+    is blocked on (queue, barrier, port occupancy), composed by the
+    machine watchdog at raise time; the lines are also appended to the
+    message so an uncaught deadlock is diagnosable from the traceback.
+    """
+
+    def __init__(self, message, wait_states=None):
+        self.wait_states = list(wait_states or [])
+        if self.wait_states:
+            message = "\n".join([message] + ["  " + line
+                                             for line in self.wait_states])
+        super().__init__(message)
 
 
 class MemoryFault(SimulationError):

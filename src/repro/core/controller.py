@@ -102,6 +102,23 @@ class CoreSplPort(SplPort):
     def stall_kind(self) -> str:
         return self.controller.stall_kind(self.slot)
 
+    def wait_detail(self) -> str:
+        """Human-readable description of what this slot is blocked on."""
+        controller = self.controller
+        iq = controller.input_queues[self.slot]
+        oq = controller.output_queues[self.slot]
+        parts = [f"spl cluster {controller.cluster_id} slot {self.slot}",
+                 f"input queue {len(iq)}/{iq.capacity} entries",
+                 f"output queue {len(oq)} words"]
+        head = iq.head()
+        if head is not None:
+            binding = controller.bindings.get((self.slot, head.config_id))
+            if binding is not None and binding.barrier_id is not None:
+                parts.append(f"head waits on barrier {binding.barrier_id}")
+            else:
+                parts.append(f"head is config {head.config_id}")
+        return ", ".join(parts)
+
 
 class SplClusterController:
     """Controller for one SPL cluster (fabric + queues + tables)."""
@@ -153,6 +170,14 @@ class SplClusterController:
             raise ConfigError(f"config id {config_id} out of range")
         self.bindings[(slot, config_id)] = SplBinding(function, dest_thread,
                                                       barrier_id)
+
+    def resident_threads(self) -> Tuple[int, ...]:
+        """Thread ids currently mapped to this cluster's slots, sorted.
+
+        Static-verifier introspection: the thread-to-core table is what
+        ``spl_init`` consults to resolve a ``dest_thread``."""
+        return tuple(sorted(thread for thread in self.table.thread_ids
+                            if thread is not None))
 
     def set_partitions(self, row_counts: List[int],
                        core_assignment: Optional[List[int]] = None) -> None:

@@ -112,6 +112,21 @@ class BarrierBus:
         except KeyError:
             raise SplError(f"barrier {barrier_id} not registered") from None
 
+    def registered_participants(self,
+                                barrier_id: int) -> Optional[Tuple[int, ...]]:
+        """Participants of ``barrier_id``, or ``None`` when unregistered.
+
+        Non-raising introspection twin of :meth:`participants`, used by
+        the static verifier (an unregistered barrier is a *finding*
+        there, not a fault).
+        """
+        entry = self.registry.get(barrier_id)
+        return None if entry is None else entry[1]
+
+    def barrier_ids(self) -> Tuple[int, ...]:
+        """Every registered barrier id, sorted (introspection)."""
+        return tuple(sorted(self.registry))
+
     def total(self, barrier_id: int) -> int:
         return len(self.participants(barrier_id))
 

@@ -269,6 +269,35 @@ class OutOfOrderCore:
     def active(self) -> bool:
         return self.ctx is not None and not self.halted
 
+    def wait_state(self) -> str:
+        """One-line description of what this core is blocked on.
+
+        Composed into :exc:`~repro.common.errors.DeadlockError` wait-state
+        reports by the machine watchdog; best-effort prose, not a stable
+        format.
+        """
+        if self.ctx is None:
+            return f"core{self.index}: idle (no context)"
+        prefix = f"core{self.index} thread {self.ctx.thread_id}"
+        if self.halted:
+            return f"{prefix}: halted"
+        if not self.rob:
+            return f"{prefix}: fetching at pc={self.ctx.pc}"
+        head = self.rob[0]
+        what = f"{head.inst.info.name} at pc={head.pc}"
+        if head.inst.info.serialize and head.state == DISP:
+            port = self.spl_port
+            if port is not None:
+                detail = port.wait_detail()
+                kind = port.stall_kind()
+                where = f" ({detail})" if detail else ""
+                return (f"{prefix}: blocked in {what} on "
+                        f"{kind}{where}")
+            return f"{prefix}: blocked in serialized {what}"
+        if head.state == DONE:
+            return f"{prefix}: retire-blocked behind {what}"
+        return f"{prefix}: executing {what}"
+
     # ------------------------------------- snapshot contract (DESIGN.md §8)
 
     def _entry_universe(self) -> List[RobEntry]:

@@ -67,5 +67,14 @@ class SplPort:
         """
         return "queue"
 
+    def wait_detail(self) -> str:
+        """Queue/barrier occupancy behind a blocked ``spl_*`` op.
+
+        Free-form text folded into deadlock wait-state reports (see
+        :meth:`repro.system.machine.Machine.wait_reports`); units that
+        cannot introspect return the empty string.
+        """
+        return ""
+
     def on_context_change(self, thread_id: Optional[int], app_id: int) -> None:
         """Notify the unit that the core now runs a different thread."""

@@ -248,6 +248,46 @@ class ResultCache:
         os.replace(tmp, path)  # atomic: concurrent writers race benignly
 
 
+class LintCache:
+    """On-disk cache of pre-flight lint verdicts, beside the result cache.
+
+    Layout: ``<root>/v<schema>-<fingerprint>/lint/<key[:2]>/<key>.json``.
+    Keys are the same content-addressed request hashes as
+    :class:`ResultCache` and live under the same code-fingerprinted
+    version directory, so any source change (including to the analysis
+    rules themselves) invalidates cached verdicts implicitly.  A record
+    is ``{"ok": true}`` or ``{"ok": false, "outcome": [...]}`` where
+    ``outcome`` is the error tuple :meth:`ExperimentEngine._preflight`
+    would have produced.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        root = root or default_cache_dir()
+        self.root = Path(root) / \
+            f"v{RESULT_SCHEMA_VERSION}-{code_fingerprint()}" / "lint"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key: str, outcome: Optional[Tuple]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record: Dict = {"ok": outcome is None}
+        if outcome is not None:
+            record["outcome"] = list(outcome)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)
+
+
 # -- the engine ----------------------------------------------------------------
 
 
@@ -277,7 +317,10 @@ class ExperimentEngine:
     to on unless ``REPRO_NO_CACHE`` is set.  ``lint`` defaults to on
     unless ``REPRO_NO_LINT`` is set; when on, cache-missing specs are
     statically verified before dispatch and error-severity findings
-    become ``LintError``-typed :class:`SpecError` records.
+    become ``LintError``-typed :class:`SpecError` records.  Verdicts are
+    cached persistently (:class:`LintCache`) under the same
+    content-addressed keys as results, so repeated batches skip the
+    analysis entirely until the code or the request changes.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -295,6 +338,7 @@ class ExperimentEngine:
             lint = env_enabled(ENV_NO_LINT)
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self.lint_cache = LintCache(cache_dir) if use_cache else None
         self.lint = lint
         self.progress = progress
         self._pending: List[Tuple[Any, SpecRequest]] = []
@@ -399,7 +443,15 @@ class ExperimentEngine:
             for cache_key in list(todo):
                 if cache_key in self._lint_passed:
                     continue
-                outcome = self._preflight(todo[cache_key][0][1])
+                record = self.lint_cache.load(cache_key) \
+                    if self.lint_cache else None
+                if record is not None:
+                    outcome = None if record.get("ok") \
+                        else tuple(record["outcome"])
+                else:
+                    outcome = self._preflight(todo[cache_key][0][1])
+                    if self.lint_cache:
+                        self.lint_cache.store(cache_key, outcome)
                 if outcome is None:
                     self._lint_passed.add(cache_key)
                 else:

@@ -420,7 +420,20 @@ class Machine:
             self._ff_flush()
             details = ", ".join(
                 f"core{c.index}@pc={c.ctx.pc}" for c in stuck)
-            raise DeadlockError(f"no forward progress: {details}")
+            raise DeadlockError(f"no forward progress: {details}",
+                                wait_states=self.wait_reports())
+
+    def wait_reports(self) -> List[str]:
+        """Per-core wait-state lines for deadlock post-mortems.
+
+        One line per occupied core describing the ROB-head instruction it
+        is blocked on plus the queue/barrier occupancy behind it (via
+        :meth:`repro.cpu.ports.SplPort.wait_detail`).  Harmless to call at
+        any paused cycle; used by :meth:`_check_watchdog` when raising
+        :exc:`DeadlockError`.
+        """
+        return [core.wait_state() for core in self.cores
+                if core.ctx is not None]
 
     # -- snapshot contract (DESIGN.md §8) ------------------------------------------------------
 

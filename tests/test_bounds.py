@@ -1,0 +1,101 @@
+"""Static performance lower bounds (BND rules) vs. measured runs."""
+
+import random
+
+import pytest
+
+from repro.analysis import compute_bounds, lint_spec, min_retired
+from repro.analysis.bounds import check_measured, check_static, \
+    measured_retired
+from repro.analysis.cfg import Cfg
+from repro.analysis.fuzz import (_scenario_compute, _scenario_ring,
+                                 scenario_for_seed)
+from repro.common.config import RunOptions
+from repro.isa import Asm
+from repro.system.machine import Machine
+
+
+def _straight_line(n):
+    a = Asm("straight")
+    for i in range(n):
+        a.li("r3", i)
+    a.halt()
+    return a.assemble()
+
+
+def _run(spec):
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    cycles = machine.run(options=RunOptions(max_cycles=spec.max_cycles))
+    return cycles, machine.stats.as_dict()
+
+
+class TestMinRetired:
+    def test_straight_line_counts_instructions(self):
+        program = _straight_line(7)
+        # The halt itself retires too, but the bound stays conservative:
+        # it must never exceed what the pipeline reports.
+        assert min_retired(program, Cfg(program)) == 7
+
+    def test_branchy_program_takes_shortest_path(self):
+        a = Asm("branchy")
+        a.li("r3", 0)
+        a.beqz("r3", "out")
+        for _ in range(10):
+            a.addi("r3", "r3", 1)
+        a.label("out")
+        a.halt()
+        program = a.assemble()
+        assert min_retired(program, Cfg(program)) == 2
+
+
+class TestBoundsVsMeasured:
+    @pytest.mark.parametrize("seed", range(0, 14))
+    def test_fuzz_scenarios_respect_bounds(self, seed):
+        scenario = scenario_for_seed(seed)
+        if scenario.defect is not None:
+            return
+        spec = scenario.build()
+        bounds = compute_bounds(spec)
+        cycles, counters = _run(spec)
+        assert 0 < bounds.min_cycles <= cycles
+        assert bounds.min_total_retired <= measured_retired(counters)
+        assert check_measured(bounds, cycles, counters=counters) == []
+
+    def test_registry_benchmark_respects_bounds(self):
+        from repro.experiments.engine import build_spec, request
+        spec = build_spec(request("wc", "spl", items=32))
+        bounds = compute_bounds(spec)
+        cycles, counters = _run(spec)
+        assert 0 < bounds.min_cycles <= cycles
+        assert check_measured(bounds, cycles, counters=counters) == []
+
+    def test_fabric_bound_tightens_compute_scenarios(self):
+        scenario = _scenario_compute(5, random.Random(5))
+        spec = scenario.build()
+        bounds = compute_bounds(spec)
+        assert any("fabric" in note for note in bounds.notes)
+
+
+class TestBndRules:
+    def test_bnd002_budget_below_bound(self):
+        scenario = _scenario_ring(0, random.Random(0), None)
+        spec = scenario.build()
+        spec.max_cycles = 1
+        rules = {d.rule for d in lint_spec(spec, unit="t") if d.is_error}
+        assert "BND002" in rules
+
+    def test_bnd001_measured_below_bound(self):
+        scenario = _scenario_ring(0, random.Random(0), None)
+        bounds = compute_bounds(scenario.build())
+        diags = check_measured(bounds, bounds.min_cycles - 1)
+        assert [d.rule for d in diags] == ["BND001"]
+        assert check_static(bounds, bounds.min_cycles - 1,
+                            "t")[0].rule == "BND002"
+
+    def test_bnd003_retired_below_bound(self):
+        scenario = _scenario_ring(0, random.Random(0), None)
+        bounds = compute_bounds(scenario.build())
+        counters = {"machine.cpu0.retired": 1.0}
+        diags = check_measured(bounds, bounds.min_cycles, counters=counters)
+        assert "BND003" in {d.rule for d in diags}

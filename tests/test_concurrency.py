@@ -1,0 +1,148 @@
+"""Whole-machine concurrency verifier (CON rules) with dynamic agreement.
+
+Each seeded-defect fixture is checked twice: the static verifier must
+flag it with the expected CON rule, and the simulator must actually
+misbehave (deadlock or SPL fault) when the same spec runs — the
+contract the scenario fuzzer enforces at scale.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Severity, lint_spec
+from repro.analysis.fuzz import (_scenario_barrier, _scenario_comm_pair,
+                                 _scenario_fabric_pair, _scenario_ring,
+                                 _scenario_selfloop)
+from repro.common.config import RunOptions
+from repro.common.errors import DeadlockError, SplError
+from repro.core.function import identity_function
+from repro.isa import Asm, MemoryImage, ThreadSpec
+from repro.system.machine import Machine
+from repro.system.workload import Workload
+from repro.workloads.base import RunSpec, remap_machine_system
+
+
+def _build(generator, defect, seed=0):
+    scenario = generator(seed, random.Random(seed), defect)
+    return scenario.build()
+
+
+def _error_rules(spec):
+    return {d.rule for d in lint_spec(spec, unit="test") if d.is_error}
+
+
+def _run(spec):
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    machine.run(options=RunOptions(max_cycles=spec.max_cycles))
+    return machine
+
+
+class TestStaticFlagging:
+    def test_con001_unmatched_endpoint(self):
+        spec = _build(_scenario_fabric_pair, "dest_absent")
+        assert "CON001" in _error_rules(spec)
+
+    def test_con001_comm_unmatched_endpoint(self):
+        spec = _build(_scenario_comm_pair, "comm_dest_absent")
+        rules = _error_rules(spec)
+        assert "CON001" in rules and "SPL005" in rules
+
+    def test_con003_unregistered_barrier(self):
+        spec = _build(_scenario_barrier, "barrier_unregistered")
+        assert "CON003" in _error_rules(spec)
+
+    def test_con003_phantom_participant(self):
+        spec = _build(_scenario_barrier, "barrier_phantom")
+        assert "CON003" in _error_rules(spec)
+
+    def test_con004_ring_deadlock(self):
+        spec = _build(_scenario_ring, "ring_deadlock")
+        assert "CON004" in _error_rules(spec)
+
+    def test_con005_capacity_overfill(self):
+        spec = _build(_scenario_selfloop, "selfloop_overfill")
+        assert "CON005" in _error_rules(spec)
+
+    def test_clean_fixtures_have_no_errors(self):
+        for generator in (_scenario_ring, _scenario_fabric_pair,
+                          _scenario_comm_pair, _scenario_barrier,
+                          _scenario_selfloop):
+            assert _error_rules(_build(generator, None)) == set()
+
+    def test_con002_multiple_producers_is_a_note(self):
+        route = identity_function("fanin")
+        producers = []
+        for i in range(2):
+            a = Asm(f"producer{i}")
+            a.li("r4", 10 + i)
+            a.spl_load("r4", 0)
+            a.spl_init(1)
+            a.halt()
+            producers.append(a.assemble())
+        a = Asm("consumer")
+        a.spl_recv("r3")
+        a.spl_recv("r4")
+        a.halt()
+        consumer = a.assemble()
+
+        def setup(machine):
+            machine.configure_spl(0, 1, route, dest_thread=3)
+            machine.configure_spl(1, 1, route, dest_thread=3)
+
+        workload = Workload(
+            "fanin", MemoryImage(),
+            [ThreadSpec(producers[0], thread_id=1),
+             ThreadSpec(producers[1], thread_id=2),
+             ThreadSpec(consumer, thread_id=3)],
+            placement=[0, 1, 2], setup=setup)
+        spec = RunSpec("test/fanin", workload, remap_machine_system(1))
+        diagnostics = lint_spec(spec, unit="test")
+        assert not [d for d in diagnostics if d.is_error]
+        notes = [d for d in diagnostics if d.rule == "CON002"]
+        assert notes and all(d.severity is Severity.NOTE for d in notes)
+
+
+class TestDynamicAgreement:
+    def test_ring_deadlock_actually_deadlocks(self):
+        spec = _build(_scenario_ring, "ring_deadlock")
+        with pytest.raises(DeadlockError) as excinfo:
+            _run(spec)
+        assert excinfo.value.wait_states
+        assert any("spl" in line for line in excinfo.value.wait_states)
+
+    def test_dest_absent_actually_deadlocks(self):
+        spec = _build(_scenario_fabric_pair, "dest_absent")
+        with pytest.raises(DeadlockError):
+            _run(spec)
+
+    def test_unregistered_barrier_faults(self):
+        spec = _build(_scenario_barrier, "barrier_unregistered")
+        with pytest.raises(SplError):
+            _run(spec)
+
+    def test_phantom_participant_deadlocks_with_barrier_report(self):
+        spec = _build(_scenario_barrier, "barrier_phantom")
+        with pytest.raises(DeadlockError) as excinfo:
+            _run(spec)
+        assert any("barrier" in line for line in excinfo.value.wait_states)
+
+    def test_overfill_deadlocks(self):
+        spec = _build(_scenario_selfloop, "selfloop_overfill")
+        with pytest.raises(DeadlockError):
+            _run(spec)
+
+    def test_clean_ring_runs(self):
+        spec = _build(_scenario_ring, None)
+        machine = _run(spec)
+        assert all(core.halted or core.ctx is None
+                   for core in machine.cores)
+
+    def test_wait_reports_cover_occupied_cores(self):
+        spec = _build(_scenario_ring, None)
+        machine = Machine(spec.system)
+        machine.load(spec.workload)
+        reports = machine.wait_reports()
+        assert len(reports) == len(spec.workload.threads)
+        assert all(report.startswith("core") for report in reports)

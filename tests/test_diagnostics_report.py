@@ -1,0 +1,87 @@
+"""Diagnostic JSON reporter: round-trips, stable ordering, CLI exit codes."""
+
+import json
+import random
+
+import repro.analysis as analysis
+from repro.analysis.diagnostics import (Diagnostic, Severity, render_json,
+                                        render_text)
+from repro.cli import main
+
+#: One representative per rule family, covering every severity and every
+#: optional-field combination.
+_SAMPLES = [
+    Diagnostic("REG002", Severity.WARNING, "read of never-written r9",
+               unit="wc/seq", program="wc", pc=12),
+    Diagnostic("CFG001", Severity.ERROR, "falls off the end",
+               unit="wc/seq", program="wc"),
+    Diagnostic("LBL001", Severity.NOTE, "unused label", unit="wc/seq",
+               program="wc", pc=3),
+    Diagnostic("SPL004", Severity.ERROR, "unbalanced arrivals",
+               unit="dijkstra/remap"),
+    Diagnostic("MAP001", Severity.ERROR, "too many rows",
+               unit="lib/mac4", dfg="mac4", node=7),
+    Diagnostic("CON004", Severity.ERROR, "static deadlock cycle",
+               unit="fuzz/ring/7"),
+    Diagnostic("BND002", Severity.ERROR, "budget below bound",
+               unit="fuzz/ring/7"),
+    Diagnostic("SPEC001", Severity.ERROR, "factory raised", unit="x/y"),
+]
+
+
+def test_round_trip_every_sample():
+    for diag in _SAMPLES:
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+
+def test_round_trip_through_json_report():
+    report = json.loads(render_json(_SAMPLES))
+    assert report["schema"] == 1
+    restored = [Diagnostic.from_dict(record)
+                for record in report["diagnostics"]]
+    assert sorted(restored, key=Diagnostic.sort_key) == \
+           sorted(_SAMPLES, key=Diagnostic.sort_key)
+
+
+def test_renderings_are_order_independent():
+    shuffled = list(_SAMPLES)
+    random.Random(3).shuffle(shuffled)
+    assert render_json(shuffled) == render_json(_SAMPLES)
+    assert render_text(shuffled) == render_text(_SAMPLES)
+
+
+def test_json_report_sorted_errors_first():
+    report = json.loads(render_json(_SAMPLES))
+    severities = [record["severity"] for record in report["diagnostics"]]
+    rank = {"error": 0, "warning": 1, "note": 2}
+    assert severities == sorted(severities, key=rank.__getitem__)
+    errors = [r for r in report["diagnostics"] if r["severity"] == "error"]
+    keys = [(r["unit"], r["rule"]) for r in errors]
+    assert keys == sorted(keys)
+
+
+def test_counts_cover_all_severities():
+    report = json.loads(render_json(_SAMPLES))
+    assert report["counts"] == {"error": 6, "warning": 1, "note": 1}
+
+
+class TestCliExitCodes:
+    def test_lint_json_exit_zero_when_clean(self, capsys, monkeypatch):
+        monkeypatch.setattr(analysis, "lint_registry",
+                            lambda *a, **kw: [_SAMPLES[2]])
+        assert main(["lint", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["error"] == 0
+
+    def test_lint_json_exit_one_on_errors(self, capsys, monkeypatch):
+        monkeypatch.setattr(analysis, "lint_registry",
+                            lambda *a, **kw: list(_SAMPLES))
+        assert main(["lint", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["error"] == 6
+
+    def test_lint_text_exit_one_on_errors(self, capsys, monkeypatch):
+        monkeypatch.setattr(analysis, "lint_registry",
+                            lambda *a, **kw: list(_SAMPLES))
+        assert main(["lint"]) == 1
+        assert "6 errors" in capsys.readouterr().out

@@ -228,3 +228,48 @@ class TestStudiesThroughEngine:
         assert set(sweep.runs) == {("seq", 0, 16), ("sw", 4, 16),
                                    ("barrier", 4, 16)}
         assert engine.simulated == 3
+
+
+class TestLintCache:
+    def test_verdict_persisted_and_reused(self, tmp_path):
+        from repro.experiments.engine import LintCache
+        req = request("wc", "seq", items=32)
+        engine = _engine(tmp_path)
+        engine.run(req)
+        cache = LintCache(tmp_path / "cache")
+        record = cache.load(req.cache_key())
+        assert record == {"ok": True}
+        # Drop the cached *result* so the warm engine must simulate
+        # again, then poison lint_spec: the disk verdict must be trusted
+        # instead of re-linting.
+        ResultCache(tmp_path / "cache")._path(req.cache_key()).unlink()
+        import repro.analysis as analysis
+
+        def boom(*args, **kwargs):
+            raise AssertionError("lint_spec re-ran despite cached verdict")
+
+        original = analysis.lint_spec
+        analysis.lint_spec = boom
+        try:
+            warm = _engine(tmp_path)
+            result = warm.run(req)
+        finally:
+            analysis.lint_spec = original
+        assert warm.simulated == 1 and result.cycles > 0
+
+    def test_cached_failure_replays_without_relint(self, tmp_path):
+        from repro.experiments.engine import LintCache
+        req = request("wc", "seq", items=48)
+        LintCache(tmp_path / "cache").store(
+            req.cache_key(),
+            ("error", "LintError", "static pre-flight found problems",
+             "error[XXX999] test: seeded verdict"))
+        engine = _engine(tmp_path)
+        with pytest.raises(ExperimentBatchError) as excinfo:
+            engine.run(req)
+        (error,) = excinfo.value.errors
+        assert error.exception_type == "LintError"
+        assert "seeded verdict" in error.traceback_text
+
+    def test_no_cache_engine_has_no_lint_cache(self):
+        assert _engine().lint_cache is None
