@@ -1,0 +1,69 @@
+"""Deprecated entry points, kept one release behind the ``repro.api`` facade.
+
+Everything in this module raises :class:`DeprecationWarning` and then
+delegates to the supported surface.  New code must not import it; each
+stub's docstring names the replacement.  The module exists so that the
+PR that removes a legacy call shape does not simultaneously break
+downstream callers — they get one release of loud warnings instead.
+
+Current residents (scheduled for deletion next release):
+
+* :func:`execute` — the ``fast_forward=`` keyword shim that
+  ``repro.experiments.runner.execute`` carried after the
+  :class:`~repro.common.config.RunOptions` redesign.
+* :func:`attach_tracer` — the one-call pipeline-tracer helper from
+  before the observability bus; sinks attach through ``machine.obs``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional
+
+
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def execute(spec, check: bool = True, model=None,
+            fast_forward: Optional[bool] = None, *, options=None):
+    """Deprecated: use ``repro.api.run`` or ``runner.execute(options=)``.
+
+    Accepts the retired loose ``fast_forward`` keyword and folds it into
+    a :class:`~repro.common.config.RunOptions` (mixing both styles is an
+    error, exactly as the original shim behaved).
+    """
+    from repro.common.config import RunOptions
+    from repro.common.errors import ConfigError
+    from repro.experiments import runner
+    _deprecated(
+        "repro.api.compat.execute is deprecated; call "
+        "repro.experiments.runner.execute(spec, options=RunOptions(...)) "
+        "or the repro.api facade instead")
+    if fast_forward is not None:
+        if options is not None:
+            raise ConfigError(
+                "pass either options= or the deprecated fast_forward "
+                "keyword, not both")
+        options = RunOptions(fast_forward=fast_forward)
+    return runner.execute(spec, check=check, model=model, options=options)
+
+
+def attach_tracer(core, limit: int = 100_000,
+                  stages: Optional[List[str]] = None):
+    """Deprecated: attach a ``PipelineTracer`` to ``machine.obs`` directly.
+
+    ::
+
+        tracer = PipelineTracer(stages=["retire"])
+        machine.obs.attach(tracer, kinds=tracer.kinds,
+                           sources={f"cpu{core.index}"})
+    """
+    from repro.cpu.trace import PipelineTracer
+    _deprecated(
+        "repro.api.compat.attach_tracer is deprecated; attach a "
+        "PipelineTracer to machine.obs instead")
+    tracer = PipelineTracer(limit=limit, stages=stages)
+    core.obs.attach(tracer, kinds=tracer.kinds,
+                    sources={f"cpu{core.index}"})
+    return tracer

@@ -12,6 +12,10 @@ Usage::
     python -m repro profile dijkstra
     python -m repro sample mpeg2enc seq --warmup 20000 --sample 50000
     python -m repro resume out/snap_mpeg2enc_seq.json
+    python -m repro serve --port 8321
+    python -m repro submit hmmer compcomm --items M=64 --watch
+    python -m repro status --url 127.0.0.1:8321
+    python -m repro watch a1b2c3d4e5f6
 
 Simulation commands accept ``--jobs N`` (fan out over N worker
 processes; also ``REPRO_JOBS``), ``--no-cache`` (ignore the persistent
@@ -22,6 +26,13 @@ result cache; also ``REPRO_NO_CACHE``), ``--cache-dir PATH``
 over the whole registry and the SPL function library without
 simulating anything; it exits non-zero when any error-severity
 diagnostic is found.
+
+Every ``cmd_*`` handler returns an integer exit code (the table is in
+``python -m repro --help``): 0 success, 1 for failed checks or failed
+jobs, 2 for usage errors (argparse's convention).  Simulation verbs
+route through :mod:`repro.api`, the supported programmatic facade; the
+service commands (``serve`` / ``submit`` / ``status`` / ``watch``)
+speak to the job server from :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -42,6 +53,20 @@ from repro.experiments.tables import table1, table2, table3
 from repro.experiments.whole_program import (figure8_rows, figure9_rows,
                                              whole_program_study)
 from repro.workloads import registry
+
+#: The CLI-wide exit-code convention (every ``cmd_*`` returns one).
+EXIT_OK = 0        # the command did what was asked
+EXIT_FAIL = 1      # ran, but a check/lint/job/baseline gate failed
+EXIT_USAGE = 2     # bad arguments (argparse and SystemExit paths)
+
+EXIT_CODE_TABLE = """\
+exit codes:
+  0  success
+  1  a gate failed: lint errors, bound violations, baseline check
+     mismatches, fuzz disagreements, or a submitted job that did not
+     complete (failed / cancelled / timed out)
+  2  usage error (unknown command, malformed arguments)
+"""
 
 _ABLATIONS = {
     "sharing": ablations.sharing_degree,
@@ -87,16 +112,23 @@ def _engine_from_args(args) -> ExperimentEngine:
         progress=True)
 
 
-def cmd_list(_args) -> None:
+def _session_from_args(args):
+    """An :mod:`repro.api` session over the flag-configured engine."""
+    from repro import api
+    return api.Session(engine=_engine_from_args(args))
+
+
+def cmd_list(_args) -> int:
     print("Benchmarks (Table III):")
     for info in registry.REGISTRY.values():
         variants = ", ".join(sorted(info.variants))
         print(f"  {info.name:12s} [{info.category}] variants: {variants}")
     print("\nTables: 1 2 3;  Figures: 8 9 10 11 12 13 14")
     print("Ablations:", ", ".join(_ABLATIONS))
+    return EXIT_OK
 
 
-def cmd_table(args) -> None:
+def cmd_table(args) -> int:
     if args.number == 1:
         rows = [dict(component=k, **v) for k, v in table1().items()]
         print(format_table(rows))
@@ -108,9 +140,10 @@ def cmd_table(args) -> None:
                             for n, f, p in table3()]))
     else:
         raise SystemExit("tables are 1, 2, or 3")
+    return EXIT_OK
 
 
-def cmd_figure(args) -> None:
+def cmd_figure(args) -> int:
     number = args.number
     engine = _engine_from_args(args)
     if number in (8, 9):
@@ -141,29 +174,31 @@ def cmd_figure(args) -> None:
             print(format_series(series))
     else:
         raise SystemExit("figures are 8-14")
+    return EXIT_OK
 
 
-def cmd_ablation(args) -> None:
+def cmd_ablation(args) -> int:
     if args.name not in _ABLATIONS:
         raise SystemExit(f"ablations: {', '.join(_ABLATIONS)}")
     print(format_table(_ABLATIONS[args.name](
         engine=_engine_from_args(args))))
+    return EXIT_OK
 
 
-def cmd_run(args) -> None:
+def cmd_run(args) -> int:
     info = registry.REGISTRY.get(args.benchmark)
     if info is None:
         raise SystemExit(f"unknown benchmark {args.benchmark!r}")
     if args.variant not in info.variants:
         raise SystemExit(f"{args.benchmark} variants: "
                          f"{', '.join(sorted(info.variants))}")
-    engine = _engine_from_args(args)
-    result = engine.run(request(args.benchmark, args.variant,
-                                **_parse_kwargs(args.params)))
+    result = _session_from_args(args).run(
+        request(args.benchmark, args.variant,
+                **_parse_kwargs(args.params)))
     if args.json:
         import json
         print(json.dumps(result.to_dict(), indent=2))
-        return
+        return EXIT_OK
     print(f"{result.name}: {result.cycles} cycles "
           f"({result.cycles_per_item:.2f} per item), "
           f"energy {result.energy_joules * 1e6:.2f} uJ, "
@@ -173,6 +208,7 @@ def cmd_run(args) -> None:
               "in an earlier run)")
     else:
         print("output verified against the reference kernel")
+    return EXIT_OK
 
 
 _VARIANT_PREFERENCE = ("spl", "compcomm", "barrier", "comm", "sw")
@@ -217,7 +253,7 @@ def _run_observed(spec, *sinks):
     return machine
 
 
-def cmd_trace(args) -> None:
+def cmd_trace(args) -> int:
     import os
     from repro.obs.perfetto import PERFETTO_KINDS, PerfettoSink
     spec = _resolve_observed_spec(args)
@@ -234,6 +270,7 @@ def cmd_trace(args) -> None:
           f"{len(sink.trace_events)} trace events -> {out}")
     print("open in https://ui.perfetto.dev or chrome://tracing "
           "(1 us shown = 1 core cycle)")
+    return EXIT_OK
 
 
 def cmd_profile(args) -> int:
@@ -255,21 +292,21 @@ def cmd_profile(args) -> int:
                           "bound_violations": [d.render()
                                                for d in bound_diags],
                           "cores": accounting.rows()}, indent=2))
-        return 1 if bound_diags else 0
+        return EXIT_FAIL if bound_diags else EXIT_OK
     print(f"{spec.name}:")
     print(render_profile(accounting))
     print(f"static lower bound: {bounds.min_cycles} cycles "
           f"({accounting.total_cycles} measured)")
     for diag in bound_diags:
         print(diag.render())
-    return 1 if bound_diags else 0
+    return EXIT_FAIL if bound_diags else EXIT_OK
 
 
-def cmd_sample(args) -> None:
+def cmd_sample(args) -> int:
     import json
     import os
 
-    from repro.experiments.sample import format_report, sampled_run
+    from repro.experiments.sample import format_report
     info = registry.REGISTRY.get(args.benchmark)
     if info is None:
         raise SystemExit(f"unknown benchmark {args.benchmark!r}")
@@ -283,17 +320,19 @@ def cmd_sample(args) -> None:
     parent = os.path.dirname(snapshot_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    report = sampled_run(
+    from repro import api
+    report = api.sample(
         request(args.benchmark, args.variant, **_parse_kwargs(args.params)),
         warmup=args.warmup, sample=args.sample,
         snapshot_path=snapshot_path, compare_full=args.compare_full)
     if args.json:
         print(json.dumps(report, indent=2))
-        return
+        return EXIT_OK
     print(format_report(report))
+    return EXIT_OK
 
 
-def cmd_resume(args) -> None:
+def cmd_resume(args) -> int:
     from repro.system.snapshot import resume_from_file
     machine, cycles = resume_from_file(args.snapshot,
                                        check=not args.no_check)
@@ -301,6 +340,7 @@ def cmd_resume(args) -> None:
           f"{machine.total_retired()} instructions retired")
     if not args.no_check:
         print("output verified against the reference kernel")
+    return EXIT_OK
 
 
 def cmd_bench(args) -> int:
@@ -330,26 +370,25 @@ def cmd_bench(args) -> int:
         if failures:
             for failure in failures:
                 print(f"CHECK FAIL {failure}")
-            return 1
+            return EXIT_FAIL
         print(f"check OK against {args.check}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis import (has_errors, lint_registry, render_json,
-                                render_text)
+    from repro import api
+    from repro.analysis import has_errors, render_json, render_text
     benchmarks = args.benchmarks or None
     if benchmarks:
         unknown = [b for b in benchmarks if b not in registry.REGISTRY]
         if unknown:
             raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
-    diagnostics = lint_registry(benchmarks,
-                                include_library=not benchmarks)
+    diagnostics = api.lint(benchmarks)
     if args.json:
         print(render_json(diagnostics))
     else:
         print(render_text(diagnostics))
-    return 1 if has_errors(diagnostics) else 0
+    return EXIT_FAIL if has_errors(diagnostics) else EXIT_OK
 
 
 def cmd_fuzz(args) -> int:
@@ -365,7 +404,120 @@ def cmd_fuzz(args) -> int:
             os.makedirs(parent, exist_ok=True)
         write_fuzz_json(report, args.json_out)
         print(f"report -> {args.json_out}")
-    return 1 if report["disagreements"] else 0
+    return EXIT_FAIL if report["disagreements"] else EXIT_OK
+
+
+# -- job-service commands ------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Run the async job server until drained (SIGTERM/Ctrl-C/drain)."""
+    from repro import api
+    from repro.serve import server
+    session = api.Session(
+        engine=_engine_from_args(args), shards=args.shards,
+        queue_limit=args.queue_limit, tenant_quota=args.tenant_quota,
+        default_timeout_s=args.timeout)
+
+    def announce(port: int) -> None:
+        print(f"repro job server listening on http://{args.host}:{port} "
+              f"({args.shards} shards, queue limit {args.queue_limit}, "
+              f"{args.tenant_quota} jobs/tenant)", flush=True)
+
+    return server.main(session, host=args.host, port=args.port,
+                       on_ready=announce)
+
+
+def _client_from_args(args):
+    from repro.serve.client import Client
+    return Client(args.url)
+
+
+def _print_record(record, as_json: bool) -> None:
+    import json
+    if as_json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return
+    line = f"{record.job_id}  {record.state:9s} {record.label}"
+    if record.cached:
+        line += "  [cached]"
+    if record.heartbeat:
+        line += (f"  cycle {record.heartbeat['cycle']} "
+                 f"ipc {record.heartbeat['ipc']:.2f}")
+    if record.detail:
+        line += f"  ({record.detail})"
+    print(line)
+
+
+def _job_exit(record) -> int:
+    return EXIT_OK if record.state == "done" else EXIT_FAIL
+
+
+def cmd_submit(args) -> int:
+    info = registry.REGISTRY.get(args.benchmark)
+    if info is None:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+    if args.variant not in info.variants:
+        raise SystemExit(f"{args.benchmark} variants: "
+                         f"{', '.join(sorted(info.variants))}")
+    client = _client_from_args(args)
+    record = client.submit(
+        request(args.benchmark, args.variant, **_parse_kwargs(args.params)),
+        tenant=args.tenant, priority=args.priority,
+        timeout_s=args.timeout)
+    _print_record(record, args.json)
+    if args.watch and record.state not in ("done", "failed", "cancelled"):
+        return _watch(client, record.job_id, args.json)
+    if args.watch or record.cached:
+        return _job_exit(record)
+    return EXIT_OK
+
+
+def cmd_status(args) -> int:
+    client = _client_from_args(args)
+    if args.job_id:
+        _print_record(client.status(args.job_id), args.json)
+        return EXIT_OK
+    health = client.health()
+    records = client.jobs(args.tenant)
+    if args.json:
+        import json
+        print(json.dumps({"health": health,
+                          "jobs": [r.to_dict() for r in records]},
+                         indent=2, sort_keys=True))
+        return EXIT_OK
+    census = " ".join(f"{state}={count}"
+                      for state, count in sorted(health["jobs"].items()))
+    print(f"server: {census}  workers {health['running_workers']}"
+          f"/{health['shards']}"
+          + ("  [draining]" if health.get("draining") else ""))
+    for record in records:
+        _print_record(record, False)
+    return EXIT_OK
+
+
+def _watch(client, job_id: str, as_json: bool) -> int:
+    from repro.serve.protocol import JobRecord
+    final = None
+    for event, payload in client.watch(job_id):
+        if event == "heartbeat":
+            if as_json:
+                import json
+                print(json.dumps({"heartbeat": payload}, sort_keys=True))
+            else:
+                print(f"  cycle {payload['cycle']:>10}  "
+                      f"retired {payload['retired']:>10}  "
+                      f"ipc {payload['ipc']:.3f}")
+        elif event == "state":
+            final = JobRecord.from_dict(payload)
+            _print_record(final, as_json)
+    if final is None:
+        final = client.status(job_id)
+    return _job_exit(final)
+
+
+def cmd_watch(args) -> int:
+    return _watch(_client_from_args(args), args.job_id, args.json)
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -381,10 +533,20 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "of specs before simulating")
 
 
+def _add_client_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default="127.0.0.1:8321",
+                        help="job server address "
+                             "(default 127.0.0.1:8321)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit job records as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="ReMAP (MICRO 2010) reproduction driver")
+        description="ReMAP (MICRO 2010) reproduction driver",
+        epilog=EXIT_CODE_TABLE,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks and experiments") \
@@ -520,12 +682,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--json", dest="json_out", default=None,
                         help="also write the full report to this path")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async HTTP job server over the engine")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 picks a free one; "
+                              "default 8321)")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="concurrent worker processes (default 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="max live jobs before 429 back-pressure "
+                              "(default 64)")
+    p_serve.add_argument("--tenant-quota", type=int, default=16,
+                         help="max live jobs per tenant (default 16)")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="default per-job wall-clock budget in "
+                              "seconds (default 300)")
+    _add_engine_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one benchmark variant to a job server")
+    p_submit.add_argument("benchmark")
+    p_submit.add_argument("variant")
+    p_submit.add_argument("--items", dest="params", nargs="*", default=[],
+                          help="spec parameters, e.g. M=64 R=3 or "
+                               "items=128")
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="per-job wall-clock budget in seconds")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="stream the job's progress to completion "
+                               "and exit by its final state")
+    _add_client_flags(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="show a job's record, or the whole server")
+    p_status.add_argument("job_id", nargs="?", default=None)
+    p_status.add_argument("--tenant", default=None,
+                          help="filter the job list to one tenant")
+    _add_client_flags(p_status)
+    p_status.set_defaults(func=cmd_status)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream one job's SSE feed until it finishes")
+    p_watch.add_argument("job_id")
+    _add_client_flags(p_watch)
+    p_watch.set_defaults(func=cmd_watch)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args) or 0
+    return args.func(args)
 
 
 if __name__ == "__main__":

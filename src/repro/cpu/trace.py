@@ -17,13 +17,12 @@ Attach through the bus::
     machine.obs.attach(tracer, kinds=tracer.kinds,
                        sources={f"cpu{core.index}"})
 
-:func:`attach_tracer` keeps the historical one-call form (it now routes
-through the bus) and is deprecated.
+(The historical one-call ``attach_tracer`` form now lives only as a
+deprecated stub in :mod:`repro.api.compat`.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -91,18 +90,3 @@ class PipelineTracer(Sink):
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
-
-
-def attach_tracer(core, limit: int = 100_000,
-                  stages: Optional[List[str]] = None) -> PipelineTracer:
-    """Deprecated: subscribe a :class:`PipelineTracer` to one core.
-
-    Prefer attaching the sink to ``machine.obs`` directly (see the module
-    docstring); this shim only survives for existing callers.
-    """
-    warnings.warn(
-        "attach_tracer is deprecated; attach a PipelineTracer to "
-        "machine.obs instead", DeprecationWarning, stacklevel=2)
-    tracer = PipelineTracer(limit=limit, stages=stages)
-    core.obs.attach(tracer, kinds=tracer.kinds, sources={f"cpu{core.index}"})
-    return tracer

@@ -172,16 +172,47 @@ class SpecError:
         return (f"{self.request.label}: {self.exception_type}: "
                 f"{self.message}")
 
+    def to_dict(self) -> Dict:
+        """JSON-safe payload (the unit the job server serializes)."""
+        return {
+            "request": dataclasses.asdict(self.request),
+            "label": self.request.label,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback": self.traceback_text,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpecError":
+        request_data = dict(data["request"])
+        request_data["params"] = tuple(
+            (key, value) for key, value in request_data.get("params", ()))
+        return cls(request=SpecRequest(**request_data),
+                   exception_type=data["exception_type"],
+                   message=data["message"],
+                   traceback_text=data.get("traceback", ""))
+
 
 class ExperimentBatchError(Exception):
-    """Raised by strict gathers after the whole batch has completed."""
+    """Raised by strict gathers after the whole batch has completed.
+
+    Carries both the live :class:`SpecError` records (``errors``) and
+    their structured :meth:`SpecError.to_dict` payloads (``payloads``),
+    so services can serialize batch failures without string-parsing the
+    exception message or tracebacks.
+    """
 
     def __init__(self, errors: List[SpecError]) -> None:
         self.errors = errors
+        self.payloads = [error.to_dict() for error in errors]
         first = errors[0]
         summary = f"{len(errors)} of the batch's specs failed; first: " \
                   f"{first}\n{first.traceback_text}"
         super().__init__(summary)
+
+    def to_dict(self) -> Dict:
+        """The whole batch failure as one JSON-safe record."""
+        return {"errors": self.payloads}
 
 
 # -- persistent result cache ---------------------------------------------------
@@ -441,20 +472,9 @@ class ExperimentEngine:
 
         if self.lint:
             for cache_key in list(todo):
-                if cache_key in self._lint_passed:
-                    continue
-                record = self.lint_cache.load(cache_key) \
-                    if self.lint_cache else None
-                if record is not None:
-                    outcome = None if record.get("ok") \
-                        else tuple(record["outcome"])
-                else:
-                    outcome = self._preflight(todo[cache_key][0][1])
-                    if self.lint_cache:
-                        self.lint_cache.store(cache_key, outcome)
-                if outcome is None:
-                    self._lint_passed.add(cache_key)
-                else:
+                outcome = self._preflight_outcome(cache_key,
+                                                  todo[cache_key][0][1])
+                if outcome is not None:
                     finish(cache_key, outcome)
                     del todo[cache_key]
 
@@ -478,6 +498,45 @@ class ExperimentEngine:
             self._note(done, total, hits, simulated, len(errors),
                        "batch complete")
         return results, errors
+
+    def _preflight_outcome(self, cache_key: str,
+                           req: SpecRequest) -> Optional[Tuple]:
+        """Memoized pre-flight verdict for one request.
+
+        ``None`` means the spec may run; otherwise the engine's error
+        outcome tuple (``("error", type, message, traceback)``).
+        Verdicts are remembered in-process and in :class:`LintCache`.
+        """
+        if cache_key in self._lint_passed:
+            return None
+        record = self.lint_cache.load(cache_key) \
+            if self.lint_cache else None
+        if record is not None:
+            outcome = None if record.get("ok") \
+                else tuple(record["outcome"])
+        else:
+            outcome = self._preflight(req)
+            if self.lint_cache:
+                self.lint_cache.store(cache_key, outcome)
+        if outcome is None:
+            self._lint_passed.add(cache_key)
+        return outcome
+
+    def preflight(self, req: SpecRequest) -> Optional[SpecError]:
+        """Public pre-flight gate: lint one request without running it.
+
+        Returns ``None`` when the spec is clear to simulate (or linting
+        is disabled), else a structured :class:`SpecError`.  This is the
+        hook the job service uses to reject bad specs before burning a
+        worker process.
+        """
+        if not self.lint:
+            return None
+        outcome = self._preflight_outcome(req.cache_key(), req)
+        if outcome is None:
+            return None
+        _, exc_type, message, tb = outcome
+        return SpecError(req, exc_type, message, tb)
 
     def _preflight(self, req: SpecRequest) -> Optional[Tuple]:
         """Lint one spec; an error-outcome tuple when it must not run.

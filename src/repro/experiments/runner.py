@@ -132,29 +132,37 @@ class RunResult:
 
 
 def execute(spec: RunSpec, check: bool = True,
-            model: Optional[EnergyModel] = None,
-            fast_forward: Optional[bool] = None, *,
+            model: Optional[EnergyModel] = None, *,
             options: Optional[RunOptions] = None) -> RunResult:
     """Build a machine, run the workload to completion, verify, account.
 
-    The run is configured by one :class:`RunOptions` value; the loose
-    ``fast_forward`` keyword is a deprecated shim kept for one release
-    (mixing both styles is an error).  An ``options`` whose
-    ``max_cycles`` is still the RunOptions default is bounded by the
-    spec's own ``max_cycles`` budget, matching the historical behaviour.
+    The run is configured by one :class:`RunOptions` value.  An
+    ``options`` whose ``max_cycles`` is still the RunOptions default is
+    bounded by the spec's own ``max_cycles`` budget, matching the
+    historical behaviour.  (The loose ``fast_forward`` keyword this
+    function accepted for one release now lives only in
+    :mod:`repro.api.compat`.)
     """
     if options is None:
-        options = RunOptions(max_cycles=spec.max_cycles,
-                             fast_forward=fast_forward)
-    elif fast_forward is not None:
-        raise ConfigError(
-            "pass either options= or the deprecated fast_forward "
-            "keyword, not both")
+        options = RunOptions(max_cycles=spec.max_cycles)
     elif options.max_cycles == RunOptions.max_cycles:
         options = replace(options, max_cycles=spec.max_cycles)
     machine = Machine(spec.system)
     machine.load(spec.workload)
     cycles = machine.run(options=options)
+    return finalize(machine, spec, cycles, check=check, model=model)
+
+
+def finalize(machine: Machine, spec: RunSpec, cycles: int,
+             check: bool = True,
+             model: Optional[EnergyModel] = None) -> RunResult:
+    """Verify and account one completed machine into a :class:`RunResult`.
+
+    The back half of :func:`execute`, shared with runners that drive the
+    machine themselves (the job-server worker runs in ``pause_at``
+    slices to emit heartbeats) so every path produces byte-identical
+    result records for the same simulation.
+    """
     machine.finish_observation()
     if check and spec.workload.check is not None:
         spec.workload.check(machine.memory)

@@ -1,0 +1,18 @@
+"""Simulation-as-a-service: the async job server over ``repro.api``.
+
+Layering (dependencies point down):
+
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — HTTP/1.1 +
+  SSE transport over a :class:`repro.api.Session` (stdlib asyncio only);
+* :mod:`repro.serve.jobs` — multi-tenant bounded job table;
+* :mod:`repro.serve.pool` / :mod:`repro.serve.worker` — sharded
+  process workers with heartbeat pipes;
+* :mod:`repro.serve.protocol` — versioned wire records.
+
+This module stays import-light on purpose: ``repro.api`` imports the
+mechanism layers, and the transport imports ``repro.api``, so pulling
+the transport in here would be a cycle.  Import the submodules you
+need directly.
+"""
+
+__all__ = ["client", "jobs", "pool", "protocol", "server", "worker"]

@@ -1,0 +1,162 @@
+"""Synchronous stdlib client for a remote job server.
+
+``repro.api.connect(url)`` returns a :class:`Client` speaking the wire
+protocol of :mod:`repro.serve.server` — the same five verbs as the
+in-process facade, so swapping local execution for a remote service is
+a one-line change.  Built on ``http.client`` only; the SSE reader is a
+plain generator over the streaming response body, which is all the
+CLI's ``repro watch`` needs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from repro.common.errors import ReproError
+from repro.common.serialize import decode_record, encode_record
+from repro.experiments.engine import SpecRequest
+from repro.serve.protocol import TERMINAL_STATES, JobRecord, JobRequest
+
+
+class RemoteError(ReproError):
+    """A non-2xx response from the job server."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        self.status = status
+        #: Populated from the ``Retry-After`` header on 429 back-pressure.
+        self.retry_after_s = retry_after_s
+        super().__init__(f"server answered {status}: {message}")
+
+
+class Client:
+    """One server connection's worth of state (base URL, timeouts)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ReproError(f"unsupported scheme {parts.scheme!r} "
+                             "(the job server speaks plain http)")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8321
+        self.timeout_s = timeout_s
+
+    # -- verbs -------------------------------------------------------------
+
+    def submit(self, request: Union[SpecRequest, JobRequest], *,
+               tenant: str = "default", priority: int = 0,
+               timeout_s: Optional[float] = None) -> JobRecord:
+        """Submit one job; returns its record (``cached`` jobs are DONE)."""
+        if isinstance(request, SpecRequest):
+            request = JobRequest(request=request, tenant=tenant,
+                                 priority=priority, timeout_s=timeout_s)
+        status, payload, _ = self._request(
+            "POST", "/v1/jobs", encode_record("job-request", request))
+        return decode_record(payload, "job-record")
+
+    def status(self, job_id: str) -> JobRecord:
+        _, payload, _ = self._request("GET", f"/v1/jobs/{job_id}")
+        return decode_record(payload, "job-record")
+
+    def cancel(self, job_id: str) -> JobRecord:
+        try:
+            _, payload, _ = self._request("DELETE", f"/v1/jobs/{job_id}")
+        except RemoteError as exc:
+            if exc.status != 409:
+                raise
+            return self.status(job_id)
+        return decode_record(payload, "job-record")
+
+    def jobs(self, tenant: Optional[str] = None) -> List[JobRecord]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        _, payload, _ = self._request("GET", path)
+        return [decode_record(record, "job-record")
+                for record in payload["jobs"]]
+
+    def health(self) -> Dict:
+        _, payload, _ = self._request("GET", "/v1/health")
+        return payload
+
+    def drain(self) -> None:
+        self._request("POST", "/v1/drain")
+
+    # -- watching ----------------------------------------------------------
+
+    def watch(self, job_id: str) -> Iterator[Tuple[str, Dict]]:
+        """Yield the job's SSE feed: ``("heartbeat", sample)`` and
+        ``("state", record_dict)`` events, ending after the terminal
+        state event arrives."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise self._error(response.status,
+                                  response.read(),
+                                  response.getheader("Retry-After"))
+            event: Optional[str] = None
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: ") and event is not None:
+                    payload = json.loads(line[len("data: "):])
+                    yield event, payload
+                    if event == "state" \
+                            and payload.get("state") in TERMINAL_STATES:
+                        return
+                    event = None
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> JobRecord:
+        """Block (via the SSE feed) until the job is terminal."""
+        record: Optional[JobRecord] = None
+        for event, payload in self.watch(job_id):
+            if event == "state":
+                record = JobRecord.from_dict(payload)
+        if record is None:  # stream ended without a state event
+            record = self.status(job_id)
+        return record
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None
+                 ) -> Tuple[int, Any, Dict[str, str]]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            data = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if data is not None else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise self._error(response.status, raw,
+                                  response.getheader("Retry-After"))
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, payload, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error(status: int, raw: bytes,
+               retry_after: Optional[str]) -> RemoteError:
+        try:
+            message = json.loads(raw.decode("utf-8"))["error"]["message"]
+        except Exception:
+            message = raw.decode("utf-8", "replace") or "no detail"
+        retry_after_s = None
+        if retry_after is not None:
+            try:
+                retry_after_s = float(retry_after)
+            except ValueError:
+                pass
+        return RemoteError(status, message, retry_after_s)

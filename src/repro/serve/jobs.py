@@ -1,0 +1,343 @@
+"""Multi-tenant job table: bounded priority queue, quotas, subscriptions.
+
+The :class:`JobTable` is the service's in-memory source of truth.  It is
+deliberately transport-free — :mod:`repro.api` drives it for library
+users and :mod:`repro.serve.server` drives the same instance over HTTP —
+and thread-safe, because submissions arrive on arbitrary threads while a
+dispatcher thread drains the queue and per-job monitor threads deliver
+worker messages.
+
+Admission control happens at submit time, synchronously:
+
+* **Back-pressure** — the queue holds at most ``queue_limit`` live jobs
+  in total; beyond that :class:`QueueFullError` carries a
+  ``retry_after_s`` hint (HTTP maps it to ``429`` + ``Retry-After``).
+* **Quotas** — each tenant may hold at most ``tenant_quota`` live
+  (queued + running) jobs; beyond that :class:`QuotaError`.
+* **Draining** — after :meth:`JobTable.drain` no submission is accepted
+  (:class:`DrainingError`, HTTP ``503``); jobs already admitted run to
+  completion.
+
+Priorities are max-first, FIFO within a priority level.  Every state
+change and heartbeat fans out to per-job subscribers — the SSE feed is
+just a subscriber that forwards into an asyncio queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.serve.protocol import (CANCELLED, DONE, FAILED, QUEUED, RUNNING,
+                                  TERMINAL_STATES, VALID_TRANSITIONS,
+                                  JobRecord, JobRequest)
+
+
+class ServeError(ReproError):
+    """Base class for job-service admission and lookup failures."""
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue is at capacity; retry after a backoff."""
+
+    def __init__(self, limit: int, retry_after_s: float = 1.0) -> None:
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job queue is full ({limit} live jobs); "
+            f"retry after {retry_after_s:.0f}s")
+
+
+class QuotaError(ServeError):
+    """One tenant holds too many live jobs already."""
+
+    def __init__(self, tenant: str, quota: int) -> None:
+        self.tenant = tenant
+        self.quota = quota
+        super().__init__(
+            f"tenant {tenant!r} is at its quota of {quota} live jobs")
+
+
+class DrainingError(ServeError):
+    """The service is draining and no longer admits jobs."""
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new jobs are admitted")
+
+
+class UnknownJobError(ServeError):
+    """No job with the given id exists in this table."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+#: A subscriber receives ``(event, payload)`` pairs: ``("state",
+#: record_dict)`` on every transition and ``("heartbeat", sample)``
+#: between them.  Callbacks run on service threads and must not block.
+Subscriber = Callable[[str, Dict], None]
+
+
+class Job:
+    """One submission's mutable service-side state."""
+
+    def __init__(self, job_id: str, request: JobRequest,
+                 cache_key: str) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.cache_key = cache_key
+        self.state = QUEUED
+        self.cached = False
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.heartbeat: Optional[Dict] = None
+        self.result: Optional[Dict] = None
+        self.errors: Tuple[Dict, ...] = ()
+        self.detail = ""
+        self._lock = threading.Lock()
+        self._terminal = threading.Event()
+        self._subscribers: List[Subscriber] = []
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return self.request.request.label
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    def record(self) -> JobRecord:
+        with self._lock:
+            return JobRecord(
+                job_id=self.job_id, tenant=self.tenant,
+                priority=self.request.priority, state=self.state,
+                label=self.label, cache_key=self.cache_key,
+                cached=self.cached, submitted_at=self.submitted_at,
+                started_at=self.started_at, finished_at=self.finished_at,
+                heartbeat=(dict(self.heartbeat)
+                           if self.heartbeat else None),
+                result=self.result, errors=self.errors,
+                detail=self.detail)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe closure.
+
+        A job that is already terminal immediately replays its final
+        state so late subscribers never hang waiting for a transition.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+            terminal = self.state in TERMINAL_STATES
+        if terminal:
+            callback("state", self.record().to_dict())
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._subscribers:
+                    self._subscribers.remove(callback)
+        return unsubscribe
+
+    def _notify(self, event: str, payload: Dict) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(event, payload)
+
+    # -- mutations (called by the table / session only) --------------------
+
+    def transition(self, state: str, *, detail: str = "",
+                   cached: Optional[bool] = None,
+                   result: Optional[Dict] = None,
+                   errors: Tuple[Dict, ...] = ()) -> bool:
+        """Move to ``state`` if legal; returns False on a lost race.
+
+        Losing races are expected (e.g. a cancel landing after the
+        worker finished) and must not clobber the terminal state.
+        """
+        with self._lock:
+            if state not in VALID_TRANSITIONS[self.state]:
+                return False
+            self.state = state
+            if detail:
+                self.detail = detail
+            if cached is not None:
+                self.cached = cached
+            if result is not None:
+                self.result = result
+            if errors:
+                self.errors = tuple(errors)
+            if state == RUNNING:
+                self.started_at = time.time()
+            if state in TERMINAL_STATES:
+                self.finished_at = time.time()
+        self._notify("state", self.record().to_dict())
+        if self.is_terminal:
+            self._terminal.set()
+        return True
+
+    def beat(self, sample: Dict) -> None:
+        with self._lock:
+            self.heartbeat = dict(sample)
+        self._notify("heartbeat", dict(sample))
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._terminal.wait(timeout)
+
+
+class JobTable:
+    """Bounded, quota'd, priority-ordered registry of jobs."""
+
+    def __init__(self, queue_limit: int = 64,
+                 tenant_quota: int = 16,
+                 retry_after_s: float = 1.0) -> None:
+        if queue_limit < 1 or tenant_quota < 1:
+            raise ServeError("queue_limit and tenant_quota must be >= 1")
+        self.queue_limit = queue_limit
+        self.tenant_quota = tenant_quota
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._live: Dict[str, int] = {}  # tenant -> queued + running
+        self._draining = False
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> Job:
+        """Admit one job or raise an admission error (no side effects)."""
+        cache_key = request.request.cache_key()
+        with self._lock:
+            if self._draining:
+                raise DrainingError()
+            live_total = sum(self._live.values())
+            if live_total >= self.queue_limit:
+                raise QueueFullError(self.queue_limit, self.retry_after_s)
+            if self._live.get(request.tenant, 0) >= self.tenant_quota:
+                raise QuotaError(request.tenant, self.tenant_quota)
+            job = Job(uuid.uuid4().hex[:12], request, cache_key)
+            self._jobs[job.job_id] = job
+            self._live[request.tenant] = \
+                self._live.get(request.tenant, 0) + 1
+            heapq.heappush(self._heap,
+                           (-request.priority, next(self._seq), job))
+            self._available.notify()
+        return job
+
+    def admit_resolved(self, request: JobRequest, cache_key: str) -> Job:
+        """Admit a job that is already terminal-bound (cache fast path).
+
+        Bypasses the queue entirely — the job never occupies a slot and
+        never reaches a worker — but still registers it so status and
+        SSE lookups behave identically to dispatched jobs.  Draining
+        still rejects it: a draining service answers nothing new.
+        """
+        with self._lock:
+            if self._draining:
+                raise DrainingError()
+            job = Job(uuid.uuid4().hex[:12], request, cache_key)
+            self._jobs[job.job_id] = job
+        return job
+
+    # -- dispatcher side ---------------------------------------------------
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority queued job (None on timeout/drain).
+
+        Jobs cancelled while queued are skipped here; their live-count
+        was already released by :meth:`cancel`.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        with self._available:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state == QUEUED:
+                        return job
+                if self._draining:
+                    return None
+                remaining = None if deadline is None \
+                    else deadline - time.time()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+
+    def release(self, job: Job) -> None:
+        """Return ``job``'s live-slot once it reaches a terminal state."""
+        with self._lock:
+            count = self._live.get(job.tenant, 0)
+            if count <= 1:
+                self._live.pop(job.tenant, None)
+            else:
+                self._live[job.tenant] = count - 1
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if tenant is not None:
+            jobs = [job for job in jobs if job.tenant == tenant]
+        return sorted(jobs, key=lambda job: job.submitted_at)
+
+    def counts(self) -> Dict[str, int]:
+        """Live-state census for health endpoints and drain loops."""
+        census = {state: 0 for state in
+                  (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+        with self._lock:
+            for job in self._jobs.values():
+                census[job.state] += 1
+        return census
+
+    # -- cancellation and drain --------------------------------------------
+
+    def cancel_queued(self, job: Job, detail: str = "cancelled") -> bool:
+        """Cancel a job that has not started; running jobs need the pool."""
+        if job.transition(CANCELLED, detail=detail):
+            self.release(job)
+            return True
+        return False
+
+    def drain(self) -> None:
+        """Stop admitting; wake the dispatcher so it can observe it."""
+        with self._available:
+            self._draining = True
+            self._available.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """True once no job is queued or running (drain completion)."""
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            census = self.counts()
+            if census[QUEUED] == 0 and census[RUNNING] == 0:
+                return True
+            if deadline is not None and time.time() >= deadline:
+                return False
+            time.sleep(0.02)

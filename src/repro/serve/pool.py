@@ -1,0 +1,183 @@
+"""Sharded process pool for job execution.
+
+The pool owns ``shards`` execution slots.  Each dispatched job gets a
+fresh worker process (the same rebuild-from-recipe fan-out the
+experiment engine uses, plus a heartbeat pipe) and a monitor thread that
+relays pipe messages to the session, enforces the per-job wall-clock
+timeout, and reports the process's fate when it exits.  Fresh processes
+keep cancellation honest — terminating a worker can never corrupt a
+sibling job's state — and make per-job timeouts a plain ``terminate()``.
+
+Dispatch *blocks* while all shards are busy; the caller (the session's
+dispatcher thread) therefore self-throttles, and admission back-pressure
+stays where it belongs, in the bounded :class:`~repro.serve.jobs.JobTable`.
+
+Outcomes delivered to ``on_exit`` (exactly one per dispatch):
+
+* ``("ok", run_result_dict)`` / ``("error", spec_error_dict)`` — the
+  worker's own terminal report;
+* ``("timeout", seconds)`` — the wall-clock budget lapsed, worker killed;
+* ``("cancelled", detail)`` — :meth:`WorkerPool.cancel` killed it;
+* ``("crashed", exitcode)`` — the process died without reporting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.serve.worker import HEARTBEAT_CYCLES, job_worker_main
+
+#: Seconds between monitor wake-ups (pipe poll granularity).
+_POLL_S = 0.05
+
+
+class _Running:
+    """Book-keeping for one in-flight worker."""
+
+    __slots__ = ("process", "conn", "deadline", "timeout_s", "cancelled",
+                 "detail")
+
+    def __init__(self, process, conn, deadline: Optional[float],
+                 timeout_s: Optional[float]) -> None:
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.timeout_s = timeout_s
+        self.cancelled = False
+        self.detail = ""
+
+
+class WorkerPool:
+    """Up to ``shards`` concurrently running job workers."""
+
+    def __init__(self, shards: int = 2,
+                 default_timeout_s: Optional[float] = 300.0,
+                 heartbeat_cycles: int = HEARTBEAT_CYCLES) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.default_timeout_s = default_timeout_s
+        self.heartbeat_cycles = heartbeat_cycles
+        self._slots = threading.BoundedSemaphore(shards)
+        self._lock = threading.Lock()
+        self._running: Dict[str, _Running] = {}
+        #: Total processes ever spawned (tests assert the cache-hit fast
+        #: path leaves this untouched).
+        self.dispatched = 0
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, job_id: str, request_data: Dict,
+                 on_message: Callable[[str, Dict], None],
+                 on_exit: Callable[[Tuple], None],
+                 timeout_s: Optional[float] = None,
+                 on_start: Optional[Callable[[], bool]] = None) -> bool:
+        """Run one job; blocks until a shard slot is free.
+
+        ``on_start`` (if given) runs once a slot is held, *before* the
+        process spawns; returning False abandons the dispatch (the job
+        was cancelled while waiting) and releases the slot — no process,
+        no ``on_exit``.  ``on_message`` receives each ``("heartbeat",
+        sample)`` as it arrives; ``on_exit`` receives exactly one
+        outcome tuple after the worker process has been reaped.  Both
+        run on the job's monitor thread.  Returns True when a worker
+        was actually spawned.
+        """
+        self._slots.acquire()
+        try:
+            if on_start is not None and not on_start():
+                self._slots.release()
+                return False
+            parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+            process = multiprocessing.Process(
+                target=job_worker_main,
+                args=(child_conn, request_data, self.heartbeat_cycles),
+                name=f"repro-job-{job_id}", daemon=True)
+            process.start()
+            child_conn.close()  # the worker holds the only write end now
+            if timeout_s is None:
+                timeout_s = self.default_timeout_s
+            deadline = None if timeout_s is None \
+                else time.time() + timeout_s
+            entry = _Running(process, parent_conn, deadline, timeout_s)
+            with self._lock:
+                self._running[job_id] = entry
+            self.dispatched += 1
+        except BaseException:
+            self._slots.release()
+            raise
+        monitor = threading.Thread(
+            target=self._monitor, args=(job_id, entry, on_message, on_exit),
+            name=f"repro-monitor-{job_id}", daemon=True)
+        monitor.start()
+        return True
+
+    def _monitor(self, job_id: str, entry: _Running,
+                 on_message: Callable[[str, Dict], None],
+                 on_exit: Callable[[Tuple], None]) -> None:
+        terminal: Optional[Tuple] = None
+        timed_out = False
+        try:
+            while True:
+                if entry.deadline is not None \
+                        and time.time() > entry.deadline \
+                        and terminal is None:
+                    timed_out = True
+                    entry.process.terminate()
+                    break
+                try:
+                    if entry.conn.poll(_POLL_S):
+                        kind, payload = entry.conn.recv()
+                        if kind in ("ok", "error"):
+                            terminal = (kind, payload)
+                        else:
+                            on_message(kind, payload)
+                        continue
+                except (EOFError, OSError):
+                    break
+                if not entry.process.is_alive() and not entry.conn.poll():
+                    break
+            entry.process.join()
+            entry.conn.close()
+            with self._lock:
+                self._running.pop(job_id, None)
+            if terminal is not None:
+                on_exit(terminal)
+            elif timed_out:
+                on_exit(("timeout", entry.timeout_s))
+            elif entry.cancelled:
+                on_exit(("cancelled", entry.detail or "cancelled"))
+            else:
+                on_exit(("crashed", entry.process.exitcode))
+        finally:
+            self._slots.release()
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, job_id: str, detail: str = "cancelled") -> bool:
+        """Kill a running job's worker; False when it is not running."""
+        with self._lock:
+            entry = self._running.get(job_id)
+            if entry is None:
+                return False
+            entry.cancelled = True
+            entry.detail = detail
+        entry.process.terminate()
+        return True
+
+    def running(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every running worker to exit (no new dispatches are
+        the caller's responsibility).  True when the pool emptied."""
+        deadline = None if timeout is None else time.time() + timeout
+        while self.running():
+            if deadline is not None and time.time() >= deadline:
+                return False
+            time.sleep(_POLL_S)
+        return True

@@ -1,0 +1,163 @@
+"""Wire schemas of the job service, as versioned codec-registry records.
+
+Two record kinds cross the service boundary:
+
+* ``job-request`` — what a client submits: one declarative
+  :class:`~repro.experiments.engine.SpecRequest` recipe plus service
+  metadata (tenant, priority, timeout).  Exactly the data a library user
+  hands to :func:`repro.api.submit`, so the HTTP layer is a codec, not a
+  second API.
+* ``job-record`` — everything the service knows about one job: identity,
+  lifecycle state, timing, the latest heartbeat, and on completion the
+  full :class:`~repro.experiments.runner.RunResult` record or the
+  structured :meth:`~repro.experiments.engine.SpecError.to_dict`
+  payloads.
+
+Both register with :mod:`repro.common.serialize`, sharing the repo-wide
+``kind`` + ``schema`` + payload envelope and version-check error path
+with system configs, cached results, and machine snapshots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.serialize import check_schema, register_codec
+from repro.experiments.engine import SpecRequest
+
+JOB_REQUEST_SCHEMA_VERSION = 1
+JOB_RECORD_SCHEMA_VERSION = 1
+
+# -- job lifecycle -------------------------------------------------------------
+
+#: The job lifecycle state machine (see docs/SERVICE.md).  ``QUEUED``
+#: and ``RUNNING`` are live; the other three are terminal.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED))
+
+#: Legal transitions; anything else is a programming error caught loudly.
+#: A cache hit goes straight QUEUED -> DONE without ever RUNNING.
+VALID_TRANSITIONS = {
+    QUEUED: frozenset((RUNNING, DONE, FAILED, CANCELLED)),
+    RUNNING: frozenset((DONE, FAILED, CANCELLED)),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+# -- job request ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submission: a spec recipe plus service metadata."""
+
+    request: SpecRequest
+    tenant: str = "default"
+    priority: int = 0
+    #: Wall-clock budget for the worker; None = the service default.
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigError("tenant must be a non-empty string")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive")
+
+
+def job_request_to_dict(job: JobRequest) -> Dict:
+    return {
+        "schema": JOB_REQUEST_SCHEMA_VERSION,
+        "request": dataclasses.asdict(job.request),
+        "tenant": job.tenant,
+        "priority": job.priority,
+        "timeout_s": job.timeout_s,
+    }
+
+
+def spec_request_from_dict(data: Dict) -> SpecRequest:
+    """Rebuild a SpecRequest from its JSON dict form (lists -> tuples)."""
+    try:
+        data = dict(data)
+        params: Tuple = tuple(
+            (key, value) for key, value in data.get("params", ()))
+        return SpecRequest(
+            bench=data["bench"], variant=data.get("variant", ""),
+            params=params, system_json=data.get("system_json"),
+            name=data.get("name"), transform=data.get("transform"))
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed spec request: {exc}") from exc
+
+
+def job_request_from_dict(data: Dict) -> JobRequest:
+    check_schema("job-request", data, JOB_REQUEST_SCHEMA_VERSION)
+    try:
+        return JobRequest(
+            request=spec_request_from_dict(data["request"]),
+            tenant=data.get("tenant", "default"),
+            priority=int(data.get("priority", 0)),
+            timeout_s=data.get("timeout_s"))
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed job request: {exc}") from exc
+
+
+# -- job record ----------------------------------------------------------------
+
+
+@dataclass
+class JobRecord:
+    """JSON-safe view of one job's full service-side state."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    state: str
+    label: str
+    cache_key: str
+    #: True when the result was answered from the ResultCache (either at
+    #: submit time — the fast path — or stored by an earlier job).
+    cached: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Latest liveness sample: {"cycle", "retired", "ipc"}.
+    heartbeat: Optional[Dict] = None
+    #: RunResult.to_dict() record once DONE.
+    result: Optional[Dict] = None
+    #: SpecError.to_dict() payloads once FAILED (no string parsing).
+    errors: Tuple[Dict, ...] = ()
+    #: Human-oriented one-liner for CANCELLED/FAILED states.
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        record = dataclasses.asdict(self)
+        record["schema"] = JOB_RECORD_SCHEMA_VERSION
+        record["errors"] = list(record["errors"])
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        check_schema("job-record", data, JOB_RECORD_SCHEMA_VERSION)
+        data = {key: value for key, value in data.items()
+                if key != "schema"}
+        try:
+            data["errors"] = tuple(data.get("errors", ()))
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"malformed job record: {exc}") from exc
+
+
+register_codec("job-request", JOB_REQUEST_SCHEMA_VERSION,
+               job_request_to_dict, job_request_from_dict)
+register_codec("job-record", JOB_RECORD_SCHEMA_VERSION,
+               lambda record: record.to_dict(), JobRecord.from_dict)

@@ -1,0 +1,338 @@
+"""The asyncio HTTP/JSON + SSE front end of the job service.
+
+``repro serve`` runs one :class:`JobServer`: a stdlib
+``asyncio.start_server`` loop that parses just enough HTTP/1.1 to speak
+JSON and Server-Sent Events, and translates every request into a call
+on a :class:`repro.api.Session` — the server adds a wire codec on top
+of the facade, never semantics.  No third-party framework.
+
+Endpoints (full contract in docs/SERVICE.md):
+
+========  =======================  ==========================================
+method    path                     action
+========  =======================  ==========================================
+GET       /v1/health               service stats (queue census, shards, ...)
+POST      /v1/jobs                 submit a ``job-request`` record
+GET       /v1/jobs                 list job records (``?tenant=`` filter)
+GET       /v1/jobs/{id}            one ``job-record``
+DELETE    /v1/jobs/{id}            cancel (idempotent; 409 if terminal)
+GET       /v1/jobs/{id}/events     SSE stream: ``state`` + ``heartbeat``
+POST      /v1/drain                begin graceful drain (also on SIGTERM)
+========  =======================  ==========================================
+
+Admission failures map onto HTTP status codes: a full queue answers
+``429`` with a ``Retry-After`` header, a tenant over quota ``429``
+without one, and a draining server ``503``.  SIGTERM triggers the same
+drain as ``POST /v1/drain``: stop admitting, let admitted jobs finish,
+then exit — the CI smoke test kills a server mid-job and asserts the
+job still completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro import api
+from repro.common.errors import ConfigError
+from repro.common.serialize import decode_record, encode_record
+from repro.serve.jobs import (DrainingError, QueueFullError, QuotaError,
+                              UnknownJobError)
+from repro.serve.protocol import job_request_from_dict
+
+#: Largest request body the server will read (a job-request is ~1 KiB;
+#: anything bigger is a client bug, not a workload).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+class _HttpError(Exception):
+    """Carries a ready-to-send error response up to the handler loop."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+        super().__init__(message)
+
+
+class JobServer:
+    """One service instance bound to ``host:port``."""
+
+    def __init__(self, session: Optional["api.Session"] = None, *,
+                 host: str = "127.0.0.1", port: int = 8321) -> None:
+        self.session = session if session is not None else api.Session()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        # Rebind to the kernel-assigned port when asked for port 0.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or a handled signal) fires."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self._shutdown_sequence()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.shutdown)
+
+    def shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, signal-safe)."""
+        self.session.table.drain()
+        self._stopping.set()
+
+    async def _shutdown_sequence(self) -> None:
+        # Stop accepting new connections, then wait (off-loop) for the
+        # already-admitted jobs to reach terminal states.  SSE watchers
+        # of those jobs get their final `state` event before we close.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.session.drain(None))
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            await self._route(method, path, body, writer)
+        except _HttpError as exc:
+            await self._send_json(
+                writer, exc.status,
+                {"error": {"type": "HttpError", "message": exc.message}},
+                extra_headers=exc.headers)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                await self._send_json(
+                    writer, 500,
+                    {"error": {"type": type(exc).__name__,
+                               "message": str(exc)}})
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(content_length) \
+            if content_length else b""
+        return method.upper(), path, body
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        url = urlsplit(target)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        if parts[:1] != ["v1"]:
+            raise _HttpError(404, f"no such path {url.path!r}")
+        rest = parts[1:]
+        if rest == ["health"] and method == "GET":
+            await self._send_json(writer, 200, self.session.stats())
+        elif rest == ["jobs"] and method == "POST":
+            await self._submit(body, writer)
+        elif rest == ["jobs"] and method == "GET":
+            tenant = query.get("tenant", [None])[0]
+            records = [encode_record("job-record", record)
+                       for record in self.session.jobs(tenant)]
+            await self._send_json(writer, 200, {"jobs": records})
+        elif len(rest) == 2 and rest[0] == "jobs":
+            await self._job_verb(method, rest[1], writer)
+        elif len(rest) == 3 and rest[:1] == ["jobs"] \
+                and rest[2] == "events" and method == "GET":
+            await self._stream_events(rest[1], writer)
+        elif rest == ["drain"] and method == "POST":
+            self.shutdown()
+            await self._send_json(writer, 202, {"draining": True})
+        else:
+            raise _HttpError(404, f"no route for {method} {url.path}")
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _submit(self, body: bytes,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        try:
+            if isinstance(data, dict) and data.get("kind") == "job-request":
+                job_request = decode_record(data, "job-request")
+            else:
+                job_request = job_request_from_dict(data)
+        except ConfigError as exc:
+            raise _HttpError(400, str(exc))
+        try:
+            job = self.session.submit(
+                job_request.request, tenant=job_request.tenant,
+                priority=job_request.priority,
+                timeout_s=job_request.timeout_s)
+        except QueueFullError as exc:
+            raise _HttpError(
+                429, str(exc),
+                {"Retry-After": f"{max(1, round(exc.retry_after_s))}"})
+        except QuotaError as exc:
+            raise _HttpError(429, str(exc))
+        except DrainingError as exc:
+            raise _HttpError(503, str(exc))
+        record = job.record()
+        status = 200 if record.cached else 202
+        await self._send_json(writer, status,
+                              encode_record("job-record", record))
+
+    async def _job_verb(self, method: str, job_id: str,
+                        writer: asyncio.StreamWriter) -> None:
+        try:
+            if method == "GET":
+                record = self.session.status(job_id)
+                await self._send_json(writer, 200,
+                                      encode_record("job-record", record))
+            elif method == "DELETE":
+                cancelled = self.session.cancel(job_id)
+                record = self.session.status(job_id)
+                await self._send_json(
+                    writer, 200 if cancelled else 409,
+                    encode_record("job-record", record))
+            else:
+                raise _HttpError(405, f"{method} not allowed on a job")
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc))
+
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """SSE: forward a job's state/heartbeat feed until terminal.
+
+        The job's subscriber callbacks run on service threads; they
+        bridge into this coroutine through an asyncio queue via
+        ``call_soon_threadsafe``.  A job that is already terminal
+        replays its final state immediately (Job.subscribe contract),
+        so watchers of finished jobs never hang.
+        """
+        try:
+            job = self.session.table.get(job_id)
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc))
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue[Tuple[str, Dict]]" = asyncio.Queue()
+
+        def forward(event: str, payload: Dict) -> None:
+            loop.call_soon_threadsafe(events.put_nowait, (event, payload))
+
+        unsubscribe = job.subscribe(forward)
+        try:
+            writer.write(self._head(
+                200, {"Content-Type": "text/event-stream",
+                      "Cache-Control": "no-cache"}))
+            await writer.drain()
+            while True:
+                event, payload = await events.get()
+                chunk = (f"event: {event}\n"
+                         f"data: {json.dumps(payload, sort_keys=True)}\n\n")
+                writer.write(chunk.encode("utf-8"))
+                await writer.drain()
+                if event == "state" \
+                        and payload.get("state") in ("done", "failed",
+                                                     "cancelled"):
+                    return
+        finally:
+            unsubscribe()
+
+    # -- response plumbing -------------------------------------------------
+
+    def _head(self, status: int, headers: Dict[str, str]) -> bytes:
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+        lines += [f"{name}: {value}" for name, value in headers.items()]
+        lines += ["Connection: close", "", ""]
+        return "\r\n".join(lines).encode("latin-1")
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: Dict,
+                         extra_headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {"Content-Type": "application/json",
+                   "Content-Length": str(len(body))}
+        headers.update(extra_headers or {})
+        writer.write(self._head(status, headers) + body)
+        await writer.drain()
+
+
+async def serve(session: Optional["api.Session"] = None, *,
+                host: str = "127.0.0.1", port: int = 8321,
+                signals: bool = True,
+                ready: Optional[Tuple] = None) -> None:
+    """Run a job server until drained (the ``repro serve`` entry point).
+
+    ``ready``, when given, is a ``(callback,)`` tuple invoked with the
+    bound port once the socket is listening — the smoke test and the
+    CLI use it to print the actual port when asked for port 0.
+    """
+    server = JobServer(session, host=host, port=port)
+    await server.start()
+    if signals:
+        server.install_signal_handlers()
+    if ready is not None:
+        ready[0](server.port)
+    await server.serve_forever()
+
+
+def main(session: Optional["api.Session"] = None, *, host: str = "127.0.0.1",
+         port: int = 8321,
+         on_ready=None) -> int:
+    """Blocking wrapper around :func:`serve` for the CLI."""
+    ready = (on_ready,) if on_ready is not None else None
+    try:
+        asyncio.run(serve(session, host=host, port=port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -87,3 +87,71 @@ def test_run_json_output(capsys):
     assert record["name"] == "twolf/seq"
     assert record["results"]["cycles"] > 0
     assert "system" in record and record["system"]["clusters"]
+
+
+# -- the exit-code convention --------------------------------------------------
+#
+# Every cmd_* handler returns an int exit code (0 ok, 1 failed gate,
+# 2 usage); main() passes it through untouched.  The table is printed
+# in --help.
+
+def _handlers():
+    import repro.cli as cli
+    return sorted(name for name in vars(cli)
+                  if name.startswith("cmd_"))
+
+
+def test_every_handler_is_declared_to_return_int():
+    import inspect
+
+    import repro.cli as cli
+    assert _handlers(), "no cmd_* handlers found"
+    for name in _handlers():
+        annotation = inspect.signature(
+            getattr(cli, name)).return_annotation
+        assert annotation in (int, "int"), \
+            f"{name} must declare -> int (got {annotation!r})"
+
+
+@pytest.mark.parametrize("argv", [
+    ["list"],
+    ["table", "1"],
+    ["table", "2"],
+    ["table", "3"],
+    ["run", "wc", "seq", "--items", "items=16"],
+    ["lint", "--bench", "wc"],
+])
+def test_cheap_commands_return_int_zero(argv, capsys):
+    code = main(argv)
+    assert isinstance(code, int) and code == 0
+    capsys.readouterr()  # drain output so failures print cleanly
+
+
+def test_help_epilog_documents_exit_codes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "exit codes:" in out
+    assert "usage error" in out
+
+
+def test_usage_errors_exit_2():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["no-such-command"])
+    assert excinfo.value.code == 2
+
+
+def test_service_commands_parse():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0", "--shards", "4",
+                              "--queue-limit", "8"])
+    assert args.port == 0 and args.shards == 4 and args.queue_limit == 8
+    args = parser.parse_args(["submit", "wc", "seq", "--items", "items=8",
+                              "--tenant", "t", "--priority", "3",
+                              "--watch"])
+    assert args.tenant == "t" and args.priority == 3 and args.watch
+    args = parser.parse_args(["status"])
+    assert args.job_id is None
+    args = parser.parse_args(["watch", "abc123", "--url", "host:1"])
+    assert args.job_id == "abc123" and args.url == "host:1"

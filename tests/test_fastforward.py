@@ -11,7 +11,8 @@ watchdog, and the observability sinks.
 
 import pytest
 
-from repro.common.config import SystemConfig, ooo1_cluster, remap_cluster
+from repro.common.config import (RunOptions, SystemConfig, ooo1_cluster,
+                                 remap_cluster)
 from repro.common.errors import DeadlockError
 from repro.experiments.runner import execute
 from repro.isa import Asm, MemoryImage, ThreadSpec
@@ -75,7 +76,7 @@ def _flat(tree, prefix="", out=None):
 def _run(bench, variant, kwargs, fast_forward):
     # Workload images are consumed by execution: build a fresh spec per run.
     spec = registry.REGISTRY[bench].variants[variant](**kwargs)
-    return execute(spec, fast_forward=fast_forward)
+    return execute(spec, options=RunOptions(fast_forward=fast_forward))
 
 
 @pytest.mark.parametrize(

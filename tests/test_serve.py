@@ -1,0 +1,211 @@
+"""Tests for the HTTP/SSE transport (`repro.serve.server` + client).
+
+The server under test is the real asyncio server on a real socket
+(port 0), driven by the real stdlib client — nothing is mocked, so
+these tests cover the wire protocol end to end: submit/status/watch
+verbs, HTTP error mapping (429 + Retry-After, 404, 400, 503), SSE
+streaming to terminal states, and graceful drain.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.experiments.engine import ExperimentEngine, request
+from repro.serve.client import Client, RemoteError
+from repro.serve.protocol import DONE, QUEUED
+
+SMALL = dict(items=32)
+
+
+class ServerUnderTest:
+    """A JobServer running on a background thread, on a free port."""
+
+    def __init__(self, session):
+        from repro.serve.server import JobServer
+        self.session = session
+        self.server = JobServer(session, port=0)
+        self.loop = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "server did not come up"
+        self.client = Client(f"127.0.0.1:{self.server.port}")
+
+    def _run(self):
+        async def go():
+            self.loop = asyncio.get_running_loop()
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_forever()
+        asyncio.run(go())
+
+    def shutdown(self, timeout=30):
+        if self.loop is not None and self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.shutdown)
+        self.thread.join(timeout)
+        return not self.thread.is_alive()
+
+
+@pytest.fixture
+def served(tmp_path):
+    engine = ExperimentEngine(cache_dir=tmp_path / "cache", progress=False)
+    under_test = ServerUnderTest(api.Session(engine=engine, shards=2))
+    yield under_test
+    under_test.shutdown()
+
+
+@pytest.fixture
+def parked(tmp_path):
+    """A server whose session never dispatches: jobs stay QUEUED."""
+    engine = ExperimentEngine(cache_dir=tmp_path / "cache", progress=False)
+    session = api.Session(engine=engine, queue_limit=2, tenant_quota=1)
+    session._ensure_dispatcher = lambda: None
+    under_test = ServerUnderTest(session)
+    yield under_test
+    for record in under_test.client.jobs():
+        if record.state == QUEUED:
+            under_test.client.cancel(record.job_id)
+    under_test.shutdown()
+
+
+class TestHappyPath:
+    def test_submit_watch_status_parity(self, served):
+        req = request("wc", "seq", **SMALL)
+        record = served.client.submit(req)
+        assert record.state in ("queued", "running")
+        events = list(served.client.watch(record.job_id))
+        kinds = [event for event, _ in events]
+        assert kinds[-1] == "state"
+        final_payload = events[-1][1]
+        assert final_payload["state"] == DONE
+        # parity gate over the wire: HTTP result == direct engine run
+        final = served.client.status(record.job_id)
+        direct = served.session.engine.run(req)
+        assert json.dumps(final.result, sort_keys=True) == \
+            json.dumps(direct.to_dict(), sort_keys=True)
+
+    def test_hot_submit_is_cache_served(self, served):
+        req = request("wc", "seq", **SMALL)
+        cold = served.client.submit(req)
+        served.client.wait(cold.job_id)
+        assert served.session.pool.dispatched == 1
+        hot = served.client.submit(req)
+        assert hot.state == DONE
+        assert hot.cached is True
+        assert served.session.pool.dispatched == 1
+        # watching an already-finished job replays its terminal state
+        events = list(served.client.watch(hot.job_id))
+        assert events[-1][0] == "state"
+        assert events[-1][1]["state"] == DONE
+
+    def test_health_and_job_listing(self, served):
+        health = served.client.health()
+        assert health["shards"] == 2
+        assert set(health["jobs"]) == {"queued", "running", "done",
+                                       "failed", "cancelled"}
+        record = served.client.submit(request("wc", "seq", **SMALL),
+                                      tenant="team-a")
+        served.client.wait(record.job_id)
+        listed = served.client.jobs(tenant="team-a")
+        assert [job.job_id for job in listed] == [record.job_id]
+        assert served.client.jobs(tenant="nobody") == []
+
+
+class TestErrorMapping:
+    def test_queue_full_maps_to_429_with_retry_after(self, parked):
+        parked.client.submit(request("wc", "seq", items=201))
+        parked.client.submit(request("wc", "seq", items=202),
+                             tenant="other")
+        with pytest.raises(RemoteError) as excinfo:
+            parked.client.submit(request("wc", "seq", items=203),
+                                 tenant="third")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s is not None
+        assert excinfo.value.retry_after_s >= 1
+
+    def test_quota_maps_to_429_without_retry_after(self, parked):
+        parked.client.submit(request("wc", "seq", items=211))
+        with pytest.raises(RemoteError) as excinfo:
+            parked.client.submit(request("wc", "seq", items=212))
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s is None
+
+    def test_unknown_job_is_404(self, served):
+        with pytest.raises(RemoteError) as excinfo:
+            served.client.status("no-such-job")
+        assert excinfo.value.status == 404
+        with pytest.raises(RemoteError) as excinfo:
+            list(served.client.watch("no-such-job"))
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_is_400(self, served):
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", served.server.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/jobs", body=b"not json",
+                         headers={"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, served):
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", served.server.port,
+                                          timeout=10)
+        try:
+            conn.request("GET", "/v2/whatever")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+    def test_failed_job_carries_structured_errors(self, served):
+        record = served.client.submit(request("no-such-bench", "seq"))
+        final = served.client.wait(record.job_id)
+        assert final.state == "failed"
+        assert final.errors[0]["exception_type"] == "ConfigError"
+
+
+class TestCancelAndDrain:
+    def test_cancel_queued_job_over_http(self, parked):
+        record = parked.client.submit(request("wc", "seq", items=221))
+        cancelled = parked.client.cancel(record.job_id)
+        assert cancelled.state == "cancelled"
+        # a second cancel answers 409 and the client degrades to status
+        again = parked.client.cancel(record.job_id)
+        assert again.state == "cancelled"
+
+    def test_drain_rejects_new_submissions_then_exits(self, served):
+        record = served.client.submit(request("wc", "seq", **SMALL))
+        served.client.wait(record.job_id)
+        served.client.drain()
+        deadline = time.time() + 30
+        while served.thread.is_alive() and time.time() < deadline:
+            time.sleep(0.05)
+        assert not served.thread.is_alive(), \
+            "server must exit once drained"
+        # already-terminal job results were delivered before shutdown
+        assert served.session.status(record.job_id).state == DONE
+
+    def test_shutdown_mid_job_finishes_the_job(self, tmp_path):
+        """Graceful drain: a SIGTERM-equivalent shutdown while a job is
+        running lets the job finish and records its result."""
+        engine = ExperimentEngine(cache_dir=tmp_path / "cache",
+                                  progress=False)
+        under_test = ServerUnderTest(api.Session(engine=engine))
+        record = under_test.client.submit(
+            request("wc", "seq", items=2048))
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if under_test.session.status(record.job_id).state != "queued":
+                break
+            time.sleep(0.02)
+        assert under_test.shutdown(timeout=120), "drain must complete"
+        final = under_test.session.status(record.job_id)
+        assert final.state == DONE
+        assert final.result["results"]["cycles"] > 0

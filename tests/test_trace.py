@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.config import SystemConfig, ooo1_cluster
-from repro.cpu.trace import PipelineTracer, attach_tracer
+from repro.cpu.trace import PipelineTracer
 from repro.isa import Asm, MemoryImage, ThreadSpec
 from repro.system import Machine, Workload
 
@@ -71,7 +71,8 @@ def test_clear():
     assert not tracer.events and tracer.dropped == 0
 
 
-def test_attach_tracer_shim_warns_but_works():
+def test_attach_tracer_compat_stub_warns_but_works():
+    from repro.api.compat import attach_tracer
     machine = _counting_machine()
     with pytest.warns(DeprecationWarning):
         tracer = attach_tracer(machine.cores[0], stages=["retire"])
