@@ -16,9 +16,10 @@ properties are enforced per scenario (``python -m repro fuzz``):
    fault).  A flagged scenario that runs clean is recorded as a
    *downgrade counterexample* for the rule.
 3. **Modes agree.**  Clean scenarios are executed under every
-   combination of DFG codegen on/off and fast-forward on/off; cycle
-   counts, every stats counter, and result memory words must be
-   identical across the four modes.
+   combination of DFG codegen on/off, fast-forward on/off, and
+   trace-cache block compilation on/off; cycle counts, every stats
+   counter, and result memory words must be identical across the eight
+   modes.
 
 Any violation is a *disagreement*; :func:`run_fuzz` reports them all and
 returns a non-zero exit code if any exist.  Scenario generation is fully
@@ -446,11 +447,12 @@ def _build_in_mode(scenario: Scenario, codegen: bool) -> RunSpec:
 
 
 def _run_spec(spec: RunSpec, scenario: Scenario,
-              fast_forward: bool) -> Dict[str, Any]:
+              fast_forward: bool, blockgen: bool = True) -> Dict[str, Any]:
     machine = Machine(spec.system)
     machine.load(spec.workload)
     cycles = machine.run(options=RunOptions(max_cycles=spec.max_cycles,
-                                            fast_forward=fast_forward))
+                                            fast_forward=fast_forward,
+                                            blockgen=blockgen))
     return {
         "cycles": cycles,
         "counters": machine.stats.as_dict(),
@@ -508,22 +510,29 @@ def run_scenario(scenario: Scenario) -> Dict[str, Any]:
         return record
 
     outcomes: Dict[str, Dict[str, Any]] = {}
+    first = True
     for codegen in (True, False):
         for fast_forward in (True, False):
-            mode = (f"codegen={'on' if codegen else 'off'},"
-                    f"ff={'on' if fast_forward else 'off'}")
-            mode_spec = spec if codegen and fast_forward else None
-            if mode_spec is None:
-                mode_spec = _build_in_mode(scenario, codegen=codegen)
-            try:
-                outcomes[mode] = _run_spec(mode_spec, scenario,
-                                           fast_forward=fast_forward)
-            except ReproError as exc:
-                disagreements.append(
-                    f"clean scenario failed in mode {mode}: "
-                    f"{type(exc).__name__}: {exc}")
+            for blockgen in (True, False):
+                mode = (f"codegen={'on' if codegen else 'off'},"
+                        f"ff={'on' if fast_forward else 'off'},"
+                        f"blockgen={'on' if blockgen else 'off'}")
+                # The first mode is the default configuration; it reuses
+                # the spec already built for linting (workload images are
+                # consumed by execution, so every other mode rebuilds).
+                mode_spec = spec if first else _build_in_mode(
+                    scenario, codegen=codegen)
+                first = False
+                try:
+                    outcomes[mode] = _run_spec(mode_spec, scenario,
+                                               fast_forward=fast_forward,
+                                               blockgen=blockgen)
+                except ReproError as exc:
+                    disagreements.append(
+                        f"clean scenario failed in mode {mode}: "
+                        f"{type(exc).__name__}: {exc}")
     record["dynamic"] = "completed" if outcomes else "failed"
-    if len(outcomes) == 4:
+    if len(outcomes) == 8:
         reference_mode = next(iter(outcomes))
         reference = outcomes[reference_mode]
         for mode, outcome in outcomes.items():

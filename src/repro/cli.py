@@ -273,10 +273,83 @@ def cmd_trace(args) -> int:
     return EXIT_OK
 
 
+def _cmd_profile_hot(args) -> int:
+    """Hot-path report: per-PC retire counts plus block-cache statistics.
+
+    Runs WITHOUT observation sinks: an active event bus disables the
+    compiled hot loop (DESIGN.md section 10), and the point of ``--hot``
+    is to profile the run exactly as the default configuration executes
+    it — fused windows, trace-cache hits and all.
+    """
+    import json
+    import os
+    from repro.common.config import RunOptions
+    from repro.system.machine import Machine
+    spec = _resolve_observed_spec(args)
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    programs = {}
+    for core in machine.cores:
+        core._retire_pcs = {}
+        if core.ctx is not None:
+            programs[core.index] = core.ctx.program.instructions
+    cycles = machine.run(options=RunOptions(max_cycles=spec.max_cycles))
+    runners = list(machine._bg_runners.values())
+    windows = sum(r.windows for r in runners)
+    fused = sum(r.fused_cycles for r in runners)
+    deopts = sum(r.deopts for r in runners)
+    compiles = sum(r.bp.compiles for r in runners)
+    entries = sum(r.bp.entries for r in runners)
+    hit_rate = (1.0 - compiles / entries) if entries else 0.0
+    rows = []
+    for core in machine.cores:
+        insts = programs.get(core.index, [])
+        for pc, count in (core._retire_pcs or {}).items():
+            text = repr(insts[pc]) if pc < len(insts) else "?"
+            rows.append({"core": core.index, "pc": pc,
+                         "retired": count, "instruction": text})
+    rows.sort(key=lambda row: -row["retired"])
+    top = rows[:args.top]
+    if args.dump_blocks:
+        parent = os.path.dirname(args.dump_blocks)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        chunks = []
+        for index in sorted(machine._bg_runners):
+            runner = machine._bg_runners[index]
+            chunks.append(f"# core {index}\n{runner.bp.source_dump()}")
+        with open(args.dump_blocks, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    if args.json:
+        print(json.dumps({
+            "name": spec.name,
+            "total_cycles": cycles,
+            "blockgen": {"windows": windows, "fused_cycles": fused,
+                         "deopts": deopts, "block_compiles": compiles,
+                         "block_entries": entries, "hit_rate": hit_rate},
+            "hot_pcs": top,
+        }, indent=2))
+        return EXIT_OK
+    print(f"{spec.name}: {cycles} cycles")
+    print(f"blockgen: {windows} windows, {fused} fused cycles "
+          f"({fused / cycles:.1%} of total), {deopts} deopts")
+    print(f"block cache: {compiles} compiles, {entries} entries, "
+          f"hit rate {hit_rate:.1%}")
+    print(f"hot PCs (top {len(top)} by retire count):")
+    for row in top:
+        print(f"  core {row['core']:>2d}  pc {row['pc']:>5d}  "
+              f"{row['retired']:>9d}  {row['instruction']}")
+    if args.dump_blocks:
+        print(f"generated block source -> {args.dump_blocks}")
+    return EXIT_OK
+
+
 def cmd_profile(args) -> int:
     from repro.analysis.bounds import check_measured, compute_bounds
     from repro.obs.profile import ProfilerSink
     from repro.obs.render import render_profile
+    if args.hot:
+        return _cmd_profile_hot(args)
     spec = _resolve_observed_spec(args)
     sink = ProfilerSink()
     _run_observed(spec, (sink, ProfilerSink.KINDS))
@@ -605,6 +678,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="spec parameters, e.g. n=64 p=4")
     p_prof.add_argument("--json", action="store_true",
                         help="emit the breakdown as JSON")
+    p_prof.add_argument("--hot", action="store_true",
+                        help="per-PC retire counts and trace-cache block "
+                             "statistics instead of cycle accounting "
+                             "(runs unobserved so blockgen engages)")
+    p_prof.add_argument("--top", type=int, default=20,
+                        help="rows in the --hot per-PC table (default 20)")
+    p_prof.add_argument("--dump-blocks", default=None,
+                        help="with --hot: write the generated block "
+                             "source to this file")
     p_prof.set_defaults(func=cmd_profile)
 
     p_sample = sub.add_parser(

@@ -238,6 +238,7 @@ class SystemConfig:
 ENV_NO_FASTFORWARD = "REPRO_NO_FASTFORWARD"
 ENV_NO_CODEGEN = "REPRO_NO_CODEGEN"
 ENV_NO_LINT = "REPRO_NO_LINT"
+ENV_NO_BLOCKGEN = "REPRO_NO_BLOCKGEN"
 
 
 def env_enabled(var: str) -> bool:
@@ -280,6 +281,8 @@ class RunOptions:
     codegen: Optional[bool] = None
     #: Static-verifier pre-flight in the experiment engine (None: env).
     lint: Optional[bool] = None
+    #: Trace-cache block compilation of the OOO hot loop (None: env).
+    blockgen: Optional[bool] = None
 
     def resolve(self) -> "RunOptions":
         """Pin every tri-state field against the environment, once."""
@@ -291,6 +294,8 @@ class RunOptions:
                      if self.codegen is None else self.codegen),
             lint=(env_enabled(ENV_NO_LINT)
                   if self.lint is None else self.lint),
+            blockgen=(env_enabled(ENV_NO_BLOCKGEN)
+                      if self.blockgen is None else self.blockgen),
         )
 
     def fingerprint(self) -> Dict[str, bool]:
@@ -304,7 +309,8 @@ class RunOptions:
         """
         resolved = self.resolve()
         return {"fast_forward": bool(resolved.fast_forward),
-                "codegen": bool(resolved.codegen)}
+                "codegen": bool(resolved.codegen),
+                "blockgen": bool(resolved.blockgen)}
 
     def validate(self) -> None:
         if self.max_cycles < 0:

@@ -106,12 +106,17 @@ class Dfg:
         self.input_groups: Dict[str, str] = {}
         self.outputs: Dict[str, DfgNode] = {}
         self.output_order: List[str] = []
+        #: Bumped on every structural mutation; compiled-closure caches
+        #: (repro.core.function.SplFunction) record the version they were
+        #: built against and recompile on mismatch.
+        self._version = 0
 
     # -- construction --------------------------------------------------------
 
     def _add(self, node: DfgNode) -> DfgNode:
         node.index = len(self.nodes)
         self.nodes.append(node)
+        self._version += 1
         return node
 
     def input(self, name: str, offset: int, width: int = 4,
@@ -188,12 +193,14 @@ class Dfg:
         if delay_node.operands:
             raise MappingError("delay source already wired")
         delay_node.operands.append(src)
+        self._version += 1
 
     def output(self, name: str, node: DfgNode) -> None:
         if name in self.outputs:
             raise MappingError(f"{self.name}: duplicate output {name!r}")
         self.outputs[name] = node
         self.output_order.append(name)
+        self._version += 1
 
     # -- evaluation -----------------------------------------------------------
 

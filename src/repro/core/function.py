@@ -54,6 +54,7 @@ class SplFunction:
         # to the interpreter (the GEN001 lint rule reports them).
         self._codegen_enabled = env_enabled(ENV_NO_CODEGEN)
         self._compiled: Optional[CompiledDfg] = None
+        self._compiled_version = -1
 
     @property
     def is_stateful(self) -> bool:
@@ -73,12 +74,14 @@ class SplFunction:
         """The compiled evaluators, or None when codegen is off/failed."""
         if not self._codegen_enabled:
             return None
-        if self._compiled is None:
+        if self._compiled is None or \
+                self._compiled_version != self.dfg._version:
             try:
                 self._compiled = compile_dfg(self.dfg)
             except CodegenError:
                 self._codegen_enabled = False
                 return None
+            self._compiled_version = self.dfg._version
         return self._compiled
 
     @property

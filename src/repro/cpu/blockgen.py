@@ -1,0 +1,916 @@
+"""Trace-cache block compilation of the OOO core hot loop (DESIGN.md §10).
+
+The cycle-level interpreter in :mod:`repro.cpu.pipeline` pays per-cycle
+Python dispatch for every stage of every instruction.  On compute-bound
+runs (no SPL traffic, caches warm) almost all of that work is decided by
+the static program text: which ALU expression runs, which registers
+rename, which resources an instruction holds.  This module folds those
+decisions out of the loop:
+
+* The program is partitioned into **basic blocks** (leaders: entry 0,
+  branch targets, and the successor of every branch or serialized op).
+  On first fetch of a block's entry PC, one Python function per
+  value-producing instruction is code-generated from the source templates
+  in :mod:`repro.cpu.exec` (``ALU_EXPR``/``FP_EXPR``/``BRANCH_EXPR``)
+  with immediates and branch targets folded in as literals.
+* :class:`BlockRunner.run_window` is a specialized re-implementation of
+  ``OutOfOrderCore.tick`` for the single-active-core, no-observer case:
+  all mutable scalars live in locals, per-PC metadata lives in dense
+  tables, and hot counters accumulate locally and flush once per window.
+  It executes cycles ``[start, limit)`` and returns the first un-ticked
+  cycle.  **Every architectural effect is cycle- and stats-exact against
+  the interpreter** — tests/test_fastforward.py sweeps the two against
+  each other, and ``repro bench --check`` gates on identical cycles.
+* **Deoptimization**: whenever a serialized op (SPL/comm port, atomic,
+  FENCE, HALT) comes within retire reach of the ROB head, the window
+  ends *before* ticking that cycle and the interpreter takes over.
+  Branch mispredicts, icache misses, and structural stalls are handled
+  inline through the interpreter's own machinery (``_flush_from_seq``,
+  stall counters), not by deopt — they are exactly replicable.
+
+Compiled blocks are memoized on the ``Program`` object, keyed by
+``BLOCKGEN_VERSION``, the core config, and a content fingerprint of the
+instruction stream, so mutating a program or changing the config misses
+the cache.  The whole mechanism is gated by ``RunOptions.blockgen`` /
+``REPRO_NO_BLOCKGEN`` (see repro.common.config) and engaged by
+``Machine.run`` under the same conditions as fast-forward elision.
+
+Purity constraint: generated closures bind **no machine state** — only
+the pure helpers in ``_NAMESPACE`` — because the compiled artifact is
+shared across machines via the per-Program memo.  Anything touching
+memory (load reads, store writes) lives in per-:class:`BlockRunner`
+tables built in plain Python against the owning machine's memory.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from operator import attrgetter
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.cpu.exec import (ALU_EXPR, BRANCH_EXPR, FP_EXPR, _div, _rem,
+                            _wrap)
+from repro.common.utils import to_unsigned
+from repro.cpu.pipeline import (FRONTEND_DELAY, _LOAD_OPS, _STORE_OPS,
+                                HOLD_FP_IQ, HOLD_INT_IQ, HOLD_LQ,
+                                HOLD_REN_FP, HOLD_REN_INT, HOLD_SQ,
+                                OutOfOrderCore, RobEntry)
+from repro.isa.opcodes import FuClass, Op
+
+#: Bump on any change to the generated code or table layout; part of the
+#: per-Program memo key so stale caches from another version never hit.
+BLOCKGEN_VERSION = 1
+
+_BY_SEQ = attrgetter("seq")
+
+#: Pure helper bindings available to generated block source.  Builtins
+#: are withheld: the templates compile to closed expressions over these
+#: names and the ``a``/``b`` source-value parameters only.
+_NAMESPACE = {
+    "_w": _wrap,
+    "_u": to_unsigned,
+    "_div": _div,
+    "_rem": _rem,
+    "_inf": float("inf"),
+    "_ninf": float("-inf"),
+    "_nan": float("nan"),
+    "__builtins__": {},
+}
+
+_POOL_IDS = {"int": 0, "fp": 1, "branch": 2, "mem": 3}
+
+
+def _conv_lb(raw):
+    value = raw & 0xFF
+    return value - 256 if value >= 128 else value
+
+
+def _conv_lbu(raw):
+    return raw & 0xFF
+
+
+def _conv_lh(raw):
+    value = raw & 0xFFFF
+    return value - 65536 if value >= 32768 else value
+
+
+def _conv_lhu(raw):
+    return raw & 0xFFFF
+
+
+#: Store-to-load forwarding conversion per load op, mirroring
+#: ``OutOfOrderCore._convert_load`` (None: the raw word passes through).
+_CONV = {Op.LW: None, Op.FLW: None, Op.LB: _conv_lb, Op.LBU: _conv_lbu,
+         Op.LH: _conv_lh, Op.LHU: _conv_lhu}
+
+
+class Block:
+    """One basic block: a leader PC and the straight-line PCs behind it.
+
+    ``fns`` is None until the block is first entered (the compile is the
+    trace-cache "miss"); afterwards it maps each value-producing PC to
+    its generated closure and ``source`` keeps the generated text for
+    inspection (tests, the CI artifact).
+    """
+
+    __slots__ = ("bid", "entry", "pcs", "source", "fns", "hits")
+
+    def __init__(self, bid: int, entry: int, pcs: range) -> None:
+        self.bid = bid
+        self.entry = entry
+        self.pcs = pcs
+        self.source: Optional[str] = None
+        self.fns: Optional[Dict[int, object]] = None
+        self.hits = 0
+
+
+class BlockProgram:
+    """The block partition of one program plus its compiled closures."""
+
+    def __init__(self, instructions) -> None:
+        self._instructions = instructions
+        n = len(instructions)
+        leaders = {0} if n else set()
+        for pc, inst in enumerate(instructions):
+            info = inst.info
+            if info.is_branch or info.serialize:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                # Only branch targets are PCs; e.g. SPL_LOADM reuses
+                # ``target`` as a staging byte offset.
+                if info.is_branch:
+                    target = inst.target
+                    if isinstance(target, int) and 0 <= target < n:
+                        leaders.add(target)
+        order = sorted(leaders)
+        self.blocks: List[Block] = []
+        self.block_of: List[Optional[Block]] = [None] * n
+        for bid, start in enumerate(order):
+            end = order[bid + 1] if bid + 1 < len(order) else n
+            block = Block(bid, start, range(start, end))
+            self.blocks.append(block)
+            for pc in block.pcs:
+                self.block_of[pc] = block
+        self.compiles = 0
+
+    # -- code generation ----------------------------------------------------
+
+    def _expr_for(self, pc: int, inst) -> Optional[str]:
+        """The generated expression over ``(a, b)`` for ``inst``, or None
+        when the instruction has no pure evaluator (memory/serialized)."""
+        info = inst.info
+        op = inst.op
+        if info.serialize or info.is_load or info.is_store:
+            return None
+        if info.is_branch:
+            if op is Op.JR:
+                return "a"
+            if op is Op.J or op is Op.JAL:
+                return repr(inst.target)
+            cond = BRANCH_EXPR.get(op)
+            if cond is None:
+                return None
+            return f"({inst.target}) if {cond} else ({pc + 1})"
+        if info.fu is FuClass.FP:
+            return FP_EXPR.get(op)
+        template = ALU_EXPR.get(op)
+        if template is None:
+            return None
+        return template.format(imm=f"({inst.imm})",
+                               imm5=repr(inst.imm & 31),
+                               imm_wrapped=f"({_wrap(inst.imm)})")
+
+    def generate_source(self, block: Block) -> str:
+        lines = [f"# block {block.bid} @ pc {block.entry} "
+                 f"({len(block.pcs)} instructions)"]
+        for pc in block.pcs:
+            inst = self._instructions[pc]
+            expr = self._expr_for(pc, inst)
+            if expr is None:
+                lines.append(f"# {pc}: {inst!r}  (interpreted)")
+                continue
+            lines.append(f"def _pc{pc}(a, b):  # {pc}: {inst!r}")
+            lines.append(f"    return {expr}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def compile_block(self, block: Block) -> None:
+        if block.fns is not None:
+            return
+        source = self.generate_source(block)
+        block.source = source
+        namespace = dict(_NAMESPACE)
+        code = compile(source, f"<blockgen:block{block.bid}"
+                               f"@{block.entry}>", "exec")
+        exec(code, namespace)
+        block.fns = {pc: namespace[f"_pc{pc}"] for pc in block.pcs
+                     if f"_pc{pc}" in namespace}
+        self.compiles += 1
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        """Total block-entry fetches across all runners of this memo."""
+        return sum(block.hits for block in self.blocks)
+
+    def hit_rate(self) -> float:
+        entries = self.entries
+        if not entries:
+            return 0.0
+        return 1.0 - self.compiles / entries
+
+    def source_dump(self) -> str:
+        """Generated source of every block (compiling any not yet hot)."""
+        for block in self.blocks:
+            self.compile_block(block)
+        return "\n".join(block.source for block in self.blocks)
+
+
+def compiled_blocks(program, config) -> BlockProgram:
+    """The memoized :class:`BlockProgram` for ``(program, config)``.
+
+    The key carries the generator version, the core config, and a
+    content fingerprint of the instruction stream, so a mutated program
+    or a different configuration misses and recompiles.
+    """
+    cache = getattr(program, "_blockgen_cache", None)
+    if cache is None:
+        cache = program._blockgen_cache = {}
+    key = (BLOCKGEN_VERSION, config, _fingerprint(program.instructions))
+    block_program = cache.get(key)
+    if block_program is None:
+        block_program = cache[key] = BlockProgram(program.instructions)
+    return block_program
+
+
+def _fingerprint(instructions) -> tuple:
+    return tuple((inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm,
+                  inst.target) for inst in instructions)
+
+
+class BlockRunner:
+    """Per-(machine core, context) specialized executor.
+
+    Holds the dense per-PC tables (fetch, dispatch, execute, retire) and
+    the machine-bound memory accessors that the memoized pure closures
+    must not capture.  Rebuilt by the machine whenever the core's
+    context changes.
+    """
+
+    def __init__(self, core: OutOfOrderCore) -> None:
+        self.core = core
+        self.ctx = core.ctx
+        program = core.ctx.program
+        self.bp = compiled_blocks(program, core.config)
+        memory = core.memory
+
+        def _read_lb(addr, _rb=memory.read_byte):
+            value = _rb(addr)
+            return value - 256 if value >= 128 else value
+
+        def _read_lh(addr, _rh=memory.read_half):
+            value = _rh(addr)
+            return value - 65536 if value >= 32768 else value
+
+        read_map = {Op.LW: memory.read_word_signed, Op.LB: _read_lb,
+                    Op.LBU: memory.read_byte, Op.LH: _read_lh,
+                    Op.LHU: memory.read_half, Op.FLW: memory.read_float}
+        write_map = {
+            Op.SW: lambda addr, v, _w=memory.write_word:
+                _w(addr, v & 0xFFFFFFFF),
+            Op.SB: lambda addr, v, _w=memory.write_byte: _w(addr, v & 0xFF),
+            Op.SH: lambda addr, v, _w=memory.write_half:
+                _w(addr, v & 0xFFFF),
+            Op.FSW: memory.write_float,
+        }
+
+        instructions = program.instructions
+        n = len(instructions)
+        block_of = self.bp.block_of
+        # fetch_tab[pc] = (inst, fetch_kind, target, block-if-leader)
+        self.fetch_tab = []
+        # disp_tab[pc] = (needs_fp_iq, needs_int_iq, uses_lq, uses_sq,
+        #                 dest, dest_fp, held_mask, rs1, rs2) with the
+        # source registers normalized to None when absent or r0.
+        self.disp_tab = []
+        # exec_meta[pc]: None for serialized ops;
+        #   [0, fn, latency]               int ALU (fn lazily installed)
+        #   [1, fn, latency]               FP
+        #   [2, fn, link_value]            branch (fn -> actual_next)
+        #   (3, None, size, imm)           store
+        #   (4, read_fn, size, imm, conv)  load
+        # List rows are patched in place when their block compiles.
+        self.exec_meta = []
+        self.ser_tab = []      # info.serialize per pc
+        self.st_tab = []       # retire-time write closure, or None
+        self.dest_tab = []     # inst._dest per pc
+        self.br_tab = []       # (mode 1=cond/2=JR/0=direct, target) or None
+        self.pool_tab = []     # (fu pool id, per-cycle unit limit)
+        for pc in range(n):
+            inst = instructions[pc]
+            info = inst.info
+            block = block_of[pc]
+            self.fetch_tab.append(
+                (inst, inst.fetch_kind, inst.target,
+                 block if block is not None and block.entry == pc else None))
+            rs1 = inst.rs1 if inst.rs1 else None
+            rs2 = inst.rs2 if inst.rs2 else None
+            self.disp_tab.append(
+                (inst.needs_fp_iq, inst.needs_int_iq, inst.uses_lq,
+                 inst.uses_sq, inst._dest, inst.dest_fp, inst.held_mask,
+                 rs1, rs2))
+            self.ser_tab.append(info.serialize)
+            if info.serialize:
+                meta = None
+            elif info.is_load:
+                size, _signed = _LOAD_OPS[inst.op]
+                meta = (4, read_map[inst.op], size, inst.imm,
+                        _CONV[inst.op])
+            elif info.is_store:
+                meta = (3, None, _STORE_OPS[inst.op], inst.imm)
+            elif info.is_branch:
+                link = pc + 1 if inst.op is Op.JAL else None
+                meta = [2, None, link]
+            elif info.fu is FuClass.FP:
+                meta = [1, None, info.latency]
+            else:
+                meta = [0, None, info.latency]
+            self.exec_meta.append(meta)
+            self.st_tab.append(
+                write_map[inst.op]
+                if info.is_store and not info.serialize else None)
+            self.dest_tab.append(inst._dest)
+            if not info.is_branch:
+                self.br_tab.append(None)
+            elif inst.op is Op.JR:
+                self.br_tab.append((2, None))
+            elif inst.op in (Op.J, Op.JAL):
+                self.br_tab.append((0, inst.target))
+            else:
+                self.br_tab.append((1, inst.target))
+            pool_name, limit = core._fu_pool[info.fu]
+            self.pool_tab.append((_POOL_IDS[pool_name], limit))
+        self.installed = bytearray(len(self.bp.blocks))
+        self.windows = 0
+        self.fused_cycles = 0
+        self.deopts = 0
+
+    def _install(self, block: Block) -> None:
+        """Compile ``block`` if needed and patch its closures into this
+        runner's exec table (idempotent)."""
+        self.bp.compile_block(block)
+        fns = block.fns
+        exec_meta = self.exec_meta
+        for pc in block.pcs:
+            meta = exec_meta[pc]
+            if meta is not None and meta.__class__ is list \
+                    and meta[1] is None:
+                fn = fns.get(pc)
+                if fn is None:
+                    raise SimulationError(
+                        f"blockgen: no evaluator generated for pc {pc}")
+                meta[1] = fn
+        self.installed[block.bid] = 1
+
+    # ------------------------------------------------------------------ run
+
+    def run_window(self, start: int, limit: int) -> int:
+        """Tick the core for cycles ``[start, limit)``; return the first
+        cycle not ticked (== ``limit`` unless a serialized op deopts).
+
+        A faithful transliteration of ``OutOfOrderCore.tick`` and the
+        stage methods it calls, specialized for: exactly this core
+        active, no observability sinks, no fast-forward elision in
+        progress.  Any edit to the pipeline stages must be mirrored
+        here — the differential sweep in tests/test_fastforward.py and
+        the fuzzer's agreement contract exist to catch drift.
+        """
+        core = self.core
+        ctx = core.ctx
+        if ctx is None or core.halted or start < core.stall_until:
+            return start
+        core._obs_pipe = False
+
+        fetch_tab = self.fetch_tab
+        disp_tab = self.disp_tab
+        exec_meta = self.exec_meta
+        ser_tab = self.ser_tab
+        st_tab = self.st_tab
+        dest_tab = self.dest_tab
+        br_tab = self.br_tab
+        pool_tab = self.pool_tab
+        installed = self.installed
+        block_of = self.bp.block_of
+
+        rob = core.rob
+        ready = core.ready
+        fetch_queue = core.fetch_queue
+        completing = core.completing
+        store_entries = core.store_entries
+        blocked_loads = core.blocked_loads
+        rat = core.rat
+        pending_stores = core.pending_stores
+        predictor = core.predictor
+        predict_direction = predictor.predict_direction
+        update_direction = predictor.update_direction
+        btb_update = predictor.btb_update
+        btb_lookup = predictor.btb_lookup
+        ras_push = predictor.ras_push
+        ras_pop = predictor.ras_pop
+        data_access = core.mem_system.data_access
+        inst_fetch = core.mem_system.inst_fetch
+        index = core.index
+        stats_bump = core.stats.bump
+        ctx_read = ctx.read
+        ctx_write = ctx.write
+        rp = core._retire_pcs
+
+        # Mutable scalars: locals for the window, written back at exit.
+        seq = core.seq
+        fetch_pc = core.fetch_pc
+        fetch_resume = core.fetch_resume
+        last_fetch_line = core.last_fetch_line
+        sb_next_free = core.sb_next_free
+        last_retire_cycle = core.last_retire_cycle
+        int_iq_used = core.int_iq_used
+        fp_iq_used = core.fp_iq_used
+        lq_used = core.lq_used
+        sq_used = core.sq_used
+        rename_int_used = core.rename_int_used
+        rename_fp_used = core.rename_fp_used
+
+        rob_entries = core._rob_entries
+        fp_queue = core._fp_queue
+        int_queue = core._int_queue
+        load_queue = core._load_queue
+        store_queue = core._store_queue
+        decode_width = core._decode_width
+        retire_width = core._retire_width
+        issue_width = core._issue_width
+        fetch_width = core._fetch_width
+        queue_cap = core._fetch_queue_cap
+        l1i_hit = core._l1i_hit
+        l1d_hit = core.config.l1d.hit_latency
+        rename_limit_int = core._rename_limit_int
+        rename_limit_fp = core._rename_limit_fp
+        program_end = core._program_end
+        frontend_delay = FRONTEND_DELAY
+        h_int, h_fp = HOLD_INT_IQ, HOLD_FP_IQ
+        h_lq, h_sq = HOLD_LQ, HOLD_SQ
+        h_ri, h_rf = HOLD_REN_INT, HOLD_REN_FP
+
+        # Deferred hot counters (flushed once at window exit; every key
+        # is pre-declared so the adds are equivalent to stats.bump).
+        n_cycles = n_fetched = n_dispatched = n_issued = n_retired = 0
+        n_int = n_fp = n_loads = n_stores = n_branches = 0
+
+        cycle = start
+        deopt = False
+        while cycle < limit:
+            # Deopt guard: a serialized op within retire reach of the
+            # ROB head would execute via _exec_serialize this cycle (at
+            # most retire_width entries pop per cycle, so deeper ones
+            # cannot become head).  Hand the cycle to the interpreter.
+            if rob:
+                k = retire_width
+                for entry in rob:
+                    if ser_tab[entry.pc]:
+                        deopt = True
+                        break
+                    k -= 1
+                    if not k:
+                        break
+                if deopt:
+                    break
+            n_cycles += 1
+
+            # ------------------------------------------------ writeback
+            if completing:
+                entries = completing.pop(cycle, None)
+                if entries:
+                    entries.sort(key=_BY_SEQ)
+                    for entry in entries:
+                        if entry.flushed or entry.state == 2:
+                            continue
+                        entry.state = 2
+                        value = entry.value
+                        for consumer, slot in entry.consumers:
+                            if consumer.flushed:
+                                continue
+                            consumer.srcs[slot] = value
+                            consumer.remaining -= 1
+                            if consumer.remaining == 0 and \
+                                    consumer.state == 0 and \
+                                    not ser_tab[consumer.pc]:
+                                heappush(ready,
+                                         (consumer.seq, consumer))
+                        entry.consumers = []
+                        branch = br_tab[entry.pc]
+                        if branch is not None:
+                            mode, target = branch
+                            actual = entry.actual_next
+                            if mode == 1:
+                                update_direction(entry.pc,
+                                                 actual == target)
+                            elif mode == 2:
+                                btb_update(entry.pc, actual)
+                            n_branches += 1
+                            if actual != entry.pred_next:
+                                # Mispredict: flush through the
+                                # interpreter's machinery.  _release
+                                # reads the occupancy counters, so sync
+                                # them first, then re-hoist everything
+                                # the flush rebinds.
+                                core.int_iq_used = int_iq_used
+                                core.fp_iq_used = fp_iq_used
+                                core.lq_used = lq_used
+                                core.sq_used = sq_used
+                                core.rename_int_used = rename_int_used
+                                core.rename_fp_used = rename_fp_used
+                                stats_bump("mispredicts")
+                                core._flush_from_seq(entry.seq + 1,
+                                                     cycle, actual)
+                                rob = core.rob
+                                rat = core.rat
+                                store_entries = core.store_entries
+                                blocked_loads = core.blocked_loads
+                                int_iq_used = core.int_iq_used
+                                fp_iq_used = core.fp_iq_used
+                                lq_used = core.lq_used
+                                sq_used = core.sq_used
+                                rename_int_used = core.rename_int_used
+                                rename_fp_used = core.rename_fp_used
+                                fetch_pc = core.fetch_pc
+                                fetch_resume = core.fetch_resume
+                                last_fetch_line = core.last_fetch_line
+
+            # --------------------------------------------------- retire
+            if rob or pending_stores:
+                while pending_stores and pending_stores[0] <= cycle:
+                    pending_stores.popleft()
+                retired = 0
+                last_next = 0
+                while rob and retired < retire_width:
+                    head = rob[0]
+                    if head.state != 2:
+                        break
+                    pc = head.pc
+                    write_fn = st_tab[pc]
+                    if write_fn is not None:
+                        if len(pending_stores) >= store_queue:
+                            stats_bump("store_buffer_stalls")
+                            break
+                        addr = head.addr
+                        write_fn(addr, head.store_value)
+                        begin = sb_next_free
+                        if begin < cycle:
+                            begin = cycle
+                        done = data_access(index, addr, True, begin)
+                        sb_next_free = done
+                        pending_stores.append(done)
+                        n_stores += 1
+                    dest = dest_tab[pc]
+                    if dest is not None:
+                        ctx_write(dest, head.value)
+                        if rat.get(dest) is head:
+                            del rat[dest]
+                    rob.popleft()
+                    if write_fn is not None:
+                        if head in store_entries:
+                            store_entries.remove(head)
+                        if blocked_loads:
+                            for load in blocked_loads:
+                                if not load.flushed:
+                                    heappush(ready, (load.seq, load))
+                            blocked_loads.clear()
+                    held = head.held
+                    if held:
+                        if held & h_int:
+                            int_iq_used -= 1
+                        elif held & h_fp:
+                            fp_iq_used -= 1
+                        if held & h_lq:
+                            lq_used -= 1
+                        if held & h_sq:
+                            sq_used -= 1
+                        if held & h_ri:
+                            rename_int_used -= 1
+                        elif held & h_rf:
+                            rename_fp_used -= 1
+                        head.held = 0
+                    if rp is not None:
+                        rp[pc] = rp.get(pc, 0) + 1
+                    last_next = head.actual_next
+                    retired += 1
+                if retired:
+                    ctx.pc = last_next
+                    ctx.retired_instructions += retired
+                    last_retire_cycle = cycle
+                    n_retired += retired
+
+            # ---------------------------------------------------- issue
+            if ready:
+                budget = issue_width
+                fu_used = [0, 0, 0, 0]
+                put_back = None
+                issued = 0
+                int_iq_freed = 0
+                fp_iq_freed = 0
+                while budget > 0 and ready:
+                    entry = heappop(ready)[1]
+                    if entry.flushed or entry.state != 0:
+                        continue
+                    pc = entry.pc
+                    pool, pool_limit = pool_tab[pc]
+                    if fu_used[pool] >= pool_limit:
+                        if put_back is None:
+                            put_back = [entry]
+                        else:
+                            put_back.append(entry)
+                        continue
+                    meta = exec_meta[pc]
+                    kind = meta[0]
+                    srcs = entry.srcs
+                    if kind == 0:
+                        fn = meta[1]
+                        if fn is None:
+                            self._install(block_of[pc])
+                            fn = meta[1]
+                        entry.value = fn(srcs[0], srcs[1])
+                        entry.state = 1
+                        done = cycle + meta[2]
+                        n_int += 1
+                    elif kind == 4:
+                        addr = srcs[0] + meta[3]
+                        size = meta[2]
+                        forward = None
+                        blocked = False
+                        for store in reversed(store_entries):
+                            if store.seq > entry.seq or store.flushed:
+                                continue
+                            store_addr = store.addr
+                            if store_addr is None:
+                                blocked = True
+                                break
+                            if store_addr == addr and \
+                                    store.size == size:
+                                forward = store
+                                break
+                            if store_addr < addr + size and \
+                                    addr < store_addr + store.size:
+                                blocked = True
+                                break
+                        if blocked:
+                            blocked_loads.append(entry)
+                            continue
+                        entry.addr = addr
+                        entry.size = size
+                        entry.state = 1
+                        if forward is not None:
+                            conv = meta[4]
+                            raw = forward.store_value
+                            entry.value = raw if conv is None \
+                                else conv(raw)
+                            done = cycle + l1d_hit
+                            stats_bump("load_forwards")
+                        else:
+                            entry.value = meta[1](addr)
+                            done = data_access(index, addr, False,
+                                               cycle)
+                        n_loads += 1
+                    elif kind == 2:
+                        fn = meta[1]
+                        if fn is None:
+                            self._install(block_of[pc])
+                            fn = meta[1]
+                        entry.actual_next = fn(srcs[0], srcs[1])
+                        link = meta[2]
+                        if link is not None:
+                            entry.value = link
+                        entry.state = 1
+                        done = cycle + 1
+                    elif kind == 3:
+                        entry.addr = srcs[0] + meta[3]
+                        entry.size = meta[2]
+                        entry.store_value = srcs[1]
+                        entry.state = 1
+                        done = cycle + 1
+                        if blocked_loads:
+                            for load in blocked_loads:
+                                if not load.flushed:
+                                    heappush(ready, (load.seq, load))
+                            blocked_loads.clear()
+                    else:  # kind == 1: FP
+                        fn = meta[1]
+                        if fn is None:
+                            self._install(block_of[pc])
+                            fn = meta[1]
+                        entry.value = fn(srcs[0], srcs[1])
+                        entry.state = 1
+                        done = cycle + meta[2]
+                        n_fp += 1
+                    entry.completion = done
+                    bucket = completing.get(done)
+                    if bucket is None:
+                        completing[done] = [entry]
+                    else:
+                        bucket.append(entry)
+                    fu_used[pool] += 1
+                    budget -= 1
+                    held = entry.held
+                    if held & h_int:
+                        int_iq_freed += 1
+                        entry.held = held & ~h_int
+                    elif held & h_fp:
+                        fp_iq_freed += 1
+                        entry.held = held & ~h_fp
+                    issued += 1
+                if issued:
+                    n_issued += issued
+                    int_iq_used -= int_iq_freed
+                    fp_iq_used -= fp_iq_freed
+                if put_back is not None:
+                    for entry in put_back:
+                        heappush(ready, (entry.seq, entry))
+
+            # ------------------------------------------------- dispatch
+            if fetch_queue:
+                dispatched = 0
+                while fetch_queue and dispatched < decode_width:
+                    inst, pc, pred_next, fetched_at = fetch_queue[0]
+                    if cycle < fetched_at + frontend_delay:
+                        break
+                    if len(rob) >= rob_entries:
+                        stats_bump("rob_full_stalls")
+                        break
+                    (needs_fp_iq, needs_int_iq, uses_lq, uses_sq, dest,
+                     dest_fp, held, rs1, rs2) = disp_tab[pc]
+                    if needs_fp_iq and fp_iq_used >= fp_queue:
+                        stats_bump("iq_full_stalls")
+                        break
+                    if needs_int_iq and int_iq_used >= int_queue:
+                        stats_bump("iq_full_stalls")
+                        break
+                    if uses_lq and lq_used >= load_queue:
+                        stats_bump("lsq_full_stalls")
+                        break
+                    if uses_sq and sq_used >= store_queue:
+                        stats_bump("lsq_full_stalls")
+                        break
+                    if dest is not None:
+                        if dest_fp:
+                            if rename_fp_used >= rename_limit_fp:
+                                stats_bump("rename_stalls")
+                                break
+                        elif rename_int_used >= rename_limit_int:
+                            stats_bump("rename_stalls")
+                            break
+                    fetch_queue.popleft()
+                    entry = RobEntry(seq, inst, pc, pred_next)
+                    seq += 1
+                    srcs = entry.srcs
+                    if rs1 is not None:
+                        producer = rat.get(rs1)
+                        if producer is None:
+                            srcs[0] = ctx_read(rs1)
+                        elif producer.state == 2:
+                            srcs[0] = producer.value
+                        else:
+                            producer.consumers.append((entry, 0))
+                            entry.remaining += 1
+                            srcs[0] = None
+                    if rs2 is not None:
+                        producer = rat.get(rs2)
+                        if producer is None:
+                            srcs[1] = ctx_read(rs2)
+                        elif producer.state == 2:
+                            srcs[1] = producer.value
+                        else:
+                            producer.consumers.append((entry, 1))
+                            entry.remaining += 1
+                            srcs[1] = None
+                    entry.held = held
+                    if needs_fp_iq:
+                        fp_iq_used += 1
+                    if needs_int_iq:
+                        int_iq_used += 1
+                    if uses_lq:
+                        lq_used += 1
+                    if uses_sq:
+                        sq_used += 1
+                        store_entries.append(entry)
+                    if dest is not None:
+                        if dest_fp:
+                            rename_fp_used += 1
+                        else:
+                            rename_int_used += 1
+                        rat[dest] = entry
+                    rob.append(entry)
+                    if entry.remaining == 0 and \
+                            (needs_fp_iq or needs_int_iq):
+                        heappush(ready, (entry.seq, entry))
+                    dispatched += 1
+                if dispatched:
+                    n_dispatched += dispatched
+
+            # ---------------------------------------------------- fetch
+            # stop_fetch is provably constant within a window (the
+            # machine only engages un-drained cores and HALT deopts
+            # before retiring), so the guard reduces to the two locals.
+            if cycle >= fetch_resume and fetch_pc >= 0:
+                fetched = 0
+                while fetched < fetch_width and \
+                        len(fetch_queue) < queue_cap:
+                    pc = fetch_pc
+                    if pc < 0 or pc >= program_end:
+                        break
+                    line = pc >> 3
+                    if line != last_fetch_line:
+                        done = inst_fetch(index, pc, cycle)
+                        last_fetch_line = line
+                        if done > cycle + l1i_hit:
+                            fetch_resume = done
+                            stats_bump("icache_stall_cycles",
+                                       done - cycle)
+                            break
+                    fetch_meta = fetch_tab[pc]
+                    kind = fetch_meta[1]
+                    if kind == 0:
+                        pred_next = pc + 1
+                    elif kind == 1:
+                        pred_next = fetch_meta[2] \
+                            if predict_direction(pc) else pc + 1
+                    elif kind == 5:  # HALT: fetch stops dead
+                        fetch_queue.append(
+                            (fetch_meta[0], pc, pc + 1, cycle))
+                        fetched += 1
+                        fetch_pc = -1
+                        break
+                    elif kind == 2:
+                        pred_next = fetch_meta[2]
+                    elif kind == 3:
+                        ras_push(pc + 1)
+                        pred_next = fetch_meta[2]
+                    else:  # kind == 4: JR
+                        target = ras_pop()
+                        if target is None:
+                            target = btb_lookup(pc)
+                        pred_next = -1 if target is None else target
+                    block = fetch_meta[3]
+                    if block is not None:
+                        block.hits += 1
+                        if not installed[block.bid]:
+                            self._install(block)
+                    fetch_queue.append(
+                        (fetch_meta[0], pc, pred_next, cycle))
+                    fetched += 1
+                    fetch_pc = pred_next
+                    if pred_next != pc + 1:
+                        break
+                if fetched:
+                    n_fetched += fetched
+
+            cycle += 1
+
+        # Window exit: write the hoisted scalars and deferred counters
+        # back to the core.
+        core.seq = seq
+        core.fetch_pc = fetch_pc
+        core.fetch_resume = fetch_resume
+        core.last_fetch_line = last_fetch_line
+        core.sb_next_free = sb_next_free
+        core.last_retire_cycle = last_retire_cycle
+        core.int_iq_used = int_iq_used
+        core.fp_iq_used = fp_iq_used
+        core.lq_used = lq_used
+        core.sq_used = sq_used
+        core.rename_int_used = rename_int_used
+        core.rename_fp_used = rename_fp_used
+        cnt = core._cnt
+        if n_cycles:
+            cnt["cycles"] += n_cycles
+        if n_fetched:
+            cnt["fetched"] += n_fetched
+        if n_dispatched:
+            cnt["dispatched"] += n_dispatched
+        if n_issued:
+            cnt["issued"] += n_issued
+        if n_retired:
+            cnt["retired"] += n_retired
+        if n_int:
+            cnt["int_ops"] += n_int
+        if n_fp:
+            cnt["fp_ops"] += n_fp
+        if n_loads:
+            cnt["loads"] += n_loads
+        if n_stores:
+            cnt["stores"] += n_stores
+        if n_branches:
+            cnt["branches_resolved"] += n_branches
+        self.windows += 1
+        self.fused_cycles += n_cycles
+        if deopt:
+            self.deopts += 1
+        return cycle

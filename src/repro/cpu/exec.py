@@ -63,6 +63,65 @@ ALU_TABLE = {
 }
 
 
+#: Source templates mirroring ``ALU_TABLE`` for the trace-cache block
+#: compiler (repro.cpu.blockgen): each entry is a Python expression over
+#: the source values ``a``/``b`` with ``{imm}`` folded in as a literal at
+#: generation time.  The helper names (``_w``/``_u``/``_div``/``_rem``)
+#: are bound into the generated module's namespace to this module's
+#: ``_wrap``/``to_unsigned``/``_div``/``_rem``, so every template is
+#: definitionally equivalent to the lambda above it.  Any change to
+#: ``ALU_TABLE`` must be mirrored here (tests/test_blockgen.py sweeps the
+#: two tables against each other on randomized operands).
+ALU_EXPR = {
+    Op.ADD: "_w(a + b)",
+    Op.SUB: "_w(a - b)",
+    Op.AND: "_w(a & b)",
+    Op.OR: "_w(a | b)",
+    Op.XOR: "_w(a ^ b)",
+    Op.NOR: "_w(~(a | b))",
+    Op.SLL: "_w(a << (b & 31))",
+    Op.SRL: "_w(_u(a) >> (b & 31))",
+    Op.SRA: "_w(a >> (b & 31))",
+    Op.SLT: "1 if a < b else 0",
+    Op.SLTU: "1 if _u(a) < _u(b) else 0",
+    Op.ADDI: "_w(a + {imm})",
+    Op.ANDI: "_w(a & {imm})",
+    Op.ORI: "_w(a | {imm})",
+    Op.XORI: "_w(a ^ {imm})",
+    Op.SLLI: "_w(a << {imm5})",
+    Op.SRLI: "_w(_u(a) >> {imm5})",
+    Op.SRAI: "_w(a >> {imm5})",
+    Op.SLTI: "1 if a < {imm} else 0",
+    Op.LI: "{imm_wrapped}",
+    Op.MUL: "_w(a * b)",
+    Op.DIV: "_div(a, b)",
+    Op.REM: "_rem(a, b)",
+    Op.NOP: "0",
+}
+
+#: Same idea for :func:`fp`: per-op expressions over ``a``/``b`` with the
+#: non-finite division results bound as ``_inf``/``_ninf``/``_nan``.
+FP_EXPR = {
+    Op.FADD: "a + b",
+    Op.FSUB: "a - b",
+    Op.FMUL: "a * b",
+    Op.FDIV: "(_inf if a > 0 else _ninf if a < 0 else _nan) "
+             "if b == 0.0 else a / b",
+    Op.FSLT: "1 if a < b else 0",
+}
+
+#: Conditional-branch direction expressions mirroring :func:`branch_taken`
+#: (the block compiler folds the taken/fall-through targets around them).
+BRANCH_EXPR = {
+    Op.BEQ: "a == b",
+    Op.BNE: "a != b",
+    Op.BLT: "a < b",
+    Op.BGE: "a >= b",
+    Op.BLTU: "_u(a) < _u(b)",
+    Op.BGEU: "_u(a) >= _u(b)",
+}
+
+
 def alu(op: Op, a: int, b: int, imm: int) -> int:
     """Evaluate an integer ALU/MUL/DIV operation.
 

@@ -182,6 +182,10 @@ class OutOfOrderCore:
         # Per-tick cache of ``obs.pipeline_active`` so the per-instruction
         # emission guards are a single attribute read.
         self._obs_pipe = False
+        #: When set to a dict (``repro profile --hot``), retirement
+        #: tallies per-PC counts into it — in both this interpreter and
+        #: the blockgen fused loop.  None keeps the hot path untouched.
+        self._retire_pcs: Optional[Dict[int, int]] = None
         # Run-length state for cycle-accounting spans (only advanced while
         # a sink is attached; survives migrations so spans stay honest).
         self._span_class: Optional[str] = None
@@ -827,6 +831,7 @@ class OutOfOrderCore:
         rat = self.rat
         obs_pipe = self._obs_pipe
         retire_width = self._retire_width
+        retire_pcs = self._retire_pcs
         last_next = 0
         while rob and retired < retire_width:
             head = rob[0]
@@ -875,6 +880,8 @@ class OutOfOrderCore:
                 elif held & HOLD_REN_FP:
                     self.rename_fp_used -= 1
                 head.held = 0
+            if retire_pcs is not None:
+                retire_pcs[head.pc] = retire_pcs.get(head.pc, 0) + 1
             last_next = head.actual_next
             retired += 1
             if inst.op is Op.HALT:

@@ -1,19 +1,31 @@
 """Simulation-loop throughput benchmark (``python -m repro bench``).
 
 Times representative benches — one compute-bound (seq), one barrier-heavy,
-one communication+computation — under both schedulers: the naive per-cycle
-loop and the quiescence-aware fast-forward scheduler that is the default.
-Each case runs on a fresh machine per scheduler, asserts the two agree on
-final cycle and retired-instruction counts (the cycle-exactness guarantee,
-enforced exhaustively in tests/test_fastforward.py), and reports simulated
-cycles per wall-clock second.  Results are written to
+one communication+computation — under three simulation legs: the naive
+per-cycle loop, the quiescence-aware fast-forward scheduler, and the
+fast-forward scheduler with trace-cache block compilation on top (the
+default configuration).  Each case runs on a fresh machine per leg,
+asserts all legs agree on final cycle and retired-instruction counts (the
+cycle-exactness guarantee, enforced exhaustively in
+tests/test_fastforward.py and tests/test_blockgen.py), and reports
+simulated cycles per wall-clock second.  Results are written to
 ``BENCH_simloop.json`` so CI can archive the perf trajectory.
+
+Schema 2 notes: repeats are interleaved round-robin across the legs
+rather than run leg-by-leg, so slow host-frequency drift cannot bias one
+leg's best-of-N against another's (leg-sequential timing once produced a
+phantom 0.965x "regression" on the livermore case that an interleaved
+re-measurement showed to be 1.02x).  Each leg records its wall-clock
+spread (min/median/stdev) and the report carries a host fingerprint so
+archived numbers can be compared apples-to-apples.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
+import statistics
 import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
@@ -23,8 +35,14 @@ from repro.common.errors import SimulationError
 from repro.system.machine import Machine
 from repro.workloads import registry
 
-#: Report schema; bump when the JSON layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: Report schema; bump when the JSON layout changes.  Schema 2 added the
+#: blockgen leg, per-leg wall-clock spread, and the host fingerprint;
+#: :func:`check_report` still accepts schema-1 baselines (the simulated
+#: ``cycles``/``retired`` keys it gates on are unchanged).
+BENCH_SCHEMA_VERSION = 2
+
+#: Schemas :func:`check_report` knows how to read.
+_READABLE_SCHEMAS = (1, 2)
 
 #: Default output file (gitignored).
 DEFAULT_OUT = "BENCH_simloop.json"
@@ -46,12 +64,22 @@ CASES: Dict[str, Tuple[str, str, Dict]] = {
     "livermore": ("ll3", "seq", {"n": 256, "passes": 24}),
 }
 
-#: Timed runs per scheduler; the report keeps the best wall time (the
-#: others absorb allocator/cache warm-up noise).
+#: Timed runs per leg; the report keeps the best wall time plus the
+#: spread (the extra repeats absorb allocator/cache warm-up noise).
 BENCH_REPEATS = 3
 
+#: leg name -> (fast_forward, blockgen).  The blockgen leg is the default
+#: RunOptions configuration; running all three per case makes every bench
+#: invocation an A/B cycle-drift gate for the compiled hot loop.
+LEGS: Tuple[Tuple[str, bool, bool], ...] = (
+    ("naive", False, False),
+    ("fast_forward", True, False),
+    ("blockgen", True, True),
+)
 
-def _run_once(make_spec, fast_forward: bool) -> Tuple[int, int, float]:
+
+def _run_once(make_spec, fast_forward: bool,
+              blockgen: bool) -> Tuple[int, int, float]:
     """(final cycle, retired instructions, wall seconds) for one run.
 
     Builds a fresh spec and machine per run: several workload images are
@@ -61,53 +89,80 @@ def _run_once(make_spec, fast_forward: bool) -> Tuple[int, int, float]:
     machine = Machine(spec.system)
     machine.load(spec.workload)
     start = time.perf_counter()
-    cycles = machine.run(max_cycles=spec.max_cycles,
-                         fast_forward=fast_forward)
+    cycles = machine.run(options=RunOptions(max_cycles=spec.max_cycles,
+                                            fast_forward=fast_forward,
+                                            blockgen=blockgen))
     wall = time.perf_counter() - start
     return cycles, machine.total_retired(), wall
 
 
-def _run_best(make_spec, fast_forward: bool) -> Tuple[int, int, float]:
-    """Best-of-``BENCH_REPEATS`` wall time (results must not vary)."""
-    cycles, retired, wall = _run_once(make_spec, fast_forward)
-    for _ in range(BENCH_REPEATS - 1):
-        again_cycles, again_retired, again_wall = _run_once(
-            make_spec, fast_forward)
-        if (again_cycles, again_retired) != (cycles, retired):
-            raise SimulationError("bench run is not deterministic")
-        wall = min(wall, again_wall)
-    return cycles, retired, wall
+def _leg_stats(cycles: int, walls: List[float]) -> Dict:
+    """Wall-clock summary for one leg: best, spread, throughput."""
+    best = min(walls)
+    return {
+        "wall_s": best,
+        "wall_median_s": statistics.median(walls),
+        "wall_stdev_s": (statistics.stdev(walls) if len(walls) > 1 else 0.0),
+        "cycles_per_s": cycles / best,
+    }
 
 
 def run_case(name: str) -> Dict:
-    """Benchmark one case under both schedulers; returns the report row."""
+    """Benchmark one case under all legs; returns the report row."""
     bench, variant, kwargs = CASES[name]
 
     def make_spec():
         return registry.REGISTRY[bench].variants[variant](**kwargs)
 
     spec = make_spec()
-    naive_cycles, naive_retired, naive_wall = _run_best(make_spec, False)
-    ff_cycles, ff_retired, ff_wall = _run_best(make_spec, True)
-    if (ff_cycles, ff_retired) != (naive_cycles, naive_retired):
-        raise SimulationError(
-            f"bench case {name!r} ({spec.name}): fast-forward diverged — "
-            f"naive {naive_cycles} cycles / {naive_retired} retired, "
-            f"fast-forward {ff_cycles} / {ff_retired}")
-    return {
+    walls: Dict[str, List[float]] = {leg: [] for leg, _, _ in LEGS}
+    results: Dict[str, Tuple[int, int]] = {}
+    # Interleave repeats round-robin across legs so slow host drift (CPU
+    # frequency, thermal) spreads evenly instead of biasing one leg.
+    for _ in range(BENCH_REPEATS):
+        for leg, fast_forward, blockgen in LEGS:
+            cycles, retired, wall = _run_once(make_spec, fast_forward,
+                                              blockgen)
+            walls[leg].append(wall)
+            if leg not in results:
+                results[leg] = (cycles, retired)
+            elif results[leg] != (cycles, retired):
+                raise SimulationError(
+                    f"bench case {name!r} ({spec.name}): {leg} leg is "
+                    f"not deterministic")
+    reference = results["naive"]
+    for leg, _, _ in LEGS:
+        if results[leg] != reference:
+            raise SimulationError(
+                f"bench case {name!r} ({spec.name}): {leg} diverged — "
+                f"naive {reference[0]} cycles / {reference[1]} retired, "
+                f"{leg} {results[leg][0]} / {results[leg][1]}")
+    cycles, retired = reference
+    row: Dict = {
         "case": name,
         "spec": spec.name,
-        "cycles": naive_cycles,
-        "retired": naive_retired,
-        "naive": {
-            "wall_s": naive_wall,
-            "cycles_per_s": naive_cycles / naive_wall,
-        },
-        "fast_forward": {
-            "wall_s": ff_wall,
-            "cycles_per_s": naive_cycles / ff_wall,
-        },
-        "speedup": naive_wall / ff_wall,
+        "cycles": cycles,
+        "retired": retired,
+    }
+    for leg, _, _ in LEGS:
+        row[leg] = _leg_stats(cycles, walls[leg])
+    row["speedup"] = row["naive"]["wall_s"] / row["fast_forward"]["wall_s"]
+    row["blockgen_speedup"] = row["naive"]["wall_s"] / row["blockgen"]["wall_s"]
+    return row
+
+
+def host_fingerprint() -> Dict[str, str]:
+    """Interpreter and platform identity recorded with every report.
+
+    Wall-clock numbers are only comparable between reports that share a
+    fingerprint; :func:`check_report` ignores it (the simulated results
+    it gates on are host-independent).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
     }
 
 
@@ -121,6 +176,8 @@ def run_bench(case_names: Optional[List[str]] = None) -> Dict:
             f"(known: {', '.join(CASES)})")
     return {
         "schema": BENCH_SCHEMA_VERSION,
+        "host": host_fingerprint(),
+        "repeats": BENCH_REPEATS,
         "cases": [run_case(name) for name in names],
     }
 
@@ -188,7 +245,7 @@ def run_snapshot_roundtrip(case_names: Optional[List[str]] = None,
             "snapshot": path,
         })
     return {"schema": BENCH_SCHEMA_VERSION, "mode": "snapshot-roundtrip",
-            "cases": rows}
+            "host": host_fingerprint(), "cases": rows}
 
 
 def write_report(report: Dict, path: str = DEFAULT_OUT) -> None:
@@ -203,10 +260,17 @@ def check_report(fresh: Dict, baseline: Dict) -> List[str]:
     Simulated results (final cycles and retired instructions) must match
     exactly for every case the two reports share — they are deterministic,
     so any drift is a behaviour change, not noise.  Wall-clock numbers are
-    informational only and never fail the check.  Returns a list of
+    informational only and never fail the check.  Schema-1 baselines
+    (before the blockgen leg and the spread/host keys) remain readable:
+    the gated keys are identical in both layouts.  Returns a list of
     failure messages (empty when the gate passes).
     """
     failures: List[str] = []
+    for label, report in (("fresh", fresh), ("baseline", baseline)):
+        if report.get("schema") not in _READABLE_SCHEMAS:
+            return [f"{label} report has unknown schema "
+                    f"{report.get('schema')!r} "
+                    f"(readable: {_READABLE_SCHEMAS})"]
     fresh_rows = {row["case"]: row for row in fresh["cases"]}
     base_rows = {row["case"]: row for row in baseline["cases"]}
     shared = [name for name in base_rows if name in fresh_rows]
@@ -224,6 +288,11 @@ def check_report(fresh: Dict, baseline: Dict) -> List[str]:
 
 def format_report(report: Dict) -> str:
     lines = []
+    host = report.get("host")
+    if host:
+        lines.append(f"host: python {host['python']} "
+                     f"({host.get('implementation', '?')}) "
+                     f"on {host.get('platform', '?')}")
     for row in report["cases"]:
         if "naive" not in row:
             lines.append(
@@ -233,9 +302,16 @@ def format_report(report: Dict) -> str:
             continue
         naive = row["naive"]["cycles_per_s"]
         ff = row["fast_forward"]["cycles_per_s"]
-        lines.append(
+        line = (
             f"{row['case']:10s} {row['spec']:28s} {row['cycles']:>10d} cyc  "
             f"naive {naive / 1e3:8.1f} kcyc/s  "
-            f"fast-forward {ff / 1e3:8.1f} kcyc/s  "
-            f"speedup {row['speedup']:.2f}x")
+            f"ff {ff / 1e3:8.1f} kcyc/s")
+        if "blockgen" in row:
+            bg = row["blockgen"]["cycles_per_s"]
+            line += (f"  blockgen {bg / 1e3:8.1f} kcyc/s  "
+                     f"speedup {row['speedup']:.2f}x/"
+                     f"{row['blockgen_speedup']:.2f}x")
+        else:
+            line += f"  speedup {row['speedup']:.2f}x"
+        lines.append(line)
     return "\n".join(lines)

@@ -29,6 +29,20 @@ HOLD_SQ = 8
 HOLD_REN_INT = 16
 HOLD_REN_FP = 32
 
+#: ``Instruction.fetch_kind`` values — the fetch-stage classification the
+#: pipeline's ``_predict_next`` switches on, precomputed at decode so the
+#: trace-cache block compiler (repro.cpu.blockgen) can drive its fetch
+#: table off one small int per instruction.
+FETCH_SEQ = 0      # straight-line: next pc is pc + 1, no predictor access
+FETCH_COND = 1     # conditional branch: direction predictor vs pc + 1
+FETCH_JUMP = 2     # J: unconditional direct target
+FETCH_CALL = 3     # JAL: push RAS, then direct target
+FETCH_RET = 4      # JR: pop RAS / BTB, may stall fetch unresolved
+FETCH_HALT = 5     # HALT: fetch stops dead after this instruction
+
+_COND_BRANCH_OPS = frozenset(
+    (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU))
+
 
 def reg_index(name: str) -> int:
     """Translate ``"r5"`` / ``"f3"`` into the flat register index."""
@@ -74,7 +88,7 @@ class Instruction:
 
     __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target", "index",
                  "info", "_dest", "_sources", "needs_fp_iq", "needs_int_iq",
-                 "uses_lq", "uses_sq", "dest_fp", "held_mask")
+                 "uses_lq", "uses_sq", "dest_fp", "held_mask", "fetch_kind")
 
     def __init__(self, op: Op, rd: Optional[int] = None,
                  rs1: Optional[int] = None, rs2: Optional[int] = None,
@@ -119,6 +133,19 @@ class Instruction:
         if self._dest is not None:
             held |= HOLD_REN_FP if self.dest_fp else HOLD_REN_INT
         self.held_mask: int = held
+        if op is Op.HALT:
+            kind = FETCH_HALT
+        elif not op_info.is_branch:
+            kind = FETCH_SEQ
+        elif op in _COND_BRANCH_OPS:
+            kind = FETCH_COND
+        elif op is Op.J:
+            kind = FETCH_JUMP
+        elif op is Op.JAL:
+            kind = FETCH_CALL
+        else:  # JR
+            kind = FETCH_RET
+        self.fetch_kind: int = kind
 
     def sources(self):
         """Register indices read by this instruction (excluding r0)."""

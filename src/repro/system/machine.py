@@ -17,6 +17,7 @@ from repro.common.stats import Stats
 from repro.core.controller import SplClusterController
 from repro.core.function import SplFunction
 from repro.core.tables import BarrierBus
+from repro.cpu.blockgen import BlockRunner
 from repro.cpu.context import ThreadContext
 from repro.cpu.pipeline import OutOfOrderCore
 from repro.mem.hierarchy import CoherentMemorySystem
@@ -125,6 +126,14 @@ class Machine:
         #: overhead in busy phases — cycle-exactness is unaffected.
         self._ff_backoff = 1
         self._ff_resume_probe = 0
+        #: Trace-cache block compilation (repro.cpu.blockgen): per-core
+        #: specialized executors plus an engagement backoff mirroring the
+        #: fast-forward probe's.  Deliberately *not* snapshotted — these
+        #: are performance hints only; a restored machine re-derives them
+        #: and produces identical cycles and stats either way.
+        self._bg_runners: Dict[int, BlockRunner] = {}
+        self._bg_backoff = 1
+        self._bg_resume_probe = 0
 
     def _make_waker(self, indices: List[int]):
         """Delivery callback for a controller: pokes the slot's core so the
@@ -249,9 +258,10 @@ class Machine:
         # Unknown hardware (a controller without the next_event_cycle
         # contract) disables fast-forward entirely: the scheduler could
         # neither bound its events nor trust it to poke elided cores.
-        use_ff = (options.fast_forward and until is None
-                  and all(hasattr(c, "next_event_cycle")
-                          for c in controllers))
+        # Blockgen leans on the same contract to bound its windows.
+        bounded = all(hasattr(c, "next_event_cycle") for c in controllers)
+        use_ff = options.fast_forward and until is None and bounded
+        use_bg = options.blockgen and until is None and bounded
         while self.cycle < stop:
             if until is not None and until():
                 return self.cycle
@@ -275,7 +285,19 @@ class Machine:
             for controller in controllers:
                 controller.tick(cycle)
             nxt = cycle + 1
-            if (use_ff and cycle >= self._ff_resume_probe
+            advanced = False
+            if (use_bg and cycle >= self._bg_resume_probe
+                    and not self.obs.active):
+                done = self._try_block_window(nxt, min(stop, next_watchdog))
+                if done > nxt:
+                    self._bg_backoff = 1
+                    nxt = done
+                    advanced = True
+                else:
+                    self._bg_backoff = min(self._bg_backoff * 2,
+                                           _FF_BACKOFF_CAP)
+                    self._bg_resume_probe = cycle + self._bg_backoff
+            if (not advanced and use_ff and cycle >= self._ff_resume_probe
                     and not self.obs.pipeline_active):
                 target, progressed = self._ff_probe(
                     cycle, min(stop, next_watchdog))
@@ -386,6 +408,43 @@ class Machine:
             # legal stall.
             self._ff_progress = best
         return best, True
+
+    def _try_block_window(self, start: int, ceiling: int) -> int:
+        """Attempt a fused block-compiled window ``[start, ...)``.
+
+        Engages :class:`repro.cpu.blockgen.BlockRunner` when exactly one
+        core is running, it is not elided/poked/draining/stalled, and
+        every controller is provably quiescent until some bound (the same
+        ``next_event_cycle`` contract fast-forward relies on: skipped
+        controller ticks are no-ops, and inactive cores' ticks return
+        immediately).  Returns the first cycle *not* executed — ``start``
+        when the window declines or deopts immediately.
+        """
+        active = None
+        for core in self.cores:
+            if core.ctx is None or core.halted:
+                continue
+            if active is not None:
+                return start  # >1 running core: stay interpreted
+            active = core
+        if active is None:
+            return start
+        if (active.ff_skip_from >= 0 or active.ff_poke or active.stop_fetch
+                or start < active.stall_until):
+            return start
+        end = ceiling
+        now = start - 1
+        for controller in self._controllers:
+            event = controller.next_event_cycle(now)
+            if event is not None and event < end:
+                end = event
+        if end <= start:
+            return start
+        runner = self._bg_runners.get(active.index)
+        if runner is None or runner.ctx is not active.ctx:
+            runner = BlockRunner(active)
+            self._bg_runners[active.index] = runner
+        return runner.run_window(start, end)
 
     def _ff_flush(self) -> None:
         """Credit outstanding elision windows when run() stops iterating.

@@ -1,0 +1,231 @@
+"""Trace-cache block compilation (repro.cpu.blockgen).
+
+Three properties are enforced:
+
+1. **Template fidelity.**  The source templates the block compiler folds
+   into generated closures (``ALU_EXPR``/``FP_EXPR``/``BRANCH_EXPR``) are
+   swept against the authoritative evaluators (``ALU_TABLE``,
+   :func:`repro.cpu.exec.fp`, :func:`repro.cpu.exec.branch_taken`) on
+   randomized operands — any divergence is a silent wrong-result bug in
+   the fused loop.
+2. **Cache keying.**  Compiled blocks are memoized per program keyed by
+   (BLOCKGEN_VERSION, core config, instruction fingerprint): same inputs
+   hit, a different config or a mutated program must miss.  The same
+   invalidation contract holds one layer down for DFG codegen.
+3. **Gating and integration.**  The ``REPRO_NO_BLOCKGEN`` /
+   ``REPRO_NO_CODEGEN`` escape hatches and mid-run snapshots preserve the
+   simulation exactly; the generated source stays inspectable.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.common.config import RunOptions, SystemConfig, ooo1_cluster, \
+    ooo2_cluster
+from repro.common.utils import to_unsigned
+from repro.cpu import exec as exec_mod
+from repro.cpu.blockgen import compiled_blocks
+from repro.isa.opcodes import Op
+from repro.system import Machine
+from repro.workloads import registry
+
+_EXPR_NAMESPACE = {
+    "_w": exec_mod._wrap,
+    "_u": to_unsigned,
+    "_div": exec_mod._div,
+    "_rem": exec_mod._rem,
+    "_inf": float("inf"),
+    "_ninf": float("-inf"),
+    "_nan": float("nan"),
+}
+
+
+def _fold(template, imm):
+    """Fold an immediate into a template like the block compiler does."""
+    return template.format(imm=f"({imm})", imm5=repr(imm & 31),
+                           imm_wrapped=f"({exec_mod._wrap(imm)})")
+
+
+def test_alu_expr_covers_alu_table():
+    assert set(exec_mod.ALU_EXPR) == set(exec_mod.ALU_TABLE)
+
+
+@pytest.mark.parametrize("op", sorted(exec_mod.ALU_EXPR,
+                                      key=lambda op: op.name))
+def test_alu_expr_matches_table(op):
+    rng = random.Random(f"alu-{op.name}")
+    edge = [0, 1, -1, 31, 32, 2**31 - 1, -2**31, -2048, 2047]
+    for trial in range(200):
+        if trial < len(edge) ** 2:
+            a = edge[trial % len(edge)]
+            b = edge[trial // len(edge) % len(edge)]
+        else:
+            a = rng.randint(-2**31, 2**31 - 1)
+            b = rng.randint(-2**31, 2**31 - 1)
+        imm = rng.randint(-2048, 2047)
+        got = eval(_fold(exec_mod.ALU_EXPR[op], imm),
+                   dict(_EXPR_NAMESPACE), {"a": a, "b": b})
+        assert got == exec_mod.ALU_TABLE[op](a, b, imm), \
+            f"{op.name}(a={a}, b={b}, imm={imm})"
+
+
+@pytest.mark.parametrize("op", sorted(exec_mod.FP_EXPR,
+                                      key=lambda op: op.name))
+def test_fp_expr_matches_fp(op):
+    rng = random.Random(f"fp-{op.name}")
+    values = [0.0, -0.0, 1.0, -1.0, 0.5, 1e30, -1e30]
+    for trial in range(200):
+        if trial < len(values) ** 2:
+            a = values[trial % len(values)]
+            b = values[trial // len(values) % len(values)]
+        else:
+            a = rng.uniform(-1e6, 1e6)
+            b = rng.uniform(-1e6, 1e6)
+        got = eval(exec_mod.FP_EXPR[op], dict(_EXPR_NAMESPACE),
+                   {"a": a, "b": b})
+        want = exec_mod.fp(op, a, b)
+        if isinstance(want, float) and math.isnan(want):
+            assert isinstance(got, float) and math.isnan(got)
+        else:
+            assert got == want, f"{op.name}(a={a}, b={b})"
+
+
+@pytest.mark.parametrize("op", sorted(exec_mod.BRANCH_EXPR,
+                                      key=lambda op: op.name))
+def test_branch_expr_matches_branch_taken(op):
+    rng = random.Random(f"br-{op.name}")
+    edge = [0, 1, -1, 2**31 - 1, -2**31]
+    for trial in range(200):
+        if trial < len(edge) ** 2:
+            a = edge[trial % len(edge)]
+            b = edge[trial // len(edge) % len(edge)]
+        else:
+            a = rng.randint(-2**31, 2**31 - 1)
+            b = rng.randint(-2**31, 2**31 - 1)
+        got = bool(eval(exec_mod.BRANCH_EXPR[op], dict(_EXPR_NAMESPACE),
+                        {"a": a, "b": b}))
+        assert got == exec_mod.branch_taken(op, a, b), \
+            f"{op.name}(a={a}, b={b})"
+
+
+# ------------------------------------------------------------- cache keying
+
+
+def _program():
+    from repro.isa import Asm
+    a = Asm("loop")
+    a.li("r1", 0)
+    a.li("r2", 10)
+    a.label("loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    return a.assemble()
+
+
+def _core_configs():
+    machine = Machine(SystemConfig(clusters=[ooo1_cluster(n_cores=1),
+                                             ooo2_cluster(n_cores=1)]))
+    return machine.cores[0].config, machine.cores[-1].config
+
+
+def test_compiled_blocks_memoized_per_program_and_config():
+    prog = _program()
+    cfg1, cfg2 = _core_configs()
+    assert cfg1 != cfg2
+    bp = compiled_blocks(prog, cfg1)
+    assert compiled_blocks(prog, cfg1) is bp
+    assert compiled_blocks(prog, cfg2) is not bp
+
+
+def test_compiled_blocks_miss_on_program_mutation():
+    prog = _program()
+    cfg, _ = _core_configs()
+    bp = compiled_blocks(prog, cfg)
+    prog.instructions[0].imm = 7  # li r1, 0 -> li r1, 7
+    assert compiled_blocks(prog, cfg) is not bp
+
+
+def test_dfg_mutation_invalidates_compiled_closures():
+    """Mutating a Dfg after first evaluation recompiles its closures."""
+    from repro.core.dfg import Dfg, DfgOp
+    from repro.core.function import SplFunction
+    dfg = Dfg("f")
+    x = dfg.input("x", offset=0, width=4)
+    dfg.output("y", dfg.op(DfgOp.ADD, x, x))
+    fn = SplFunction(dfg)
+    first = fn.compiled
+    if first is None:
+        pytest.skip("codegen disabled in this environment")
+    assert fn.compiled is first  # unchanged graph: cached
+    dfg.output("z", dfg.op(DfgOp.ADD, x, x))
+    second = fn.compiled
+    assert second is not first
+    assert second.evaluate({"x": 3}) == {"y": 6, "z": 6}
+
+
+# --------------------------------------------------------- gating, snapshot
+
+
+def _run_small(options=None):
+    spec = registry.REGISTRY["g721dec"].variants["seq"](items=4)
+    machine = Machine(spec.system)
+    machine.load(spec.workload)
+    cycles = machine.run(options=options or
+                         RunOptions(max_cycles=spec.max_cycles))
+    return cycles, machine.total_retired(), machine
+
+
+def test_blockgen_run_matches_interpreter_exactly():
+    spec = registry.REGISTRY["g721dec"].variants["seq"](items=4)
+    base_cycles, base_retired, base = _run_small(
+        RunOptions(max_cycles=spec.max_cycles, fast_forward=False,
+                   blockgen=False))
+    fused_cycles, fused_retired, fused = _run_small(
+        RunOptions(max_cycles=spec.max_cycles, fast_forward=True,
+                   blockgen=True))
+    assert (fused_cycles, fused_retired) == (base_cycles, base_retired)
+    assert fused.stats.as_dict() == base.stats.as_dict()
+
+
+@pytest.mark.parametrize("env", ["REPRO_NO_BLOCKGEN", "REPRO_NO_CODEGEN"])
+def test_env_gates_preserve_simulation(env, monkeypatch):
+    """Each escape hatch alone must not change the simulated results."""
+    reference = _run_small()[:2]
+    monkeypatch.setenv(env, "1")
+    assert _run_small()[:2] == reference
+
+
+def test_snapshot_roundtrip_with_blockgen(tmp_path):
+    """Pausing a blockgen run mid-flight, snapshotting to disk, and
+    resuming reproduces the uninterrupted run exactly (the _bg_* machine
+    fields are performance hints and deliberately not snapshotted)."""
+    from repro.experiments.engine import request
+    from repro.system.snapshot import (read_snapshot, restore_machine,
+                                       write_snapshot)
+    total, retired, _ = _run_small()
+
+    spec = registry.REGISTRY["g721dec"].variants["seq"](items=4)
+    paused = Machine(spec.system)
+    paused.load(spec.workload)
+    paused.run(options=RunOptions(max_cycles=spec.max_cycles,
+                                  pause_at=total // 2))
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, paused, request("g721dec", "seq", items=4))
+    restored, rebuilt = restore_machine(read_snapshot(path))
+    cycles = restored.run(options=RunOptions(max_cycles=rebuilt.max_cycles))
+    assert (cycles, restored.total_retired()) == (total, retired)
+
+
+def test_generated_source_is_inspectable():
+    """A compute-bound run leaves fused windows and readable source."""
+    _, _, machine = _run_small()
+    runners = list(machine._bg_runners.values())
+    assert runners, "blockgen never engaged on a compute-bound run"
+    assert sum(r.windows for r in runners) > 0
+    assert sum(r.fused_cycles for r in runners) > 0
+    dump = runners[0].bp.source_dump()
+    assert "def _pc" in dump
+    assert runners[0].bp.hit_rate() > 0.5

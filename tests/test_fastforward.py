@@ -73,21 +73,29 @@ def _flat(tree, prefix="", out=None):
     return out
 
 
-def _run(bench, variant, kwargs, fast_forward):
+def _run(bench, variant, kwargs, fast_forward, blockgen=False):
     # Workload images are consumed by execution: build a fresh spec per run.
     spec = registry.REGISTRY[bench].variants[variant](**kwargs)
-    return execute(spec, options=RunOptions(fast_forward=fast_forward))
+    return execute(spec, options=RunOptions(fast_forward=fast_forward,
+                                            blockgen=blockgen))
 
 
 @pytest.mark.parametrize(
     "bench,variant,kwargs", _registry_cases(),
     ids=lambda v: v if isinstance(v, str) else "")
 def test_differential_sweep(bench, variant, kwargs):
-    """Every registry bench x variant: both schedulers, same simulation."""
+    """Every registry bench x variant: the naive per-cycle loop, the
+    fast-forward scheduler, and fast-forward with trace-cache block
+    compilation on top (the default configuration) are the same
+    simulation — identical final cycle and identical stats tree."""
     naive = _run(bench, variant, kwargs, fast_forward=False)
+    flat = _flat(naive.stats.as_dict())
     fast = _run(bench, variant, kwargs, fast_forward=True)
     assert fast.cycles == naive.cycles
-    assert _flat(fast.stats.as_dict()) == _flat(naive.stats.as_dict())
+    assert _flat(fast.stats.as_dict()) == flat
+    fused = _run(bench, variant, kwargs, fast_forward=True, blockgen=True)
+    assert fused.cycles == naive.cycles
+    assert _flat(fused.stats.as_dict()) == flat
 
 
 #: SPL-heavy cases for the codegen on/off leg of the sweep (compute-only,
@@ -284,6 +292,36 @@ def test_no_fastforward_env_forces_naive_loop(monkeypatch):
     monkeypatch.setattr(Machine, "_ff_probe", boom)
     result = _run("g721dec", "seq", {"items": 4}, fast_forward=None)
     assert result.cycles > 0
+
+
+def test_no_blockgen_env_forces_interpreter_loop(monkeypatch):
+    """REPRO_NO_BLOCKGEN=1 must keep the run off the compiled windows."""
+    monkeypatch.setenv("REPRO_NO_BLOCKGEN", "1")
+
+    def boom(self, start, ceiling):
+        raise AssertionError("block window ran despite escape hatch")
+
+    monkeypatch.setattr(Machine, "_try_block_window", boom)
+    result = _run("g721dec", "seq", {"items": 4},
+                  fast_forward=None, blockgen=None)
+    assert result.cycles > 0
+
+
+def test_blockgen_engages_by_default(monkeypatch):
+    """The compiled hot loop is on by default for compute-bound runs —
+    the window probe must actually be consulted."""
+    probes = [0]
+    original = Machine._try_block_window
+
+    def counting(self, start, ceiling):
+        probes[0] += 1
+        return original(self, start, ceiling)
+
+    monkeypatch.setattr(Machine, "_try_block_window", counting)
+    result = _run("g721dec", "seq", {"items": 4},
+                  fast_forward=None, blockgen=None)
+    assert result.cycles > 0
+    assert probes[0] > 0
 
 
 def test_fast_forward_skips_ticks_on_barrier_wait():
