@@ -19,7 +19,11 @@ properties are enforced per scenario (``python -m repro fuzz``):
    combination of DFG codegen on/off, fast-forward on/off, and
    trace-cache block compilation on/off; cycle counts, every stats
    counter, and result memory words must be identical across the eight
-   modes.
+   modes.  The multithreaded scenarios (rings, producer/consumer pairs,
+   barriers) keep several cores live at once, so the blockgen=on legs
+   exercise the fused *multi-core* window path (DESIGN.md section 10) —
+   per-core deopt, in-window elision, and cross-core pokes are all
+   covered by the same agreement contract.
 
 Any violation is a *disagreement*; :func:`run_fuzz` reports them all and
 returns a non-zero exit code if any exist.  Scenario generation is fully

@@ -326,13 +326,17 @@ def _cmd_profile_hot(args) -> int:
             "total_cycles": cycles,
             "blockgen": {"windows": windows, "fused_cycles": fused,
                          "deopts": deopts, "block_compiles": compiles,
-                         "block_entries": entries, "hit_rate": hit_rate},
+                         "block_entries": entries, "hit_rate": hit_rate,
+                         "multi_windows": machine._bg_multi.windows,
+                         "multi_fused_cycles": machine._bg_multi.fused_cycles},
             "hot_pcs": top,
         }, indent=2))
         return EXIT_OK
     print(f"{spec.name}: {cycles} cycles")
     print(f"blockgen: {windows} windows, {fused} fused cycles "
           f"({fused / cycles:.1%} of total), {deopts} deopts")
+    print(f"multi-core: {machine._bg_multi.windows} fused windows, "
+          f"{machine._bg_multi.fused_cycles} core-cycles stepped")
     print(f"block cache: {compiles} compiles, {entries} entries, "
           f"hit rate {hit_rate:.1%}")
     print(f"hot PCs (top {len(top)} by retire count):")

@@ -147,6 +147,14 @@ class OutOfOrderCore:
         self.ff_skip_from = -1
         self.ff_poke = False
         self._ff_plan: Optional[Tuple] = None
+        # Blockgen residency (owned by MultiBlockRunner): while True, a
+        # compiled generator holds this core's scalar pipeline state in
+        # locals, so a snoop invalidation must be deferred — recorded
+        # here and replayed by the window walk after the generator has
+        # written its state back.  The core's own state is frozen from
+        # the snoop to the replay, so the deferred apply is bit-exact.
+        self._bg_resident = False
+        self._bg_pending_inval: List[int] = []
         self._rename_limit_int = config.int_regs - 32
         self._rename_limit_fp = config.fp_regs - 32
         # Structure limits copied off the config object: the dispatch /
@@ -802,6 +810,18 @@ class OutOfOrderCore:
     def _on_invalidation(self, target_core: int, line: int) -> None:
         """Snoop-invalidation hook: replay in-flight loads of that line."""
         if target_core != self.index or not self.rob:
+            return
+        if self._bg_resident:
+            # A compiled generator holds this core's scalar state in
+            # locals (``rob`` contents are shared in place, so the empty
+            # check above is sound).  Record the line and poke; the
+            # multi-core window walk syncs the generator and replays the
+            # invalidation before this core's next cycle slot — at which
+            # point the state it sees is identical to what the in-order
+            # interpreter walk would have shown, because the core does
+            # not run between the snoop and its slot.
+            self.ff_poke = True
+            self._bg_pending_inval.append(line)
             return
         for entry in self.rob:
             # Serialized ops (atomics) execute non-speculatively at the ROB

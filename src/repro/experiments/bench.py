@@ -79,8 +79,9 @@ LEGS: Tuple[Tuple[str, bool, bool], ...] = (
 
 
 def _run_once(make_spec, fast_forward: bool,
-              blockgen: bool) -> Tuple[int, int, float]:
-    """(final cycle, retired instructions, wall seconds) for one run.
+              blockgen: bool) -> Tuple[int, int, float, Machine]:
+    """(final cycle, retired instructions, wall seconds, machine) for one
+    run.
 
     Builds a fresh spec and machine per run: several workload images are
     consumed by execution, so specs are single-use.
@@ -93,7 +94,7 @@ def _run_once(make_spec, fast_forward: bool,
                                             fast_forward=fast_forward,
                                             blockgen=blockgen))
     wall = time.perf_counter() - start
-    return cycles, machine.total_retired(), wall
+    return cycles, machine.total_retired(), wall, machine
 
 
 def _leg_stats(cycles: int, walls: List[float]) -> Dict:
@@ -119,11 +120,20 @@ def run_case(name: str) -> Dict:
     results: Dict[str, Tuple[int, int]] = {}
     # Interleave repeats round-robin across legs so slow host drift (CPU
     # frequency, thermal) spreads evenly instead of biasing one leg.
+    engagement: Dict[str, int] = {}
     for _ in range(BENCH_REPEATS):
         for leg, fast_forward, blockgen in LEGS:
-            cycles, retired, wall = _run_once(make_spec, fast_forward,
-                                              blockgen)
+            cycles, retired, wall, machine = _run_once(
+                make_spec, fast_forward, blockgen)
             walls[leg].append(wall)
+            if blockgen:
+                runners = machine._bg_runners.values()
+                engagement = {
+                    "windows": sum(r.windows for r in runners),
+                    "fused_cycles": sum(r.fused_cycles for r in runners),
+                    "multi_windows": machine._bg_multi.windows,
+                    "multi_fused_cycles": machine._bg_multi.fused_cycles,
+                }
             if leg not in results:
                 results[leg] = (cycles, retired)
             elif results[leg] != (cycles, retired):
@@ -146,6 +156,10 @@ def run_case(name: str) -> Dict:
     }
     for leg, _, _ in LEGS:
         row[leg] = _leg_stats(cycles, walls[leg])
+    if engagement:
+        # Informational (never gated): how much of the blockgen leg ran
+        # inside fused windows, split single-core vs multi-core.
+        row["blockgen"]["engagement"] = engagement
     row["speedup"] = row["naive"]["wall_s"] / row["fast_forward"]["wall_s"]
     row["blockgen_speedup"] = row["naive"]["wall_s"] / row["blockgen"]["wall_s"]
     return row

@@ -17,7 +17,7 @@ from repro.common.stats import Stats
 from repro.core.controller import SplClusterController
 from repro.core.function import SplFunction
 from repro.core.tables import BarrierBus
-from repro.cpu.blockgen import BlockRunner
+from repro.cpu.blockgen import BlockRunner, MultiBlockRunner, _BG_NEVER
 from repro.cpu.context import ThreadContext
 from repro.cpu.pipeline import OutOfOrderCore
 from repro.mem.hierarchy import CoherentMemorySystem
@@ -134,6 +134,14 @@ class Machine:
         self._bg_runners: Dict[int, BlockRunner] = {}
         self._bg_backoff = 1
         self._bg_resume_probe = 0
+        #: Multi-core fused windows (DESIGN.md §10) plus per-core
+        #: engagement backoff: one core deopting every window must not
+        #: starve compiled execution on its siblings, so each core's
+        #: eligibility backs off independently of the global probe.
+        #: Not snapshotted, like every other ``_bg_*`` hint.
+        self._bg_multi = MultiBlockRunner(self)
+        self._bg_core_backoff: Dict[int, int] = {}
+        self._bg_core_resume: Dict[int, int] = {}
 
     def _make_waker(self, indices: List[int]):
         """Delivery callback for a controller: pokes the slot's core so the
@@ -288,7 +296,8 @@ class Machine:
             advanced = False
             if (use_bg and cycle >= self._bg_resume_probe
                     and not self.obs.active):
-                done = self._try_block_window(nxt, min(stop, next_watchdog))
+                done = self._try_block_window(nxt, min(stop, next_watchdog),
+                                              use_ff)
                 if done > nxt:
                     self._bg_backoff = 1
                     nxt = done
@@ -409,42 +418,120 @@ class Machine:
             self._ff_progress = best
         return best, True
 
-    def _try_block_window(self, start: int, ceiling: int) -> int:
+    def _runner_for(self, core) -> BlockRunner:
+        """The cached :class:`BlockRunner` for ``core``, rebuilt whenever
+        the core's bound context has changed since the last window."""
+        runner = self._bg_runners.get(core.index)
+        if runner is None or runner.ctx is not core.ctx:
+            runner = BlockRunner(core)
+            self._bg_runners[core.index] = runner
+        return runner
+
+    def _bg_note(self, index: int, productive: bool, at: int) -> None:
+        """Per-core engagement backoff (independent of the global probe
+        backoff): a core that keeps deopting stops being *compiled* for a
+        while but still ticks inside its siblings' windows."""
+        if productive:
+            self._bg_core_backoff[index] = 1
+            self._bg_core_resume[index] = 0
+        else:
+            backoff = min(self._bg_core_backoff.get(index, 1) * 2,
+                          _FF_BACKOFF_CAP)
+            self._bg_core_backoff[index] = backoff
+            self._bg_core_resume[index] = at + backoff
+
+    def _try_block_window(self, start: int, ceiling: int,
+                          allow_elide: bool = False) -> int:
         """Attempt a fused block-compiled window ``[start, ...)``.
 
-        Engages :class:`repro.cpu.blockgen.BlockRunner` when exactly one
-        core is running, it is not elided/poked/draining/stalled, and
-        every controller is provably quiescent until some bound (the same
+        Engagement requires at least one running core that is eligible
+        for compiled execution — not elided, not draining, not backed
+        off.  One running core takes the specialized single-core
+        ``run_window``, which additionally requires every controller
+        provably quiescent until some bound (the same
         ``next_event_cycle`` contract fast-forward relies on: skipped
-        controller ticks are no-ops, and inactive cores' ticks return
-        immediately).  Returns the first cycle *not* executed — ``start``
-        when the window declines or deopts immediately.
+        controller ticks are no-ops) because it never ticks them.  Two
+        or more running cores take the
+        :class:`repro.cpu.blockgen.MultiBlockRunner` per-cycle walk, in
+        which ineligible cores still advance (interpreted or elided)
+        while their siblings run compiled; the walk ticks controllers
+        itself from their event bound on, so streaming phases fuse too.  ``allow_elide`` forwards the
+        run's fast-forward setting to the in-window elision machinery.
+        Returns the first cycle *not* executed — ``start`` when the
+        window declines or deopts immediately.
         """
-        active = None
-        for core in self.cores:
-            if core.ctx is None or core.halted:
-                continue
-            if active is not None:
-                return start  # >1 running core: stay interpreted
-            active = core
-        if active is None:
+        actives = [core for core in self.cores
+                   if core.ctx is not None and not core.halted]
+        if not actives:
             return start
-        if (active.ff_skip_from >= 0 or active.ff_poke or active.stop_fetch
-                or start < active.stall_until):
+        if len(actives) == 1:
+            active = actives[0]
+            if (active.ff_skip_from >= 0 or active.ff_poke
+                    or active.stop_fetch or start < active.stall_until
+                    or start < self._bg_core_resume.get(active.index, 0)):
+                return start
+            end = ceiling
+            now = start - 1
+            for controller in self._controllers:
+                event = controller.next_event_cycle(now)
+                if event is not None and event < end:
+                    end = event
+            if end <= start:
+                return start
+            done = self._runner_for(active).run_window(start, end)
+            self._bg_note(active.index, done > start, done)
+            return done
+        # Multi-core window.  An elided core with a pending poke must
+        # resume through the machine loop's own resume block first.
+        any_live = False
+        for core in actives:
+            if core.ff_skip_from >= 0:
+                if core.ff_poke:
+                    return start
+            else:
+                any_live = True
+        if not any_live:
             return start
-        end = ceiling
+        # Unlike the single-core path, a controller event does not bound
+        # the multi window: the walk ticks controllers itself from
+        # ``ctl_resume`` on (going live immediately when a streaming
+        # controller's bound is already due), so the window runs to the
+        # ceiling instead of exiting at every delivery.
         now = start - 1
+        ctl_resume = _BG_NEVER
         for controller in self._controllers:
             event = controller.next_event_cycle(now)
-            if event is not None and event < end:
-                end = event
-        if end <= start:
+            if event is not None and event < ctl_resume:
+                ctl_resume = event
+        resume = self._bg_core_resume
+        runners = []
+        eligible = 0
+        for core in actives:
+            # Elided cores get a runner too: a barrier release or queue
+            # delivery can resume them mid-window, and they should come
+            # back compiled instead of interpreting until the ceiling.
+            runner = None
+            if (not core.stop_fetch
+                    and start >= resume.get(core.index, 0)):
+                runner = self._runner_for(core)
+                if core.ff_skip_from < 0:
+                    eligible += 1
+            runners.append(runner)
+        if not eligible:
             return start
-        runner = self._bg_runners.get(active.index)
-        if runner is None or runner.ctx is not active.ctx:
-            runner = BlockRunner(active)
-            self._bg_runners[active.index] = runner
-        return runner.run_window(start, end)
+        done, stepped, delegated, attempted, elided = \
+            self._bg_multi.run_window(start, ceiling, actives, runners,
+                                      allow_elide, ctl_resume)
+        for i, core in enumerate(actives):
+            if runners[i] is None:
+                continue
+            if stepped[i] or delegated[i]:
+                self._bg_note(core.index, True, done)
+            elif attempted[i] and not elided[i] and not core.halted:
+                # Attempted but never compiled a cycle, and not excused
+                # by quiescence: this core is deopt-bound right now.
+                self._bg_note(core.index, False, done)
+        return done
 
     def _ff_flush(self) -> None:
         """Credit outstanding elision windows when run() stops iterating.

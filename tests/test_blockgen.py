@@ -229,3 +229,128 @@ def test_generated_source_is_inspectable():
     dump = runners[0].bp.source_dump()
     assert "def _pc" in dump
     assert runners[0].bp.hit_rate() > 0.5
+
+
+# ------------------------------------------------------- multi-core windows
+
+
+def _three_legs(spec_or_workload, system=None, max_cycles=2_000_000):
+    """Run naive / fast-forward / fast-forward+blockgen; return
+    [(cycles, stats, machine)] in that order."""
+    legs = []
+    for ff, bg in ((False, False), (True, False), (True, True)):
+        if system is None:
+            machine = Machine(spec_or_workload.system)
+            machine.load(spec_or_workload.workload)
+            limit = spec_or_workload.max_cycles
+        else:
+            machine = Machine(system)
+            machine.load(spec_or_workload)
+            limit = max_cycles
+        cycles = machine.run(options=RunOptions(
+            max_cycles=limit, fast_forward=ff, blockgen=bg))
+        legs.append((cycles, machine.stats.as_dict(), machine))
+    return legs
+
+
+def test_multi_core_windows_engage_and_match():
+    """Barrier phases with all cores busy run fused multi-core windows,
+    cycle- and stats-exact against the interpreter."""
+    spec = registry.REGISTRY["ll2"].variants["barrier"](n=32, p=8)
+    naive, ff, fused = _three_legs(spec)
+    assert fused[0] == ff[0] == naive[0]
+    assert fused[1] == naive[1]
+    machine = fused[2]
+    assert machine._bg_multi.windows > 0
+    assert machine._bg_multi.fused_cycles > 0
+
+
+def _invalidation_workload():
+    """Two cores ping-pong one cache line: core 1 stores a counter into
+    the line core 0 spin-reads, with a 12-cycle divide pinning core 0's
+    ROB head so completed loads sit un-retired when the snoop
+    invalidation lands — every hit must replay the load (and poke the
+    core out of any fused window)."""
+    from repro.isa import Asm
+    from repro.isa.program import MemoryImage, ThreadSpec
+    from repro.system.workload import Workload
+
+    image = MemoryImage()
+    flag = image.alloc_words([0])
+    done = 200
+    reader = Asm("inval_reader")
+    reader.li("r3", flag)
+    reader.li("r4", done)
+    reader.li("r6", 7)
+    reader.li("r9", 3)
+    reader.li("r7", 0)
+    reader.label("spin")
+    reader.div("r8", "r6", "r9")
+    reader.lw("r5", "r3", 0)
+    reader.add("r7", "r7", "r5")
+    reader.bne("r5", "r4", "spin")
+    reader.halt()
+    writer = Asm("inval_writer")
+    writer.li("r3", flag)
+    writer.li("r4", done)
+    writer.li("r5", 0)
+    writer.label("loop")
+    writer.addi("r5", "r5", 1)
+    writer.sw("r5", "r3", 0)
+    writer.blt("r5", "r4", "loop")
+    writer.halt()
+    return Workload("inval_replay", image,
+                    [ThreadSpec(reader.assemble(), 0),
+                     ThreadSpec(writer.assemble(), 1)])
+
+
+def test_invalidation_replay_inside_multi_core_window():
+    """Cache-invalidation load replays landing inside a fused multi-core
+    window stay exact: the replay flushes from outside tick(), and the
+    window must resume the victim at the same cycle the interpreter
+    would."""
+    system = SystemConfig(clusters=[ooo1_cluster(4)])
+    naive, ff, fused = _three_legs(_invalidation_workload(), system=system)
+
+    def replays(stats):
+        return sum(v for k, v in stats.items()
+                   if k.endswith("load_replays"))
+
+    assert replays(naive[1]) > 0, "workload failed to trigger replays"
+    assert fused[0] == ff[0] == naive[0]
+    assert fused[1] == naive[1]
+    assert fused[2]._bg_multi.windows > 0
+
+
+def test_barrier_arrival_at_window_ceiling(monkeypatch):
+    """Shrinking the watchdog stride forces window ceilings onto
+    arbitrary cycles — including barrier arrivals landing exactly at the
+    ceiling — without changing the simulation."""
+    from repro.system import machine as machine_mod
+    spec = registry.REGISTRY["ll3"].variants["barrier"](
+        n=24, passes=2, p=4)
+    reference = _three_legs(spec)[0]
+    monkeypatch.setattr(machine_mod, "_WATCHDOG_STRIDE", 7)
+    naive, ff, fused = _three_legs(spec)
+    assert (naive[0], ff[0], fused[0]) == (reference[0],) * 3
+    assert fused[1] == reference[1]
+
+
+def test_hot_report_identical_across_legs():
+    """`profile --hot` per-PC retire tallies must not depend on which
+    execution mode ran the cycles (interpreter, single-core blockgen, or
+    the multi-core window path)."""
+    spec = registry.REGISTRY["ll3"].variants["barrier"](
+        n=24, passes=2, p=4)
+    reports = []
+    for ff, bg in ((False, False), (True, False), (True, True)):
+        machine = Machine(spec.system)
+        machine.load(spec.workload)
+        for core in machine.cores:
+            core._retire_pcs = {}
+        machine.run(options=RunOptions(max_cycles=spec.max_cycles,
+                                       fast_forward=ff, blockgen=bg))
+        reports.append({core.index: dict(core._retire_pcs)
+                        for core in machine.cores})
+    assert reports[0] == reports[1] == reports[2]
+    assert any(reports[0].values()), "hot report came back empty"

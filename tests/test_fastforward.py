@@ -298,7 +298,7 @@ def test_no_blockgen_env_forces_interpreter_loop(monkeypatch):
     """REPRO_NO_BLOCKGEN=1 must keep the run off the compiled windows."""
     monkeypatch.setenv("REPRO_NO_BLOCKGEN", "1")
 
-    def boom(self, start, ceiling):
+    def boom(self, start, ceiling, allow_elide=False):
         raise AssertionError("block window ran despite escape hatch")
 
     monkeypatch.setattr(Machine, "_try_block_window", boom)
@@ -313,9 +313,9 @@ def test_blockgen_engages_by_default(monkeypatch):
     probes = [0]
     original = Machine._try_block_window
 
-    def counting(self, start, ceiling):
+    def counting(self, start, ceiling, allow_elide=False):
         probes[0] += 1
-        return original(self, start, ceiling)
+        return original(self, start, ceiling, allow_elide)
 
     monkeypatch.setattr(Machine, "_try_block_window", counting)
     result = _run("g721dec", "seq", {"items": 4},

@@ -250,6 +250,29 @@ def test_snapshot_inside_elided_window():
     _continue_and_compare(bench, variant, kwargs, state)
 
 
+def test_snapshot_mid_multi_core_window():
+    """Pause while multiple cores are mid-flight and the multi-core
+    blockgen path has engaged: the pause lands on a fused-window
+    boundary, and the un-snapshotted per-core backoff hints must not
+    change the replay after restore."""
+    bench, variant, kwargs = "ll3", "hwbar", {"n": 64, "passes": 3, "p": 8}
+    machine = _build(bench, variant, kwargs)
+    state = None
+    for k in range(40, 4000, 11):
+        machine.run(options=RunOptions(pause_at=k))
+        if machine.cycle < k:
+            break
+        busy = sum(1 for core in machine.cores
+                   if core.ctx is not None and not core.halted
+                   and core.ff_skip_from < 0)
+        if machine._bg_multi.windows and busy >= 2:
+            state = _roundtrip(machine)
+            break
+    assert state is not None, \
+        "never paused with a multi-core window behind us and >= 2 busy cores"
+    _continue_and_compare(bench, variant, kwargs, state)
+
+
 # -- snapshot files and provenance ----------------------------------------------
 
 
